@@ -1,0 +1,369 @@
+// Package landmarkrd is a library for fast resistance-distance computation
+// on large graphs using landmark-based algorithms, reproducing "Efficient
+// Resistance Distance Computation: The Power of Landmark-based Approaches"
+// (SIGMOD 2023) — see DESIGN.md for the reproduction notes.
+//
+// The resistance distance r(s,t) = (e_s−e_t)ᵀL†(e_s−e_t) measures how well
+// connected two vertices are: it is the effective resistance of the graph
+// viewed as an electrical network with unit (or weighted) conductances.
+//
+// # Quick start
+//
+//	g, _ := landmarkrd.BarabasiAlbert(10000, 4, 42)
+//	est, _ := landmarkrd.NewEstimator(g, landmarkrd.BiPush, landmarkrd.Options{Seed: 1})
+//	r, _ := est.Pair(17, 4242)
+//	fmt.Println(r.Value)
+//
+// Three landmark algorithms are available through NewEstimator:
+//
+//   - AbWalk  — pure Monte Carlo over landmark-absorbed random walks.
+//   - Push    — deterministic local push on the grounded Laplacian, with an
+//     a-posteriori error bound.
+//   - BiPush  — push followed by an unbiased Monte Carlo residual
+//     correction; the best default.
+//
+// Exact values (for validation, or when n is small) come from Exact, which
+// solves the grounded Laplacian system by preconditioned conjugate
+// gradients. Single-source workloads use BuildLandmarkIndex + SingleSource.
+package landmarkrd
+
+import (
+	"fmt"
+	"io"
+
+	"landmarkrd/internal/chol"
+	"landmarkrd/internal/cluster"
+	"landmarkrd/internal/core"
+	"landmarkrd/internal/dynamic"
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/lap"
+	"landmarkrd/internal/randx"
+	"landmarkrd/internal/sketch"
+)
+
+// ElectricFlow is the unit s→t current flow (potentials, per-edge currents,
+// Kirchhoff divergence, energy = r(s,t)).
+type ElectricFlow = lap.ElectricFlow
+
+// ComputeElectricFlow solves for the unit-current electric flow from s to
+// t. The flow's Energy() equals r(s, t) (Thomson's principle).
+func ComputeElectricFlow(g *Graph, s, t int) (*ElectricFlow, error) {
+	return lap.ComputeElectricFlow(g, s, t)
+}
+
+// Potential returns φ = L†(e_s − e_t), mean-centred; r(s,t) = φ(s) − φ(t).
+func Potential(g *Graph, s, t int) ([]float64, error) {
+	return lap.PotentialCG(g, s, t)
+}
+
+// Graph is an immutable undirected (optionally weighted) graph in CSR form.
+type Graph = graph.Graph
+
+// Builder accumulates edges and produces a Graph.
+type Builder = graph.Builder
+
+// NewBuilder returns a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// LoadEdgeList reads a graph from an edge-list file ("u v" or "u v w" per
+// line, '#' comments). It returns the graph and the raw-id → dense-id map.
+func LoadEdgeList(path string) (*Graph, map[int]int, error) { return graph.LoadEdgeList(path) }
+
+// ReadEdgeList parses an edge list from r.
+func ReadEdgeList(r io.Reader) (*Graph, map[int]int, error) { return graph.ReadEdgeList(r) }
+
+// Generators for synthetic graphs. All return the largest connected
+// component and are deterministic in seed.
+
+// BarabasiAlbert generates a preferential-attachment graph (n vertices,
+// k edges per newcomer) — hub-dominated like social networks.
+func BarabasiAlbert(n, k int, seed uint64) (*Graph, error) {
+	return graph.BarabasiAlbert(n, k, randx.New(seed))
+}
+
+// ErdosRenyi generates a uniform random graph with about m edges.
+func ErdosRenyi(n int, m int64, seed uint64) (*Graph, error) {
+	return graph.ErdosRenyiGNM(n, m, randx.New(seed))
+}
+
+// Grid generates a w x h grid with a fraction of edges removed — the
+// road-network stand-in (bounded degree, poor expansion).
+func Grid(w, h int, perturb float64, seed uint64) (*Graph, error) {
+	return graph.Grid2D(w, h, perturb, randx.New(seed))
+}
+
+// WattsStrogatz generates a small-world ring lattice — the powergrid
+// stand-in.
+func WattsStrogatz(n, k int, beta float64, seed uint64) (*Graph, error) {
+	return graph.WattsStrogatz(n, k, beta, randx.New(seed))
+}
+
+// Exact computes r(s,t) to solver precision (~1e-10) by a grounded
+// conjugate-gradient solve. Cost is O(m·√κ)-ish per query; use it for
+// validation and ground truth.
+func Exact(g *Graph, s, t int) (float64, error) { return lap.ResistanceCG(g, s, t) }
+
+// CommuteTime returns the expected commute time Vol(G)·r(s,t).
+func CommuteTime(g *Graph, s, t int) (float64, error) { return lap.CommuteTime(g, s, t) }
+
+// ConditionNumber estimates the condition number κ = 2/λ₂(ℒ) of the
+// normalized Laplacian — the quantity that governs how hard a graph is for
+// every resistance algorithm.
+func ConditionNumber(g *Graph, seed uint64) (float64, error) {
+	k := 120
+	if g.N() < 2*k {
+		k = g.N() / 2
+	}
+	res, err := lap.LanczosConditionNumber(g, k, randx.New(seed))
+	if err != nil {
+		return 0, err
+	}
+	return res.Kappa, nil
+}
+
+// Method selects the landmark query algorithm.
+type Method int
+
+const (
+	// AbWalk is the absorbed-walk Monte Carlo estimator.
+	AbWalk Method = iota
+	// Push is the deterministic local push estimator.
+	Push
+	// BiPush is the bidirectional estimator (recommended default).
+	BiPush
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case AbWalk:
+		return "abwalk"
+	case Push:
+		return "push"
+	case BiPush:
+		return "bipush"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Strategy re-exports the landmark selection strategies.
+type Strategy = core.Strategy
+
+// Landmark selection strategies.
+const (
+	MaxDegree       = core.MaxDegree
+	PageRank        = core.PageRank
+	KCore           = core.KCore
+	MinHitting      = core.MinHitting
+	RandomVertex    = core.RandomVertex
+	MinHittingExact = core.MinHittingExact
+)
+
+// Estimate is the result of a pair query.
+type Estimate = core.Estimate
+
+// Options configures NewEstimator. The zero value is usable.
+type Options struct {
+	// Landmark fixes the landmark vertex; -1 or unset (0 with
+	// LandmarkStrategySet false) selects via Strategy. Use the
+	// NewEstimatorAt constructor to pin an explicit landmark.
+	Strategy Strategy
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Walks is the Monte Carlo sample count per endpoint
+	// (AbWalk default 2000, BiPush default 500).
+	Walks int
+	// Theta is the push degree-normalized residual threshold
+	// (Push default 1e-4, BiPush default 1e-2).
+	Theta float64
+	// MaxOps bounds push work; MaxSteps bounds each walk.
+	MaxOps   int64
+	MaxSteps int
+}
+
+// Estimator answers pairwise resistance queries with a fixed algorithm and
+// landmark. It is not safe for concurrent use; create one per goroutine.
+type Estimator struct {
+	method   Method
+	landmark int
+	ab       *core.AbWalkEstimator
+	push     *core.PushEstimator
+	bipush   *core.BiPushEstimator
+}
+
+// NewEstimator builds an estimator, selecting the landmark with
+// opts.Strategy (MaxDegree by default).
+func NewEstimator(g *Graph, m Method, opts Options) (*Estimator, error) {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := randx.New(seed)
+	v, err := core.SelectLandmark(g, opts.Strategy, rng)
+	if err != nil {
+		return nil, err
+	}
+	return NewEstimatorAt(g, m, v, opts)
+}
+
+// NewEstimatorAt builds an estimator with an explicit landmark vertex.
+func NewEstimatorAt(g *Graph, m Method, landmark int, opts Options) (*Estimator, error) {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := randx.New(seed ^ 0xabcdef)
+	e := &Estimator{method: m, landmark: landmark}
+	var err error
+	switch m {
+	case AbWalk:
+		e.ab, err = core.NewAbWalkEstimator(g, landmark,
+			core.AbWalkOptions{Walks: opts.Walks, MaxSteps: opts.MaxSteps}, rng)
+	case Push:
+		e.push, err = core.NewPushEstimator(g, landmark,
+			core.PushOptions{Theta: opts.Theta, MaxOps: opts.MaxOps})
+	case BiPush:
+		e.bipush, err = core.NewBiPushEstimator(g, landmark, core.BiPushOptions{
+			PushTheta: opts.Theta, Walks: opts.Walks,
+			MaxSteps: opts.MaxSteps, MaxOps: opts.MaxOps,
+		}, rng)
+	default:
+		return nil, fmt.Errorf("landmarkrd: unknown method %v", m)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Landmark returns the landmark vertex in use.
+func (e *Estimator) Landmark() int { return e.landmark }
+
+// Method returns the algorithm in use.
+func (e *Estimator) Method() Method { return e.method }
+
+// Pair estimates r(s,t). Neither endpoint may equal the landmark
+// (ErrLandmarkConflict); pick another landmark or use Exact for that pair.
+func (e *Estimator) Pair(s, t int) (Estimate, error) {
+	switch e.method {
+	case AbWalk:
+		return e.ab.Pair(s, t)
+	case Push:
+		return e.push.Pair(s, t)
+	default:
+		return e.bipush.Pair(s, t)
+	}
+}
+
+// ErrLandmarkConflict is returned when a query endpoint equals the landmark.
+var ErrLandmarkConflict = core.ErrLandmarkConflict
+
+// SelectLandmark picks a landmark vertex by strategy.
+func SelectLandmark(g *Graph, s Strategy, seed uint64) (int, error) {
+	return core.SelectLandmark(g, s, randx.New(seed))
+}
+
+// LandmarkIndex re-exports the single-source index.
+type LandmarkIndex = core.Index
+
+// DiagMode selects how the index diagonal is built.
+type DiagMode = core.DiagMode
+
+// Index diagonal build modes.
+const (
+	DiagExactCG = core.DiagExactCG
+	DiagMC      = core.DiagMC
+	DiagSketch  = core.DiagSketch
+)
+
+// BuildLandmarkIndex precomputes r(t, landmark) for all t so that
+// single-source queries need only one grounded column computation.
+func BuildLandmarkIndex(g *Graph, landmark int, mode DiagMode, seed uint64) (*LandmarkIndex, error) {
+	return core.BuildIndex(g, landmark, core.IndexOptions{Mode: mode}, randx.New(seed))
+}
+
+// SingleSource returns r(s, t) for every t using the index.
+func SingleSource(idx *LandmarkIndex, s int) ([]float64, error) {
+	return idx.SingleSource(s, core.SingleSourceOptions{})
+}
+
+// LapSolver answers exact resistance queries with an amortized
+// approximate-Cholesky-preconditioned CG solver: build once (nearly linear
+// time), then each query is a fast preconditioned solve whose iteration
+// count is (nearly) independent of the condition number.
+type LapSolver = chol.Solver
+
+// NewLapSolver builds the preconditioned solver grounded at a max-degree
+// landmark.
+func NewLapSolver(g *Graph, seed uint64) (*LapSolver, error) {
+	v, err := core.SelectLandmark(g, core.MaxDegree, randx.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	return chol.NewSolver(g, v, 0, chol.Options{Seed: seed})
+}
+
+// Sketch is the Spielman-Srivastava all-pairs resistance sketch.
+type Sketch = sketch.Sketch
+
+// BuildSketch constructs an ε-relative-error resistance sketch; any pair
+// can then be queried in O(log n / ε²) time.
+func BuildSketch(g *Graph, epsilon float64, seed uint64) (*Sketch, error) {
+	return sketch.Build(g, sketch.Options{Epsilon: epsilon}, randx.New(seed))
+}
+
+// MultiLandmarkEstimator combines BiPush estimates over several landmarks
+// (median), improving robustness to badly placed landmarks and serving
+// queries that touch one of them.
+type MultiLandmarkEstimator = core.MultiLandmarkEstimator
+
+// NewMultiLandmark builds a multi-landmark BiPush estimator with the given
+// number of landmarks (0 = default 3).
+func NewMultiLandmark(g *Graph, landmarks int, opts Options) (*MultiLandmarkEstimator, error) {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return core.NewMultiLandmarkEstimator(g, core.MultiLandmarkOptions{
+		Landmarks: landmarks,
+		Strategy:  opts.Strategy,
+		PerLandmark: core.BiPushOptions{
+			PushTheta: opts.Theta,
+			Walks:     opts.Walks,
+			MaxSteps:  opts.MaxSteps,
+			MaxOps:    opts.MaxOps,
+		},
+	}, randx.New(seed))
+}
+
+// PairWithinEps answers a Push query whose deterministic error is at most
+// eps, deriving the push threshold from the exact hitting times to the
+// landmark (θ = eps / 2(h(s,v)+h(t,v))). Only available for Push
+// estimators; the first call pays one grounded solve.
+func (e *Estimator) PairWithinEps(s, t int, eps float64) (Estimate, error) {
+	if e.method != Push {
+		return Estimate{}, fmt.Errorf("landmarkrd: PairWithinEps requires the Push method, have %v", e.method)
+	}
+	return e.push.PairWithTarget(s, t, eps)
+}
+
+// Clustering is the result of resistance-embedding k-means clustering.
+type Clustering = cluster.Result
+
+// ClusterGraph partitions g into k clusters by embedding every vertex with
+// its resistance distance to 2k pivot vertices and running k-means on the
+// embedding. Cluster quality (conductance) is reported per cluster.
+func ClusterGraph(g *Graph, k int, seed uint64) (*Clustering, error) {
+	return cluster.Cluster(g, cluster.Options{K: k, Seed: seed}, randx.New(seed))
+}
+
+// DynamicUpdater maintains resistance queries under edge insertions and
+// deletions via Sherman-Morrison rank-one updates — no rebuilds. Intended
+// for small update streams ("what if we add this link?").
+type DynamicUpdater = dynamic.Updater
+
+// NewDynamic creates an updater over base graph g.
+func NewDynamic(g *Graph) (*DynamicUpdater, error) {
+	return dynamic.New(g, 0)
+}

@@ -1,0 +1,116 @@
+package landmarkrd
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"landmarkrd/internal/core"
+	"landmarkrd/internal/randx"
+)
+
+// PairQuery is one (s, t) query in a batch.
+type PairQuery struct {
+	S, T int
+}
+
+// PairResult is the outcome of one batch query, in input order.
+type PairResult struct {
+	PairQuery
+	Estimate Estimate
+	Err      error
+}
+
+// BatchOptions configures Pairs.
+type BatchOptions struct {
+	// Options configures each worker's estimator.
+	Options Options
+	// Workers is the number of parallel workers (default GOMAXPROCS).
+	Workers int
+	// Landmark pins the landmark; < 0 (default with the zero value being
+	// 0, so use -1 explicitly) or PinLandmark false selects by strategy.
+	Landmark    int
+	PinLandmark bool
+	// ExactOnConflict answers queries that touch the landmark with the
+	// exact CG solver instead of failing them (default true behaviour is
+	// opt-in via this flag to keep the zero value predictable).
+	ExactOnConflict bool
+}
+
+// Pairs answers a batch of resistance queries in parallel. Each worker owns
+// an independent estimator (estimators are not goroutine-safe), seeded
+// deterministically from Options.Seed, so the batch is reproducible for a
+// fixed worker count.
+func Pairs(g *Graph, m Method, queries []PairQuery, opts BatchOptions) ([]PairResult, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	seed := opts.Options.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	landmark := -1
+	if opts.PinLandmark {
+		landmark = opts.Landmark
+		if err := g.ValidateVertex(landmark); err != nil {
+			return nil, fmt.Errorf("landmarkrd: batch landmark: %w", err)
+		}
+	} else {
+		v, err := core.SelectLandmark(g, opts.Options.Strategy, randx.New(seed))
+		if err != nil {
+			return nil, err
+		}
+		landmark = v
+	}
+	// Weighted sampling index must be built before concurrent reads.
+	g.EnsureSamplingIndex()
+
+	results := make([]PairResult, len(queries))
+	next := make(chan int, len(queries))
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			wOpts := opts.Options
+			wOpts.Seed = seed + uint64(worker)*0x9e3779b97f4a7c15
+			est, err := NewEstimatorAt(g, m, landmark, wOpts)
+			if err != nil {
+				errs[worker] = err
+				return
+			}
+			for i := range next {
+				q := queries[i]
+				results[i].PairQuery = q
+				res, err := est.Pair(q.S, q.T)
+				if err == ErrLandmarkConflict && opts.ExactOnConflict {
+					var v float64
+					v, err = Exact(g, q.S, q.T)
+					res = Estimate{Value: v, Converged: true}
+				}
+				results[i].Estimate = res
+				results[i].Err = err
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,126 @@
+package landmarkrd_test
+
+import (
+	"math"
+	"testing"
+
+	landmarkrd "landmarkrd"
+)
+
+func TestPairsBatchMatchesExact(t *testing.T) {
+	g, err := landmarkrd.BarabasiAlbert(400, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []landmarkrd.PairQuery{
+		{S: 1, T: 100}, {S: 2, T: 200}, {S: 3, T: 300}, {S: 4, T: 350},
+		{S: 5, T: 250}, {S: 6, T: 150}, {S: 7, T: 50}, {S: 8, T: 399},
+	}
+	results, err := landmarkrd.Pairs(g, landmarkrd.Push, queries, landmarkrd.BatchOptions{
+		Options:         landmarkrd.Options{Seed: 3, Theta: 1e-8},
+		Workers:         4,
+		ExactOnConflict: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(queries) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		if r.S != queries[i].S || r.T != queries[i].T {
+			t.Errorf("result %d out of order: %+v", i, r.PairQuery)
+		}
+		want, _ := landmarkrd.Exact(g, r.S, r.T)
+		if math.Abs(r.Estimate.Value-want) > 1e-4 {
+			t.Errorf("query %d: %v, want %v", i, r.Estimate.Value, want)
+		}
+	}
+}
+
+func TestPairsBatchLandmarkConflict(t *testing.T) {
+	g, err := landmarkrd.BarabasiAlbert(100, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := landmarkrd.SelectLandmark(g, landmarkrd.MaxDegree, 1)
+	queries := []landmarkrd.PairQuery{{S: v, T: (v + 1) % g.N()}}
+
+	// Without ExactOnConflict the query fails.
+	results, err := landmarkrd.Pairs(g, landmarkrd.BiPush, queries, landmarkrd.BatchOptions{
+		Options: landmarkrd.Options{Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != landmarkrd.ErrLandmarkConflict {
+		t.Errorf("conflict error = %v", results[0].Err)
+	}
+
+	// With it, the exact value is returned.
+	results, err = landmarkrd.Pairs(g, landmarkrd.BiPush, queries, landmarkrd.BatchOptions{
+		Options:         landmarkrd.Options{Seed: 1},
+		ExactOnConflict: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatalf("exact fallback failed: %v", results[0].Err)
+	}
+	want, _ := landmarkrd.Exact(g, queries[0].S, queries[0].T)
+	if math.Abs(results[0].Estimate.Value-want) > 1e-8 {
+		t.Errorf("fallback value %v, want %v", results[0].Estimate.Value, want)
+	}
+}
+
+func TestPairsBatchPinnedLandmark(t *testing.T) {
+	g, _ := landmarkrd.BarabasiAlbert(100, 3, 13)
+	_, err := landmarkrd.Pairs(g, landmarkrd.Push, []landmarkrd.PairQuery{{S: 1, T: 2}},
+		landmarkrd.BatchOptions{PinLandmark: true, Landmark: 999})
+	if err == nil {
+		t.Error("invalid pinned landmark accepted")
+	}
+	res, err := landmarkrd.Pairs(g, landmarkrd.Push, []landmarkrd.PairQuery{{S: 1, T: 2}},
+		landmarkrd.BatchOptions{PinLandmark: true, Landmark: 50, Options: landmarkrd.Options{Theta: 1e-8}})
+	if err != nil || res[0].Err != nil {
+		t.Fatalf("pinned batch failed: %v %v", err, res[0].Err)
+	}
+}
+
+func TestPairsBatchEmpty(t *testing.T) {
+	g, _ := landmarkrd.BarabasiAlbert(50, 3, 14)
+	res, err := landmarkrd.Pairs(g, landmarkrd.Push, nil, landmarkrd.BatchOptions{})
+	if err != nil || res != nil {
+		t.Errorf("empty batch: %v, %v", res, err)
+	}
+}
+
+func TestPairsBatchManyWorkersRace(t *testing.T) {
+	// More workers than queries plus the race detector (when enabled via
+	// `go test -race`) exercises concurrent access to the shared graph.
+	g, err := landmarkrd.WattsStrogatz(300, 3, 0.2, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries []landmarkrd.PairQuery
+	for i := 0; i < 12; i++ {
+		queries = append(queries, landmarkrd.PairQuery{S: i, T: 150 + i})
+	}
+	results, err := landmarkrd.Pairs(g, landmarkrd.AbWalk, queries, landmarkrd.BatchOptions{
+		Options:         landmarkrd.Options{Seed: 2, Walks: 200},
+		Workers:         64,
+		ExactOnConflict: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Errorf("query %d failed: %v", i, r.Err)
+		}
+	}
+}

@@ -1,0 +1,408 @@
+package landmarkrd_test
+
+// The benchmarks in this file regenerate every experiment in DESIGN.md's
+// experiment index (one benchmark per table/figure, named as promised
+// there), plus micro-benchmarks of the individual algorithm kernels.
+//
+// Experiment benchmarks run the eval harness at Tiny scale with a small
+// query budget so `go test -bench=.` completes quickly; run
+// `go run ./cmd/rdbench -scale small` (or medium/large) for the full
+// reproduction tables recorded in EXPERIMENTS.md.
+
+import (
+	"io"
+	"testing"
+
+	landmarkrd "landmarkrd"
+	"landmarkrd/internal/baseline"
+	"landmarkrd/internal/core"
+	"landmarkrd/internal/eval"
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/lanczos"
+	"landmarkrd/internal/lap"
+	"landmarkrd/internal/randx"
+	"landmarkrd/internal/sketch"
+	"landmarkrd/internal/walk"
+)
+
+func benchConfig() eval.ExpConfig {
+	return eval.ExpConfig{Scale: eval.Tiny, Seed: 2023, Queries: 4, Out: io.Discard}
+}
+
+func runExp(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := eval.RunExperiment(id, benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- experiment benchmarks (one per table/figure; see DESIGN.md §4) ---
+
+func BenchmarkT2DatasetStats(b *testing.B) { runExp(b, "stats") }
+func BenchmarkE1SmallKappa(b *testing.B)   { runExp(b, "e1a") }
+func BenchmarkE1LargeKappa(b *testing.B)   { runExp(b, "e1b") }
+func BenchmarkE2Weighted(b *testing.B)     { runExp(b, "e2") }
+func BenchmarkE3Scalability(b *testing.B)  { runExp(b, "e3") }
+func BenchmarkE4Memory(b *testing.B)       { runExp(b, "e4") }
+func BenchmarkE5Landmark(b *testing.B)     { runExp(b, "e5") }
+func BenchmarkE6Stability(b *testing.B)    { runExp(b, "e6") }
+func BenchmarkE7SingleSource(b *testing.B) { runExp(b, "e7") }
+func BenchmarkE8Identities(b *testing.B)   { runExp(b, "e8") }
+func BenchmarkE9Lanczos(b *testing.B)      { runExp(b, "e9") }
+
+// BenchmarkCSLinkPrediction covers the case study (examples/linkprediction)
+// at reduced size: score one batch of candidate pairs by BiPush.
+func BenchmarkCSLinkPrediction(b *testing.B) {
+	g, err := landmarkrd.BarabasiAlbert(2000, 4, 2023)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := landmarkrd.NewEstimator(g, landmarkrd.BiPush, landmarkrd.Options{Seed: 7, Walks: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(5)
+	pairs := make([][2]int, 64)
+	for i := range pairs {
+		s, t := rng.Intn(g.N()), rng.Intn(g.N())
+		for s == t || s == est.Landmark() || t == est.Landmark() {
+			s, t = rng.Intn(g.N()), rng.Intn(g.N())
+		}
+		pairs[i] = [2]int{s, t}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		if _, err := est.Pair(p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- kernel micro-benchmarks on the two canonical graph classes ---
+
+func benchGraphs(b *testing.B) (social, road *graph.Graph) {
+	b.Helper()
+	var err error
+	social, err = graph.BarabasiAlbert(5000, 4, randx.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	road, err = graph.Grid2D(70, 70, 0.05, randx.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return social, road
+}
+
+func pairOn(g *graph.Graph, rng *randx.RNG, avoid int) (int, int) {
+	s, t := rng.Intn(g.N()), rng.Intn(g.N())
+	for s == t || s == avoid || t == avoid {
+		s, t = rng.Intn(g.N()), rng.Intn(g.N())
+	}
+	return s, t
+}
+
+func BenchmarkExactCGSocial(b *testing.B) {
+	g, _ := benchGraphs(b)
+	rng := randx.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, t := pairOn(g, rng, -1)
+		if _, err := lap.ResistanceCG(g, s, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPushPairSocial(b *testing.B) {
+	g, _ := benchGraphs(b)
+	v := g.MaxDegreeVertex()
+	pe, err := core.NewPushEstimator(g, v, core.PushOptions{Theta: 1e-4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, t := pairOn(g, rng, v)
+		if _, err := pe.Pair(s, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPushPairRoad(b *testing.B) {
+	_, g := benchGraphs(b)
+	v := g.MaxDegreeVertex()
+	pe, err := core.NewPushEstimator(g, v, core.PushOptions{Theta: 1e-4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, t := pairOn(g, rng, v)
+		if _, err := pe.Pair(s, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAbWalkPairSocial(b *testing.B) {
+	g, _ := benchGraphs(b)
+	v := g.MaxDegreeVertex()
+	ab, err := core.NewAbWalkEstimator(g, v, core.AbWalkOptions{Walks: 400}, randx.New(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, t := pairOn(g, rng, v)
+		if _, err := ab.Pair(s, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBiPushPairSocial(b *testing.B) {
+	g, _ := benchGraphs(b)
+	v := g.MaxDegreeVertex()
+	bp, err := core.NewBiPushEstimator(g, v, core.BiPushOptions{PushTheta: 1e-2, Walks: 256}, randx.New(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, t := pairOn(g, rng, v)
+		if _, err := bp.Pair(s, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPowerMethodSocial(b *testing.B) {
+	g, _ := benchGraphs(b)
+	rng := randx.New(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, t := pairOn(g, rng, -1)
+		if _, err := baseline.PowerMethod(g, s, t, baseline.PowerMethodOptions{Steps: 32}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLanczosIterationRoad(b *testing.B) {
+	_, g := benchGraphs(b)
+	rng := randx.New(11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, t := pairOn(g, rng, -1)
+		if _, err := lanczos.Iteration(g, s, t, 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLanczosPushRoad(b *testing.B) {
+	_, g := benchGraphs(b)
+	rng := randx.New(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, t := pairOn(g, rng, -1)
+		if _, err := lanczos.Push(g, s, t, lanczos.PushOptions{K: 40, Epsilon: 1e-4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSketchBuildSocial(b *testing.B) {
+	g, _ := benchGraphs(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := sketch.Build(g, sketch.Options{K: 64, Tol: 1e-6}, randx.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSketchQuery(b *testing.B) {
+	g, _ := benchGraphs(b)
+	sk, err := sketch.Build(g, sketch.Options{K: 128, Tol: 1e-6}, randx.New(13))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, t := pairOn(g, rng, -1)
+		if _, err := sk.Resistance(s, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWilsonUSTSocial(b *testing.B) {
+	g, _ := benchGraphs(b)
+	s := walk.NewSampler(g)
+	rng := randx.New(15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := walk.WilsonUST(s, 0, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLandmarkIndexBuildMC(b *testing.B) {
+	g, err := graph.BarabasiAlbert(1000, 4, randx.New(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := g.MaxDegreeVertex()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildIndex(g, v, core.IndexOptions{Mode: core.DiagMC, WalksPerVertex: 16}, randx.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSingleSourceQuery(b *testing.B) {
+	g, err := graph.BarabasiAlbert(2000, 4, randx.New(17))
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := g.MaxDegreeVertex()
+	idx, err := core.BuildIndex(g, v, core.IndexOptions{Mode: core.DiagMC, WalksPerVertex: 16}, randx.New(18))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(19)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := rng.Intn(g.N())
+		if _, err := idx.SingleSource(s, core.SingleSourceOptions{Tol: 1e-6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConditionNumberLanczos(b *testing.B) {
+	g, _ := benchGraphs(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := lap.LanczosConditionNumber(g, 60, randx.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphGenBA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.BarabasiAlbert(10000, 4, randx.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- public-API benchmarks for the extension features ---
+
+func BenchmarkPairsBatchParallel(b *testing.B) {
+	g, err := landmarkrd.BarabasiAlbert(3000, 4, 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(32)
+	queries := make([]landmarkrd.PairQuery, 32)
+	for i := range queries {
+		queries[i] = landmarkrd.PairQuery{S: rng.Intn(g.N()), T: rng.Intn(g.N())}
+		for queries[i].S == queries[i].T {
+			queries[i].T = rng.Intn(g.N())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := landmarkrd.Pairs(g, landmarkrd.Push, queries, landmarkrd.BatchOptions{
+			Options: landmarkrd.Options{Seed: 1, Theta: 1e-4}, ExactOnConflict: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterGraph(b *testing.B) {
+	g, err := landmarkrd.WattsStrogatz(2000, 3, 0.05, 33)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := landmarkrd.ClusterGraph(g, 4, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynamicAddAndQuery(b *testing.B) {
+	g, err := landmarkrd.BarabasiAlbert(2000, 4, 34)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := landmarkrd.NewDynamic(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(35)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, c := rng.Intn(g.N()), rng.Intn(g.N())
+		if a == c {
+			continue
+		}
+		if err := u.AddEdge(a, c, 1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := u.Resistance(a, c); err != nil {
+			b.Fatal(err)
+		}
+		if err := u.RemoveConductance(a, c, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLapSolverQuery(b *testing.B) {
+	g, err := landmarkrd.Grid(50, 50, 0, 36)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver, err := landmarkrd.NewLapSolver(g, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(37)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, t := pairOn(g, rng, -1)
+		if _, err := solver.Resistance(s, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkElectricFlow(b *testing.B) {
+	g, err := landmarkrd.Grid(40, 40, 0.05, 38)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(39)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, t := pairOn(g, rng, -1)
+		if _, err := landmarkrd.ComputeElectricFlow(g, s, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

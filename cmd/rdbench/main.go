@@ -1,0 +1,79 @@
+// Command rdbench runs the experiment suite that reproduces the paper's
+// tables and figures (see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	rdbench -exp all -scale small -queries 20
+//	rdbench -exp e1a,e5 -scale medium -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"landmarkrd/internal/eval"
+)
+
+func main() {
+	var (
+		expFlag     = flag.String("exp", "all", "comma-separated experiment ids, or 'all' ("+strings.Join(eval.ExperimentIDs(), ",")+")")
+		scaleFlag   = flag.String("scale", "small", "dataset scale: tiny|small|medium|large")
+		seedFlag    = flag.Uint64("seed", 2023, "random seed")
+		queriesFlag = flag.Int("queries", 20, "query pairs per dataset")
+		csvFlag     = flag.String("csv", "", "directory to also write every table as CSV")
+	)
+	flag.Parse()
+
+	scale, err := eval.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := eval.ExpConfig{
+		Scale:   scale,
+		Seed:    *seedFlag,
+		Queries: *queriesFlag,
+		Out:     os.Stdout,
+		CSVDir:  *csvFlag,
+	}
+	if *csvFlag != "" {
+		if err := os.MkdirAll(*csvFlag, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	ids := eval.ExperimentIDs()
+	if *expFlag != "all" {
+		ids = strings.Split(*expFlag, ",")
+	}
+	if err := runExperiments(ids, cfg, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// runExperiments drives the selected experiments, writing progress markers
+// and tables to out.
+func runExperiments(ids []string, cfg eval.ExpConfig, out io.Writer) error {
+	cfg.Out = out
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		fmt.Fprintf(out, "### experiment %s (scale=%s seed=%d queries=%d)\n", id, cfg.Scale, cfg.Seed, cfg.Queries)
+		start := time.Now()
+		if err := eval.RunExperiment(id, cfg); err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		fmt.Fprintf(out, "### %s done in %s\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rdbench:", err)
+	os.Exit(1)
+}

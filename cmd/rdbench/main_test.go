@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"landmarkrd/internal/eval"
+)
+
+func TestRunExperimentsStats(t *testing.T) {
+	var out bytes.Buffer
+	cfg := eval.ExpConfig{Scale: eval.Tiny, Seed: 7, Queries: 3}
+	if err := runExperiments([]string{"stats", "", " e8 "}, cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"### experiment stats", "### stats done", "Foster"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunExperimentsUnknownID(t *testing.T) {
+	var out bytes.Buffer
+	if err := runExperiments([]string{"nope"}, eval.ExpConfig{Scale: eval.Tiny}, &out); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}

@@ -1,0 +1,96 @@
+// Command rdgen generates the synthetic benchmark graphs as edge-list
+// files, so external tools (or the paper authors' C++ code) can consume
+// identical inputs.
+//
+// Usage:
+//
+//	rdgen -kind ba -n 20000 -k 4 -out ba.txt
+//	rdgen -kind road -n 20000 -out road.txt
+//	rdgen -kind er -n 20000 -out er.txt -weighted
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	landmarkrd "landmarkrd"
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/randx"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "ba", "ba|er|road|ws|rmat|regular|path|cycle")
+		n        = flag.Int("n", 10000, "number of vertices (approximate for road)")
+		k        = flag.Int("k", 4, "per-vertex parameter (BA attachments, WS neighbors, regular degree)")
+		beta     = flag.Float64("beta", 0.05, "WS rewiring probability")
+		perturb  = flag.Float64("perturb", 0.08, "road edge-removal probability")
+		seed     = flag.Uint64("seed", 2023, "random seed")
+		out      = flag.String("out", "", "output file (default stdout)")
+		weighted = flag.Bool("weighted", false, "assign triangle-count edge weights")
+	)
+	flag.Parse()
+
+	g, err := generate(*kind, *n, *k, *beta, *perturb, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *weighted {
+		g, err = graph.TriangleWeighted(g)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	kappa, err := landmarkrd.ConditionNumber(g, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %s: n=%d m=%d kappa=%.1f weighted=%v\n",
+		*kind, g.N(), g.M(), kappa, g.Weighted())
+	if *out == "" {
+		if err := g.WriteEdgeList(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := g.SaveEdgeList(*out); err != nil {
+		fatal(err)
+	}
+}
+
+func generate(kind string, n, k int, beta, perturb float64, seed uint64) (*graph.Graph, error) {
+	rng := randx.New(seed)
+	switch kind {
+	case "ba":
+		return graph.BarabasiAlbert(n, k, rng)
+	case "er":
+		m := int64(float64(n) * math.Log(float64(n)))
+		return graph.ErdosRenyiGNM(n, m, rng)
+	case "road":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		return graph.Grid2D(side, side, perturb, rng)
+	case "ws":
+		return graph.WattsStrogatz(n, k, beta, rng)
+	case "rmat":
+		scale := 1
+		for (1 << scale) < n {
+			scale++
+		}
+		return graph.RMAT(scale, k, 0, 0, 0, rng)
+	case "regular":
+		return graph.RandomRegular(n, k, rng)
+	case "path":
+		return graph.Path(n)
+	case "cycle":
+		return graph.Cycle(n)
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rdgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestGenerateDispatch(t *testing.T) {
+	kinds := []string{"ba", "er", "road", "ws", "rmat", "regular", "path", "cycle"}
+	for _, kind := range kinds {
+		n, k := 200, 4
+		g, err := generate(kind, n, k, 0.05, 0.05, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if g.N() < 2 || !g.IsConnected() {
+			t.Errorf("%s: n=%d connected=%v", kind, g.N(), g.IsConnected())
+		}
+	}
+	if _, err := generate("bogus", 100, 3, 0, 0, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := generate("ba", 300, 3, 0, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := generate("ba", 300, 3, 0, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Error("same seed produced different graphs")
+	}
+}

@@ -1,0 +1,152 @@
+// Command rdquery answers ad-hoc resistance-distance queries on an
+// edge-list graph file.
+//
+// Usage:
+//
+//	rdquery -graph g.txt -s 12 -t 99                  # exact (CG solve)
+//	rdquery -graph g.txt -s 12 -t 99 -method bipush   # landmark estimate
+//	rdquery -graph g.txt -source 12 -topk 10          # single-source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	landmarkrd "landmarkrd"
+)
+
+type config struct {
+	graphPath string
+	s, t      int
+	method    string
+	seed      uint64
+	walks     int
+	theta     float64
+	source    int
+	topk      int
+}
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.graphPath, "graph", "", "edge-list file (required)")
+	flag.IntVar(&cfg.s, "s", -1, "source vertex (dense id)")
+	flag.IntVar(&cfg.t, "t", -1, "sink vertex (dense id)")
+	flag.StringVar(&cfg.method, "method", "exact", "exact|abwalk|push|bipush")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed")
+	flag.IntVar(&cfg.walks, "walks", 0, "Monte Carlo walks (abwalk/bipush)")
+	flag.Float64Var(&cfg.theta, "theta", 0, "push residual threshold")
+	flag.IntVar(&cfg.source, "source", -1, "single-source mode: source vertex")
+	flag.IntVar(&cfg.topk, "topk", 10, "single-source mode: closest vertices to print")
+	flag.Parse()
+
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rdquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config, out io.Writer) error {
+	if cfg.graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	g, _, err := landmarkrd.LoadEdgeList(cfg.graphPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "loaded graph: n=%d m=%d weighted=%v\n", g.N(), g.M(), g.Weighted())
+
+	if cfg.source >= 0 {
+		return runSingleSource(g, cfg, out)
+	}
+	if cfg.s < 0 || cfg.t < 0 {
+		return fmt.Errorf("need -s and -t (or -source for single-source mode)")
+	}
+	start := time.Now()
+	value, err := runPair(g, cfg, out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "r(%d,%d) = %.8f   [%s, %s]\n",
+		cfg.s, cfg.t, value, cfg.method, time.Since(start).Round(time.Microsecond))
+	return nil
+}
+
+func runPair(g *landmarkrd.Graph, cfg config, out io.Writer) (float64, error) {
+	switch cfg.method {
+	case "exact":
+		return landmarkrd.Exact(g, cfg.s, cfg.t)
+	case "abwalk", "push", "bipush":
+		m := map[string]landmarkrd.Method{
+			"abwalk": landmarkrd.AbWalk, "push": landmarkrd.Push, "bipush": landmarkrd.BiPush,
+		}[cfg.method]
+		est, err := landmarkrd.NewEstimator(g, m, landmarkrd.Options{
+			Seed: cfg.seed, Walks: cfg.walks, Theta: cfg.theta,
+		})
+		if err != nil {
+			return 0, err
+		}
+		res, err := est.Pair(cfg.s, cfg.t)
+		if err == landmarkrd.ErrLandmarkConflict {
+			// A query endpoint is the landmark: fall back to exact.
+			v, exErr := landmarkrd.Exact(g, cfg.s, cfg.t)
+			if exErr != nil {
+				return 0, exErr
+			}
+			fmt.Fprintln(out, "(endpoint equals the landmark; answered exactly)")
+			return v, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(out, "landmark=%d walks=%d pushOps=%d converged=%v\n",
+			est.Landmark(), res.Walks, res.PushOps, res.Converged)
+		return res.Value, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", cfg.method)
+	}
+}
+
+func runSingleSource(g *landmarkrd.Graph, cfg config, out io.Writer) error {
+	v, err := landmarkrd.SelectLandmark(g, landmarkrd.MaxDegree, cfg.seed)
+	if err != nil {
+		return err
+	}
+	if v == cfg.source {
+		v = (v + 1) % g.N()
+	}
+	start := time.Now()
+	idx, err := landmarkrd.BuildLandmarkIndex(g, v, landmarkrd.DiagSketch, cfg.seed)
+	if err != nil {
+		return err
+	}
+	build := time.Since(start)
+	start = time.Now()
+	all, err := landmarkrd.SingleSource(idx, cfg.source)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "index build %s, query %s (landmark=%d)\n",
+		build.Round(time.Millisecond), time.Since(start).Round(time.Microsecond), v)
+
+	order := make([]int, 0, g.N())
+	for u := range all {
+		if u != cfg.source {
+			order = append(order, u)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return all[order[i]] < all[order[j]] })
+	topk := cfg.topk
+	if topk > len(order) {
+		topk = len(order)
+	}
+	fmt.Fprintf(out, "closest %d vertices to %d by resistance distance:\n", topk, cfg.source)
+	for i := 0; i < topk; i++ {
+		u := order[i]
+		fmt.Fprintf(out, "  %3d. vertex %-8d r=%.6f\n", i+1, u, all[u])
+	}
+	return nil
+}

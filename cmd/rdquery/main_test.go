@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/randx"
+)
+
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	g, err := graph.BarabasiAlbert(300, 3, randx.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := g.SaveEdgeList(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunExactQuery(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	err := run(config{graphPath: path, s: 3, t: 250, method: "exact", topk: 5, source: -1}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "r(3,250)") {
+		t.Errorf("output missing result line: %s", out.String())
+	}
+}
+
+func TestRunEstimatorMethods(t *testing.T) {
+	path := writeTestGraph(t)
+	for _, m := range []string{"abwalk", "push", "bipush"} {
+		var out bytes.Buffer
+		err := run(config{graphPath: path, s: 3, t: 250, method: m, seed: 1, topk: 5, source: -1}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if !strings.Contains(out.String(), "r(3,250)") {
+			t.Errorf("%s: output missing result: %s", m, out.String())
+		}
+	}
+}
+
+func TestRunSingleSourceMode(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	err := run(config{graphPath: path, source: 7, topk: 3, s: -1, t: -1, seed: 1}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "closest 3 vertices") {
+		t.Errorf("output missing ranking: %s", out.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(config{}, &out); err == nil {
+		t.Error("missing -graph accepted")
+	}
+	path := writeTestGraph(t)
+	if err := run(config{graphPath: path, s: -1, t: -1, source: -1}, &out); err == nil {
+		t.Error("missing endpoints accepted")
+	}
+	if err := run(config{graphPath: path, s: 1, t: 2, method: "bogus", source: -1}, &out); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := run(config{graphPath: "/nonexistent", s: 1, t: 2, source: -1}, &out); err == nil {
+		t.Error("missing graph file accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package landmarkrd_test
+
+import (
+	"fmt"
+
+	landmarkrd "landmarkrd"
+)
+
+// ExampleExact computes closed-form resistances on a path: r equals hop
+// distance when every edge has unit conductance.
+func ExampleExact() {
+	b := landmarkrd.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	r, err := landmarkrd.Exact(g, 0, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("r(0,3) = %.4f\n", r)
+	// Output: r(0,3) = 3.0000
+}
+
+// ExampleNewEstimator shows the landmark estimator workflow; Push with a
+// tight threshold is deterministic, so its output is stable.
+func ExampleNewEstimator() {
+	// A 6-cycle: r(0,3) = 3·3/6 = 1.5.
+	b := landmarkrd.NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		b.AddEdge(i, (i+1)%6)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	est, err := landmarkrd.NewEstimatorAt(g, landmarkrd.Push, 5, landmarkrd.Options{Theta: 1e-10})
+	if err != nil {
+		panic(err)
+	}
+	res, err := est.Pair(0, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("r(0,3) = %.4f (landmark %d)\n", res.Value, est.Landmark())
+	// Output: r(0,3) = 1.5000 (landmark 5)
+}
+
+// ExampleComputeElectricFlow demonstrates Thomson's principle: the energy
+// of the unit electric flow equals the effective resistance.
+func ExampleComputeElectricFlow() {
+	b := landmarkrd.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 3)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3) // two parallel 2-hop paths: r(0,3) = 1
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	f, err := landmarkrd.ComputeElectricFlow(g, 0, 3)
+	if err != nil {
+		panic(err)
+	}
+	top, _ := f.Flow(0, 1)
+	fmt.Printf("energy = %.4f, flow on top path = %.4f\n", f.Energy(), top)
+	// Output: energy = 1.0000, flow on top path = 0.5000
+}
+
+// ExampleNewDynamic shows the parallel-resistor law under a dynamic edge
+// insertion.
+func ExampleNewDynamic() {
+	b := landmarkrd.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	dyn, err := landmarkrd.NewDynamic(g)
+	if err != nil {
+		panic(err)
+	}
+	before, _ := dyn.Resistance(0, 2)
+	if err := dyn.AddEdge(0, 2, 1); err != nil {
+		panic(err)
+	}
+	after, _ := dyn.Resistance(0, 2)
+	fmt.Printf("before = %.4f, after shortcut = %.4f\n", before, after)
+	// Output: before = 2.0000, after shortcut = 0.6667
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a graph, compute exact resistance distance, and compare
+// the three landmark estimators against it.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	landmarkrd "landmarkrd"
+)
+
+func main() {
+	// A 20k-vertex social-style graph (preferential attachment).
+	g, err := landmarkrd.BarabasiAlbert(20000, 4, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kappa, err := landmarkrd.ConditionNumber(g, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: n=%d m=%d kappa=%.1f\n", g.N(), g.M(), kappa)
+
+	s, t := 17, 4242
+	start := time.Now()
+	exact, err := landmarkrd.Exact(g, s, t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact      r(%d,%d) = %.6f            (%v)\n", s, t, exact, time.Since(start).Round(time.Microsecond))
+
+	for _, m := range []landmarkrd.Method{landmarkrd.AbWalk, landmarkrd.Push, landmarkrd.BiPush} {
+		est, err := landmarkrd.NewEstimator(g, m, landmarkrd.Options{Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start = time.Now()
+		res, err := est.Pair(s, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10v r(%d,%d) = %.6f  err=%.2e (%v, landmark=%d)\n",
+			m, s, t, res.Value, abs(res.Value-exact), time.Since(start).Round(time.Microsecond), est.Landmark())
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

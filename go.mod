@@ -1,0 +1,3 @@
+module landmarkrd
+
+go 1.22

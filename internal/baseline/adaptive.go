@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"math"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/randx"
+	"landmarkrd/internal/walk"
+)
+
+// AdaptiveOptions configures the GEER-inspired adaptive estimator.
+type AdaptiveOptions struct {
+	// Epsilon is the target half-width of the confidence interval on the
+	// estimate (default 0.05).
+	Epsilon float64
+	// Delta is the failure probability of the stopping rule (default 0.05).
+	Delta float64
+	// Length is the series truncation l (default 64; should scale with
+	// the condition number like the other lazy-walk methods).
+	Length int
+	// BatchWalks is the number of walks sampled per adaptivity round
+	// (default 256).
+	BatchWalks int
+	// MaxWalks caps the total sampling effort (default 1 << 20).
+	MaxWalks int
+}
+
+func (o *AdaptiveOptions) withDefaults() AdaptiveOptions {
+	out := *o
+	if out.Epsilon <= 0 {
+		out.Epsilon = 0.05
+	}
+	if out.Delta <= 0 || out.Delta >= 1 {
+		out.Delta = 0.05
+	}
+	if out.Length <= 0 {
+		out.Length = 64
+	}
+	if out.BatchWalks <= 0 {
+		out.BatchWalks = 256
+	}
+	if out.MaxWalks <= 0 {
+		out.MaxWalks = 1 << 20
+	}
+	return out
+}
+
+// AdaptiveResult reports the adaptive estimate and its stopping state.
+type AdaptiveResult struct {
+	Value float64
+	// HalfWidth is the final empirical-Bernstein confidence half-width.
+	HalfWidth float64
+	Walks     int
+	WalkSteps int64
+	// Converged is false when MaxWalks was exhausted before the target
+	// half-width was reached.
+	Converged bool
+}
+
+// AdaptiveLazyWalk is a GEER-style variance-adaptive version of the
+// lazy-walk estimator: it draws walk pairs in batches and stops as soon as
+// an empirical-Bernstein bound certifies that the running mean is within
+// Epsilon of the truncated series, instead of committing to a fixed sample
+// size up front. On easy queries (low variance — e.g. high-degree
+// endpoints, the d² factor in GEER's bound) it stops after a few batches;
+// on hard ones it keeps sampling up to MaxWalks.
+func AdaptiveLazyWalk(g *graph.Graph, s, t int, opts AdaptiveOptions, rng *randx.RNG) (AdaptiveResult, error) {
+	if err := g.ValidateVertex(s); err != nil {
+		return AdaptiveResult{}, err
+	}
+	if err := g.ValidateVertex(t); err != nil {
+		return AdaptiveResult{}, err
+	}
+	if s == t {
+		return AdaptiveResult{Converged: true}, nil
+	}
+	o := opts.withDefaults()
+	sampler := walk.NewSampler(g)
+	ds, dt := g.WeightedDegree(s), g.WeightedDegree(t)
+
+	// One sample = one lazy walk from s and one from t of length l,
+	// contributing the full telescoped series estimate
+	//   X = ½ Σ_i [ 1{W_s(i)=s}/d_s − 1{W_s(i)=t}/d_t
+	//              + 1{W_t(i)=t}/d_t − 1{W_t(i)=s}/d_s ].
+	// X is bounded: |X| ≤ (l+1)·(1/d_s + 1/d_t) =: B.
+	bound := float64(o.Length+1) * (1/ds + 1/dt)
+	drawOne := func() (float64, int64) {
+		var x float64
+		var steps int64
+		u := s
+		if u == s {
+			x += 0.5 / ds
+		}
+		for i := 1; i <= o.Length; i++ {
+			u = sampler.LazyStep(u, rng)
+			steps++
+			switch u {
+			case s:
+				x += 0.5 / ds
+			case t:
+				x -= 0.5 / dt
+			}
+		}
+		u = t
+		x += 0.5 / dt
+		for i := 1; i <= o.Length; i++ {
+			u = sampler.LazyStep(u, rng)
+			steps++
+			switch u {
+			case t:
+				x += 0.5 / dt
+			case s:
+				x -= 0.5 / ds
+			}
+		}
+		return x, steps
+	}
+
+	res := AdaptiveResult{}
+	var sum, sumSq float64
+	logTerm := math.Log(3 / o.Delta)
+	for res.Walks < o.MaxWalks {
+		for b := 0; b < o.BatchWalks && res.Walks < o.MaxWalks; b++ {
+			x, steps := drawOne()
+			sum += x
+			sumSq += x * x
+			res.Walks++
+			res.WalkSteps += steps
+		}
+		n := float64(res.Walks)
+		mean := sum / n
+		variance := math.Max(0, sumSq/n-mean*mean)
+		// Empirical Bernstein (Maurer & Pontil): with probability 1-δ,
+		// |mean - E[X]| ≤ sqrt(2·V·ln(3/δ)/n) + 3·B·ln(3/δ)/n.
+		half := math.Sqrt(2*variance*logTerm/n) + 3*bound*logTerm/n
+		res.Value = mean
+		res.HalfWidth = half
+		if half <= o.Epsilon {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,169 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/lap"
+	"landmarkrd/internal/randx"
+)
+
+func TestAdaptiveLazyWalkMatchesExact(t *testing.T) {
+	rng := randx.New(41)
+	g, err := graph.BarabasiAlbert(200, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, u := 3, 150
+	want, err := lap.ResistanceCG(g, s, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AdaptiveLazyWalk(g, s, u, AdaptiveOptions{Epsilon: 0.02, Length: 64}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	// The CI is on the truncated series; the truncation itself is tiny on
+	// this well-conditioned graph.
+	if math.Abs(res.Value-want) > res.HalfWidth+0.01 {
+		t.Errorf("adaptive = %v ± %v, want %v", res.Value, res.HalfWidth, want)
+	}
+}
+
+func TestAdaptiveStopsEarlierOnEasyQueries(t *testing.T) {
+	// Variance scales like 1/d², so hub-to-hub queries should need far
+	// fewer walks than leaf-to-leaf ones at the same epsilon.
+	rng := randx.New(42)
+	g, err := graph.BarabasiAlbert(500, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := g.TopKByDegree(2)
+	hubRes, err := AdaptiveLazyWalk(g, top[0], top[1], AdaptiveOptions{Epsilon: 0.02, Length: 48, BatchWalks: 64}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find two low-degree vertices.
+	lo1, lo2 := -1, -1
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) <= 4 {
+			if lo1 < 0 {
+				lo1 = u
+			} else {
+				lo2 = u
+				break
+			}
+		}
+	}
+	leafRes, err := AdaptiveLazyWalk(g, lo1, lo2, AdaptiveOptions{Epsilon: 0.02, Length: 48, BatchWalks: 64}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hubRes.Walks >= leafRes.Walks {
+		t.Errorf("hub query used %d walks, leaf query %d; adaptivity not effective",
+			hubRes.Walks, leafRes.Walks)
+	}
+}
+
+func TestAdaptiveBudgetExhaustion(t *testing.T) {
+	g, err := graph.Grid2D(15, 15, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AdaptiveLazyWalk(g, 0, 224, AdaptiveOptions{Epsilon: 1e-6, MaxWalks: 200, BatchWalks: 50}, randx.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("claimed convergence at an impossible epsilon under a tiny budget")
+	}
+	if res.Walks != 200 {
+		t.Errorf("used %d walks, want exactly the budget", res.Walks)
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	g, _ := graph.Cycle(6)
+	if _, err := AdaptiveLazyWalk(g, 0, 10, AdaptiveOptions{}, randx.New(1)); err == nil {
+		t.Error("invalid vertex accepted")
+	}
+	res, err := AdaptiveLazyWalk(g, 2, 2, AdaptiveOptions{}, randx.New(1))
+	if err != nil || res.Value != 0 || !res.Converged {
+		t.Errorf("AdaptiveLazyWalk(s,s) = %+v, %v", res, err)
+	}
+}
+
+func TestChebyshevMatchesExact(t *testing.T) {
+	rng := randx.New(60)
+	g, err := graph.BarabasiAlbert(300, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := lap.LanczosConditionNumber(g, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmin := 2 / spec.Kappa * 0.9 // slightly conservative lower bound
+	s, u := 3, 250
+	want, err := lap.ResistanceCG(g, s, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ChebyshevRD(g, s, u, ChebyshevOptions{Iterations: 64, LambdaMin: lmin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-want) > 1e-8 {
+		t.Errorf("Chebyshev = %v, want %v", res.Value, want)
+	}
+}
+
+func TestChebyshevBeatsPowerMethodAtEqualIterations(t *testing.T) {
+	// On a badly conditioned grid, the √κ acceleration must show: at the
+	// same matvec budget Chebyshev should be far more accurate than PM.
+	g, err := graph.Grid2D(25, 25, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(61)
+	spec, err := lap.LanczosConditionNumber(g, 120, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, u := 0, g.N()-1
+	want, err := lap.ResistanceCG(g, s, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 120
+	cheb, err := ChebyshevRD(g, s, u, ChebyshevOptions{Iterations: iters, LambdaMin: 2 / spec.Kappa * 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := PowerMethod(g, s, u, PowerMethodOptions{Steps: iters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chebErr := math.Abs(cheb.Value - want)
+	pmErr := math.Abs(pm.Value - want)
+	if chebErr*10 > pmErr {
+		t.Errorf("Chebyshev error %v not ≪ PM error %v at %d iterations", chebErr, pmErr, iters)
+	}
+}
+
+func TestChebyshevValidation(t *testing.T) {
+	g, _ := graph.Cycle(8)
+	if _, err := ChebyshevRD(g, 0, 3, ChebyshevOptions{}); err == nil {
+		t.Error("missing LambdaMin accepted")
+	}
+	if _, err := ChebyshevRD(g, 0, 9, ChebyshevOptions{LambdaMin: 0.1}); err == nil {
+		t.Error("invalid vertex accepted")
+	}
+	if r, err := ChebyshevRD(g, 2, 2, ChebyshevOptions{LambdaMin: 0.1}); err != nil || r.Value != 0 {
+		t.Errorf("Chebyshev(s,s) = %+v, %v", r, err)
+	}
+}

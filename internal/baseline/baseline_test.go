@@ -1,0 +1,216 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/lap"
+	"landmarkrd/internal/randx"
+)
+
+func TestPowerMethodConvergesToExact(t *testing.T) {
+	rng := randx.New(1)
+	g, err := graph.BarabasiAlbert(200, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, u := 3, 150
+	want, err := lap.ResistanceCG(g, s, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, steps := range []int{8, 32, 128, 512} {
+		res, err := PowerMethod(g, s, u, PowerMethodOptions{Steps: steps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := math.Abs(res.Value - want)
+		if e > prev*1.01 {
+			t.Errorf("steps=%d error %v did not improve on %v", steps, e, prev)
+		}
+		prev = e
+	}
+	if prev > 1e-8 {
+		t.Errorf("512-step PM error %v too large", prev)
+	}
+}
+
+func TestPowerMethodMonotoneFromBelow(t *testing.T) {
+	// Every series term is nonnegative, so the truncation underestimates.
+	g, _ := graph.Cycle(16)
+	want, _ := lap.ResistanceCG(g, 0, 8)
+	for _, steps := range []int{4, 16, 64} {
+		res, err := PowerMethod(g, 0, 8, PowerMethodOptions{Steps: steps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value > want+1e-9 {
+			t.Errorf("steps=%d PM value %v exceeds exact %v", steps, res.Value, want)
+		}
+	}
+}
+
+func TestPowerMethodEarlyStop(t *testing.T) {
+	g, err := graph.BarabasiAlbert(300, 4, randx.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PowerMethod(g, 1, 200, PowerMethodOptions{Steps: 100000, EarlyStopTol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps >= 100000 {
+		t.Errorf("early stop never triggered (steps=%d)", res.Steps)
+	}
+	want, _ := lap.ResistanceCG(g, 1, 200)
+	if math.Abs(res.Value-want) > 1e-6 {
+		t.Errorf("early-stopped PM = %v, want %v", res.Value, want)
+	}
+}
+
+func TestPowerMethodWeighted(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(1, 2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PowerMethod(g, 0, 2, PowerMethodOptions{Steps: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 + 1.0/3
+	if math.Abs(res.Value-want) > 1e-6 {
+		t.Errorf("weighted PM = %v, want %v", res.Value, want)
+	}
+}
+
+func TestPowerMethodValidation(t *testing.T) {
+	g, _ := graph.Cycle(5)
+	if _, err := PowerMethod(g, 0, 9, PowerMethodOptions{}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	res, err := PowerMethod(g, 2, 2, PowerMethodOptions{})
+	if err != nil || res.Value != 0 {
+		t.Errorf("PM(s,s) = %v, %v", res.Value, err)
+	}
+}
+
+func TestGroundTruthSteps(t *testing.T) {
+	if GroundTruthSteps(10, 1e-4) >= GroundTruthSteps(100, 1e-4) {
+		t.Error("steps should grow with kappa")
+	}
+	if GroundTruthSteps(10, 1e-2) >= GroundTruthSteps(10, 1e-6) {
+		t.Error("steps should grow as eps shrinks")
+	}
+	if GroundTruthSteps(0, 0) < 32 {
+		t.Error("degenerate inputs under the floor")
+	}
+	if GroundTruthSteps(1e9, 1e-9) > 5e6 {
+		t.Error("cap not applied")
+	}
+}
+
+func TestLazyWalkRDConverges(t *testing.T) {
+	rng := randx.New(3)
+	g, err := graph.BarabasiAlbert(150, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, u := 2, 100
+	want, err := lap.ResistanceCG(g, s, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LazyWalkRD(g, s, u, LazyWalkOptions{Length: 64, Walks: 30000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-want) > 0.05*math.Max(want, 0.2) {
+		t.Errorf("LazyWalkRD = %v, want %v", res.Value, want)
+	}
+	if res.Walks != 60000 || res.WalkSteps <= 0 {
+		t.Errorf("work accounting: %+v", res)
+	}
+}
+
+func TestLazyWalkFreshMatchesReuse(t *testing.T) {
+	// Both modes are unbiased for the truncated series; their large-sample
+	// values must agree.
+	rng := randx.New(4)
+	g, err := graph.ErdosRenyiGNM(80, 320, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, u := 1, 60
+	reuse, err := LazyWalkRD(g, s, u, LazyWalkOptions{Length: 24, Walks: 40000}, randx.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := LazyWalkRD(g, s, u, LazyWalkOptions{Length: 24, Walks: 3000, Fresh: true}, randx.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(reuse.Value-fresh.Value) > 0.05 {
+		t.Errorf("reuse %v vs fresh %v", reuse.Value, fresh.Value)
+	}
+}
+
+func TestLazyWalkValidation(t *testing.T) {
+	g, _ := graph.Cycle(5)
+	if _, err := LazyWalkRD(g, -1, 2, LazyWalkOptions{}, randx.New(1)); err == nil {
+		t.Error("invalid vertex accepted")
+	}
+	res, err := LazyWalkRD(g, 2, 2, LazyWalkOptions{}, randx.New(1))
+	if err != nil || res.Value != 0 {
+		t.Errorf("LazyWalk(s,s) = %v, %v", res.Value, err)
+	}
+}
+
+func TestCommuteMCMatchesExact(t *testing.T) {
+	rng := randx.New(7)
+	g, err := graph.BarabasiAlbert(100, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, u := 0, 80
+	want, err := lap.ResistanceCG(g, s, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CommuteMC(g, s, u, CommuteMCOptions{Walks: 3000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Error("walks truncated unexpectedly")
+	}
+	if math.Abs(res.Value-want) > 0.1*math.Max(want, 0.2) {
+		t.Errorf("CommuteMC = %v, want %v", res.Value, want)
+	}
+}
+
+func TestCommuteMCTruncation(t *testing.T) {
+	g, _ := graph.Grid2D(15, 15, 0, nil)
+	res, err := CommuteMC(g, 0, 224, CommuteMCOptions{Walks: 5, MaxSteps: 2}, randx.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Error("2-step budget not reported as truncated")
+	}
+}
+
+func TestCommuteMCValidation(t *testing.T) {
+	g, _ := graph.Cycle(5)
+	if _, err := CommuteMC(g, 0, 9, CommuteMCOptions{}, randx.New(1)); err == nil {
+		t.Error("invalid vertex accepted")
+	}
+	res, err := CommuteMC(g, 1, 1, CommuteMCOptions{}, randx.New(1))
+	if err != nil || res.Value != 0 {
+		t.Errorf("CommuteMC(s,s) = %v, %v", res.Value, err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package baseline implements the competitor algorithms the paper compares
+// against: the global Power Method on the lazy-walk Taylor expansion, the
+// local lazy-random-walk collision estimator of Peng et al., and the
+// classic commute-time Monte Carlo estimator.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/randx"
+	"landmarkrd/internal/walk"
+)
+
+// PowerMethodOptions configures the truncated-series Power Method.
+type PowerMethodOptions struct {
+	// Steps is the truncation length l. With l = 2κ·log(κ/ε) the result is
+	// an ε-absolute approximation. Default 200.
+	Steps int
+	// EarlyStopTol stops the iteration early once the per-step increment
+	// of the estimate falls below this threshold for 10 consecutive steps
+	// (0 disables early stopping).
+	EarlyStopTol float64
+}
+
+// PowerMethodResult reports the estimate and the work done.
+type PowerMethodResult struct {
+	Value float64
+	Steps int
+}
+
+// PowerMethod computes the truncated series
+//
+//	r̂(s,t) = ½ (e_s − e_t)ᵀ Σ_{k=0}^{l} D⁻¹ ((I + P)/2)ᵏ (e_s − e_t)
+//
+// with P = A D⁻¹, exactly as Algorithm 1 of the literature: one dense
+// vector iterated by a full matrix-vector product per step, cost O(l·m).
+// It doubles as the ground-truth generator when Steps is large.
+func PowerMethod(g *graph.Graph, s, t int, opts PowerMethodOptions) (PowerMethodResult, error) {
+	if err := g.ValidateVertex(s); err != nil {
+		return PowerMethodResult{}, err
+	}
+	if err := g.ValidateVertex(t); err != nil {
+		return PowerMethodResult{}, err
+	}
+	if s == t {
+		return PowerMethodResult{}, nil
+	}
+	steps := opts.Steps
+	if steps <= 0 {
+		steps = 200
+	}
+	n := g.N()
+	r := make([]float64, n)
+	next := make([]float64, n)
+	r[s] = 1
+	r[t] = -1
+	ds, dt := g.WeightedDegree(s), g.WeightedDegree(t)
+	res := PowerMethodResult{}
+	small := 0
+	for k := 0; k <= steps; k++ {
+		inc := r[s]/(2*ds) - r[t]/(2*dt)
+		res.Value += inc
+		res.Steps = k
+		if opts.EarlyStopTol > 0 {
+			if math.Abs(inc) < opts.EarlyStopTol {
+				small++
+				if small >= 10 {
+					break
+				}
+			} else {
+				small = 0
+			}
+		}
+		if k == steps {
+			break
+		}
+		// next = (I + P)/2 · r, with P = A D⁻¹ (column-stochastic):
+		// next[u] = ½ r[u] + ½ Σ_{w∈N(u)} (w_uw / d_w) r[w].
+		for u := 0; u < n; u++ {
+			sum := 0.0
+			g.ForEachNeighbor(u, func(w int32, wt float64) {
+				sum += wt * r[w] / g.WeightedDegree(int(w))
+			})
+			next[u] = 0.5*r[u] + 0.5*sum
+		}
+		r, next = next, r
+	}
+	return res, nil
+}
+
+// GroundTruthSteps returns a truncation length sufficient for ε-absolute
+// error given an estimate of the condition number κ: l = ⌈2κ·ln(κ/ε)⌉.
+func GroundTruthSteps(kappa, eps float64) int {
+	if kappa < 2 {
+		kappa = 2
+	}
+	if eps <= 0 {
+		eps = 1e-7
+	}
+	l := 2 * kappa * math.Log(kappa/eps)
+	if l < 32 {
+		l = 32
+	}
+	if l > 5e6 {
+		l = 5e6
+	}
+	return int(math.Ceil(l))
+}
+
+// CommuteMCOptions configures the commute-time Monte Carlo estimator.
+type CommuteMCOptions struct {
+	// Walks is the number of round trips sampled (default 200).
+	Walks int
+	// MaxSteps truncates each one-way walk (default 200·n).
+	MaxSteps int
+}
+
+// CommuteMCResult reports the estimate and sampling effort.
+type CommuteMCResult struct {
+	Value     float64
+	Walks     int
+	WalkSteps int64
+	Truncated bool
+}
+
+// CommuteMC estimates r(s,t) from the commute-time identity
+// C(s,t) = h(s,t) + h(t,s) = Vol(G)·r(s,t) by simulating round trips.
+func CommuteMC(g *graph.Graph, s, t int, opts CommuteMCOptions, rng *randx.RNG) (CommuteMCResult, error) {
+	if err := g.ValidateVertex(s); err != nil {
+		return CommuteMCResult{}, err
+	}
+	if err := g.ValidateVertex(t); err != nil {
+		return CommuteMCResult{}, err
+	}
+	if s == t {
+		return CommuteMCResult{}, nil
+	}
+	walks := opts.Walks
+	if walks <= 0 {
+		walks = 200
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 200 * g.N()
+	}
+	sampler := walk.NewSampler(g)
+	res := CommuteMCResult{Walks: walks}
+	var total int64
+	for i := 0; i < walks; i++ {
+		st1, ok1 := sampler.HittingTime(s, t, maxSteps, rng)
+		st2, ok2 := sampler.HittingTime(t, s, maxSteps, rng)
+		total += int64(st1 + st2)
+		if !ok1 || !ok2 {
+			res.Truncated = true
+		}
+	}
+	res.WalkSteps = total
+	vol := g.Volume()
+	if vol == 0 {
+		return res, fmt.Errorf("baseline: zero-volume graph")
+	}
+	res.Value = float64(total) / float64(walks) / vol
+	return res, nil
+}

@@ -1,0 +1,104 @@
+package chol
+
+import (
+	"testing"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/lap"
+	"landmarkrd/internal/linalg"
+	"landmarkrd/internal/randx"
+)
+
+// Ablation: elimination order. MinDegree should produce fewer fill edges
+// and a better preconditioner than RandomOrder on grids.
+
+func benchGrid(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := graph.Grid2D(60, 60, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchFactor(b *testing.B, order Order) {
+	g := benchGrid(b)
+	var fill int64
+	for i := 0; i < b.N; i++ {
+		f, err := NewFactor(g, 0, Options{Seed: uint64(i) + 1, Order: order})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fill = f.FillEdges()
+	}
+	b.ReportMetric(float64(fill), "fill-edges")
+}
+
+func BenchmarkFactorMinDegree(b *testing.B)   { benchFactor(b, MinDegree) }
+func BenchmarkFactorRandomOrder(b *testing.B) { benchFactor(b, RandomOrder) }
+
+func benchPCGIterations(b *testing.B, order Order) {
+	g := benchGrid(b)
+	f, err := NewFactor(g, 0, Options{Seed: 1, Order: order})
+	if err != nil {
+		b.Fatal(err)
+	}
+	op := &lap.Grounded{G: g, Landmark: 0}
+	rhs := make([]float64, g.N())
+	rhs[g.N()-1] = 1
+	rhs[g.N()/2] = -1
+	var iters int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, g.N())
+		res, err := linalg.CG(op, x, rhs, linalg.CGOptions{Tol: 1e-8, Precond: f})
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters = res.Iterations
+	}
+	b.ReportMetric(float64(iters), "cg-iters")
+}
+
+func BenchmarkPCGMinDegree(b *testing.B)   { benchPCGIterations(b, MinDegree) }
+func BenchmarkPCGRandomOrder(b *testing.B) { benchPCGIterations(b, RandomOrder) }
+
+func BenchmarkPCGJacobiBaseline(b *testing.B) {
+	g := benchGrid(b)
+	op := &lap.Grounded{G: g, Landmark: 0}
+	rhs := make([]float64, g.N())
+	rhs[g.N()-1] = 1
+	rhs[g.N()/2] = -1
+	var iters int
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, g.N())
+		res, err := linalg.CG(op, x, rhs, linalg.CGOptions{Tol: 1e-8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters = res.Iterations
+	}
+	b.ReportMetric(float64(iters), "cg-iters")
+}
+
+func BenchmarkSolverResistanceAmortized(b *testing.B) {
+	g, err := graph.BarabasiAlbert(3000, 4, randx.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSolver(g, g.MaxDegreeVertex(), 1e-8, Options{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		if u == v {
+			continue
+		}
+		if _, err := s.Resistance(u, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

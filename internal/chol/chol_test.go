@@ -1,0 +1,221 @@
+package chol
+
+import (
+	"math"
+	"testing"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/lap"
+	"landmarkrd/internal/linalg"
+	"landmarkrd/internal/randx"
+)
+
+func TestSolverMatchesExactResistance(t *testing.T) {
+	graphs := []struct {
+		name string
+		gen  func() (*graph.Graph, error)
+	}{
+		{"ba", func() (*graph.Graph, error) { return graph.BarabasiAlbert(400, 4, randx.New(1)) }},
+		{"grid", func() (*graph.Graph, error) { return graph.Grid2D(20, 20, 0, nil) }},
+		{"ws", func() (*graph.Graph, error) { return graph.WattsStrogatz(300, 3, 0.1, randx.New(2)) }},
+	}
+	for _, gc := range graphs {
+		t.Run(gc.name, func(t *testing.T) {
+			g, err := gc.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			lm := g.MaxDegreeVertex()
+			s, err := NewSolver(g, lm, 1e-10, Options{Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pairs := [][2]int{{1, g.N() - 1}, {2, g.N() / 2}, {lm, 5}}
+			for _, p := range pairs {
+				if p[0] == p[1] {
+					continue
+				}
+				want, err := lap.ResistanceCG(g, p[0], p[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := s.Resistance(p[0], p[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(got-want) > 1e-6 {
+					t.Errorf("r%v = %v, want %v", p, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestPreconditionerBeatsJacobiOnGrid(t *testing.T) {
+	// The entire point of the approximate Cholesky factor: far fewer CG
+	// iterations than Jacobi on a badly conditioned (grid) Laplacian.
+	g, err := graph.Grid2D(50, 50, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := 0
+	op := &lap.Grounded{G: g, Landmark: lm}
+	b := make([]float64, g.N())
+	b[g.N()-1] = 1
+	b[g.N()/2] = -1
+
+	x := make([]float64, g.N())
+	jacobi, err := linalg.CG(op, x, b, linalg.CGOptions{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := NewFactor(g, lm, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linalg.Zero(x)
+	pre, err := linalg.CG(op, x, b, linalg.CGOptions{Tol: 1e-8, Precond: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Iterations*2 > jacobi.Iterations {
+		t.Errorf("approx-Cholesky CG took %d iterations vs Jacobi %d; preconditioner ineffective",
+			pre.Iterations, jacobi.Iterations)
+	}
+}
+
+func TestPreconditionerIsSymmetric(t *testing.T) {
+	// CG requires a symmetric preconditioner: check <M⁻¹x, y> = <x, M⁻¹y>.
+	g, err := graph.BarabasiAlbert(120, 3, randx.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFactor(g, 0, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(6)
+	n := g.N()
+	x := make([]float64, n)
+	y := make([]float64, n)
+	mx := make([]float64, n)
+	my := make([]float64, n)
+	for trial := 0; trial < 5; trial++ {
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		x[0], y[0] = 0, 0
+		f.Precondition(mx, x)
+		f.Precondition(my, y)
+		lhs := linalg.Dot(mx, y)
+		rhs := linalg.Dot(x, my)
+		if math.Abs(lhs-rhs) > 1e-8*math.Max(1, math.Abs(lhs)) {
+			t.Fatalf("asymmetric preconditioner: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestFactorExactOnTree(t *testing.T) {
+	// On a tree there are no cliques to sparsify (every elimination has
+	// k-1 fill edges but the sampled edge equals the exact Schur edge
+	// when k<=2 along the elimination), so M⁻¹ must solve the system
+	// essentially exactly: CG should converge in O(1) iterations.
+	g, err := graph.RandomTree(300, randx.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFactor(g, 0, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := &lap.Grounded{G: g, Landmark: 0}
+	b := make([]float64, g.N())
+	b[5] = 1
+	b[250] = -1
+	x := make([]float64, g.N())
+	res, err := linalg.CG(op, x, b, linalg.CGOptions{Tol: 1e-10, Precond: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 5 {
+		t.Errorf("tree solve took %d iterations, want <= 5", res.Iterations)
+	}
+}
+
+func TestFactorDeterministic(t *testing.T) {
+	g, err := graph.BarabasiAlbert(150, 3, randx.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := NewFactor(g, 2, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := NewFactor(g, 2, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.FillEdges() != f2.FillEdges() {
+		t.Error("same seed produced different factorizations")
+	}
+	x := make([]float64, g.N())
+	x[7] = 1
+	a := make([]float64, g.N())
+	b := make([]float64, g.N())
+	f1.Precondition(a, x)
+	f2.Precondition(b, x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("preconditioner output differs at %d", i)
+		}
+	}
+}
+
+func TestSolverValidation(t *testing.T) {
+	g, _ := graph.Cycle(10)
+	if _, err := NewSolver(g, 99, 0, Options{}); err == nil {
+		t.Error("invalid landmark accepted")
+	}
+	s, err := NewSolver(g, 0, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Resistance(0, 42); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if r, err := s.Resistance(4, 4); err != nil || r != 0 {
+		t.Errorf("r(4,4) = %v, %v", r, err)
+	}
+	// Disconnected graphs must be rejected at factorization.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	dg, _ := b.Build()
+	if _, err := NewFactor(dg, 0, Options{}); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}
+
+func TestSolverWeighted(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(1, 2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(g, 1, 1e-11, Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Resistance(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 + 1.0/3
+	if math.Abs(r-want) > 1e-8 {
+		t.Errorf("weighted r = %v, want %v", r, want)
+	}
+}

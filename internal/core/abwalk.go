@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/randx"
+	"landmarkrd/internal/walk"
+)
+
+// AbWalkOptions controls the absorbed-walk Monte Carlo estimator.
+type AbWalkOptions struct {
+	// Walks is the number of absorbed walks sampled from each endpoint
+	// (default 2000).
+	Walks int
+	// MaxSteps truncates each walk (default 100·n, effectively no
+	// truncation on the benchmark graphs; truncation introduces a small
+	// negative bias on τ and is reported via Converged == false).
+	MaxSteps int
+}
+
+func (o *AbWalkOptions) withDefaults(n int) AbWalkOptions {
+	out := *o
+	if out.Walks <= 0 {
+		out.Walks = 2000
+	}
+	if out.MaxSteps <= 0 {
+		out.MaxSteps = 100 * n
+		if out.MaxSteps < 100000 {
+			out.MaxSteps = 100000
+		}
+	}
+	return out
+}
+
+// AbWalkEstimator answers pairwise queries with absorbed-walk sampling:
+// all four τ terms of the landmark identity are unbiased sample means of
+// visit counts.
+type AbWalkEstimator struct {
+	g        *graph.Graph
+	landmark int
+	sampler  *walk.Sampler
+	opts     AbWalkOptions
+	rng      *randx.RNG
+}
+
+// NewAbWalkEstimator builds an absorbed-walk estimator with landmark v.
+func NewAbWalkEstimator(g *graph.Graph, landmark int, opts AbWalkOptions, rng *randx.RNG) (*AbWalkEstimator, error) {
+	if err := g.ValidateVertex(landmark); err != nil {
+		return nil, err
+	}
+	return &AbWalkEstimator{
+		g:        g,
+		landmark: landmark,
+		sampler:  walk.NewSampler(g),
+		opts:     opts,
+		rng:      rng,
+	}, nil
+}
+
+// Landmark returns the landmark vertex.
+func (e *AbWalkEstimator) Landmark() int { return e.landmark }
+
+// Pair estimates r(s,t) from 2·Walks absorbed walks.
+func (e *AbWalkEstimator) Pair(s, t int) (Estimate, error) {
+	if err := validateQuery(e.g, e.landmark, s, t); err != nil {
+		return Estimate{}, err
+	}
+	if s == t {
+		return Estimate{Converged: true}, nil
+	}
+	o := e.opts.withDefaults(e.g.N())
+
+	var visitSS, visitST, visitTT, visitTS float64
+	var steps int64
+	truncated := false
+	for i := 0; i < o.Walks; i++ {
+		st, abs := e.sampler.AbsorbedVisits(s, e.landmark, o.MaxSteps, e.rng, func(u int) {
+			switch u {
+			case s:
+				visitSS++
+			case t:
+				visitST++
+			}
+		})
+		steps += int64(st)
+		truncated = truncated || !abs
+		st, abs = e.sampler.AbsorbedVisits(t, e.landmark, o.MaxSteps, e.rng, func(u int) {
+			switch u {
+			case t:
+				visitTT++
+			case s:
+				visitTS++
+			}
+		})
+		steps += int64(st)
+		truncated = truncated || !abs
+	}
+	nr := float64(o.Walks)
+	ds, dt := e.g.WeightedDegree(s), e.g.WeightedDegree(t)
+	val := visitSS/(nr*ds) + visitTT/(nr*dt) - visitST/(nr*dt) - visitTS/(nr*ds)
+	return Estimate{
+		Value:     val,
+		Walks:     2 * o.Walks,
+		WalkSteps: steps,
+		Converged: !truncated,
+	}, nil
+}
+
+// PairWithCI additionally returns a normal-approximation half-width for a
+// 95% confidence interval on the estimate, from the per-walk sample
+// variance of the combined statistic.
+func (e *AbWalkEstimator) PairWithCI(s, t int) (Estimate, float64, error) {
+	if err := validateQuery(e.g, e.landmark, s, t); err != nil {
+		return Estimate{}, 0, err
+	}
+	if s == t {
+		return Estimate{Converged: true}, 0, nil
+	}
+	o := e.opts.withDefaults(e.g.N())
+	ds, dt := e.g.WeightedDegree(s), e.g.WeightedDegree(t)
+
+	var sum, sumSq float64
+	var steps int64
+	truncated := false
+	for i := 0; i < o.Walks; i++ {
+		var vSS, vST, vTT, vTS float64
+		st, abs := e.sampler.AbsorbedVisits(s, e.landmark, o.MaxSteps, e.rng, func(u int) {
+			switch u {
+			case s:
+				vSS++
+			case t:
+				vST++
+			}
+		})
+		steps += int64(st)
+		truncated = truncated || !abs
+		st, abs = e.sampler.AbsorbedVisits(t, e.landmark, o.MaxSteps, e.rng, func(u int) {
+			switch u {
+			case t:
+				vTT++
+			case s:
+				vTS++
+			}
+		})
+		steps += int64(st)
+		truncated = truncated || !abs
+		x := vSS/ds + vTT/dt - vST/dt - vTS/ds
+		sum += x
+		sumSq += x * x
+	}
+	nr := float64(o.Walks)
+	mean := sum / nr
+	variance := math.Max(0, sumSq/nr-mean*mean)
+	half := 1.96 * math.Sqrt(variance/nr)
+	return Estimate{
+		Value:     mean,
+		Walks:     2 * o.Walks,
+		WalkSteps: steps,
+		Converged: !truncated,
+	}, half, nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sort"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/randx"
+	"landmarkrd/internal/walk"
+)
+
+// BiPushOptions controls the bidirectional estimator.
+type BiPushOptions struct {
+	// PushTheta is the degree-normalized residual threshold of the
+	// deterministic phase (default 1e-2). Looser than a standalone Push:
+	// Monte Carlo removes the remaining bias.
+	PushTheta float64
+	// Walks is the number of residual-correction walks per endpoint
+	// (default 500). A negative value disables the Monte Carlo correction
+	// entirely, degenerating BiPush to plain Push (useful for ablations).
+	Walks int
+	// MaxSteps truncates each correction walk (default as in AbWalk).
+	MaxSteps int
+	// MaxOps bounds the push phase.
+	MaxOps int64
+}
+
+func (o *BiPushOptions) withDefaults(n int) BiPushOptions {
+	out := *o
+	if out.PushTheta <= 0 {
+		out.PushTheta = 1e-2
+	}
+	if out.Walks == 0 {
+		out.Walks = 500
+	} else if out.Walks < 0 {
+		out.Walks = 0
+	}
+	if out.MaxSteps <= 0 {
+		out.MaxSteps = 100 * n
+		if out.MaxSteps < 100000 {
+			out.MaxSteps = 100000
+		}
+	}
+	return out
+}
+
+// BiPushEstimator combines a cheap grounded push with absorbed walks
+// started from the residual distribution. The push invariant
+//
+//	τ(s,x) = est(x) + Σ_u res(u)·τ(u,x)
+//
+// makes the correction term an expectation over u ~ res/‖res‖₁ of
+// ‖res‖₁·τ(u,x), so sampling absorbed walks from the residuals yields an
+// unbiased final estimate whose variance is damped by the (small) ‖res‖₁.
+type BiPushEstimator struct {
+	pusher  *Pusher
+	sampler *walk.Sampler
+	opts    BiPushOptions
+	rng     *randx.RNG
+}
+
+// NewBiPushEstimator builds a bidirectional estimator with landmark v.
+func NewBiPushEstimator(g *graph.Graph, landmark int, opts BiPushOptions, rng *randx.RNG) (*BiPushEstimator, error) {
+	p, err := NewPusher(g, landmark)
+	if err != nil {
+		return nil, err
+	}
+	return &BiPushEstimator{
+		pusher:  p,
+		sampler: walk.NewSampler(g),
+		opts:    opts,
+		rng:     rng,
+	}, nil
+}
+
+// Landmark returns the landmark vertex.
+func (e *BiPushEstimator) Landmark() int { return e.pusher.landmark }
+
+// sideResult carries one endpoint's push + correction outcome.
+type sideResult struct {
+	tauToS, tauToT float64 // corrected τ(side, s) and τ(side, t)
+	stats          PushStats
+	walks          int
+	steps          int64
+	truncated      bool
+}
+
+// runSide pushes from src and corrects τ(src, s) and τ(src, t) by walks.
+func (e *BiPushEstimator) runSide(src, s, t int, o BiPushOptions) (sideResult, error) {
+	res := sideResult{}
+	stats, err := e.pusher.Run(src, PushOptions{Theta: o.PushTheta, MaxOps: o.MaxOps})
+	if err != nil {
+		return res, err
+	}
+	res.stats = stats
+	res.tauToS = e.pusher.Estimate(s)
+	res.tauToT = e.pusher.Estimate(t)
+
+	nodes, values := e.pusher.Residuals()
+	if len(nodes) == 0 || o.Walks == 0 {
+		return res, nil
+	}
+	// Build the cumulative residual distribution for sampling.
+	cum := make([]float64, len(values))
+	total := 0.0
+	for i, v := range values {
+		total += v
+		cum[i] = total
+	}
+	if total <= 0 {
+		return res, nil
+	}
+	var visS, visT float64
+	v := e.pusher.landmark
+	for i := 0; i < o.Walks; i++ {
+		target := e.rng.Float64() * total
+		idx := sort.SearchFloat64s(cum, target)
+		if idx >= len(nodes) {
+			idx = len(nodes) - 1
+		}
+		u := int(nodes[idx])
+		st, abs := e.sampler.AbsorbedVisits(u, v, o.MaxSteps, e.rng, func(x int) {
+			switch x {
+			case s:
+				visS++
+			case t:
+				visT++
+			}
+		})
+		res.steps += int64(st)
+		res.truncated = res.truncated || !abs
+	}
+	res.walks = o.Walks
+	scale := total / float64(o.Walks)
+	res.tauToS += visS * scale
+	res.tauToT += visT * scale
+	return res, nil
+}
+
+// Pair estimates r(s,t) bidirectionally.
+func (e *BiPushEstimator) Pair(s, t int) (Estimate, error) {
+	g := e.pusher.g
+	if err := validateQuery(g, e.pusher.landmark, s, t); err != nil {
+		return Estimate{}, err
+	}
+	if s == t {
+		return Estimate{Converged: true}, nil
+	}
+	o := e.opts.withDefaults(g.N())
+
+	fromS, err := e.runSide(s, s, t, o)
+	if err != nil {
+		return Estimate{}, err
+	}
+	fromT, err := e.runSide(t, s, t, o)
+	if err != nil {
+		return Estimate{}, err
+	}
+	ds, dt := g.WeightedDegree(s), g.WeightedDegree(t)
+	val := fromS.tauToS/ds + fromT.tauToT/dt - fromS.tauToT/dt - fromT.tauToS/ds
+	return Estimate{
+		Value:     val,
+		Walks:     fromS.walks + fromT.walks,
+		WalkSteps: fromS.steps + fromT.steps,
+		PushOps:   fromS.stats.Ops + fromT.stats.Ops,
+		Converged: fromS.stats.Converged && fromT.stats.Converged && !fromS.truncated && !fromT.truncated,
+	}, nil
+}

@@ -1,0 +1,47 @@
+// Package core implements the landmark-based resistance-distance framework
+// that is this repository's primary contribution (reconstructed from
+// "Efficient Resistance Distance Computation: The Power of Landmark-based
+// Approaches", SIGMOD 2023 — see DESIGN.md for the reconstruction notice).
+//
+// # The landmark identities
+//
+// Fix a landmark vertex v of a connected graph G and let L_v denote the
+// grounded Laplacian (L with row and column v removed; nonsingular).
+// Let P_v = D_v⁻¹ A_v be the v-absorbed transition matrix and let τ_v(s,t)
+// be the expected number of visits to t of a random walk started at s and
+// absorbed at v (the start counts as a visit; τ_v(s,t) = 0 when s = v).
+//
+//  1. L_v⁻¹ = Σ_{k≥0} P_vᵏ D_v⁻¹, hence L_v⁻¹[s,t] = τ_v(s,t)/d_t, where
+//     d_t is the weighted degree.
+//  2. Reversibility gives the symmetry τ_v(s,t)/d_t = τ_v(t,s)/d_s.
+//  3. For s,t ≠ v:
+//     r(s,t) = L_v⁻¹[s,s] − 2 L_v⁻¹[s,t] + L_v⁻¹[t,t]
+//     = τ(s,s)/d_s + τ(t,t)/d_t − τ(s,t)/d_t − τ(t,s)/d_s,
+//     and r(s,v) = L_v⁻¹[s,s] = τ(s,s)/d_s.
+//  4. The cost of sampling one absorbed walk from s is the hitting time
+//     h(s,v) in expectation, so a good landmark is one the walk finds
+//     quickly — hubs in social networks; nothing, unfortunately, in road
+//     networks. This asymmetry drives the entire experimental story.
+//
+// # Algorithms
+//
+// AbWalk estimates the four τ terms by direct absorbed-walk sampling —
+// unbiased, cost ≈ nr·(h(s,v)+h(t,v)).
+//
+// Push computes τ_v(s,·) deterministically and locally by forward push on
+// the grounded system, maintaining the invariant
+//
+//	τ(s,x) = est(x) + Σ_u res(u)·τ(u,x)      for all x,
+//
+// with nonnegative residuals, which yields the a-posteriori error bound
+// 0 ≤ τ(s,x) − est(x) ≤ ‖res‖₁·τ(x,x), i.e. in resistance units
+// ‖res‖₁·r(x,v).
+//
+// BiPush runs a cheap Push and then removes its bias with absorbed walks
+// started from the residual distribution — the bidirectional trick of
+// personalized-PageRank estimators transplanted to the grounded system.
+// The result is unbiased with variance proportional to ‖res‖₁².
+//
+// The Index precomputes the diagonal r(t,v) = L_v⁻¹[t,t] for all t, which
+// turns single-source queries into one grounded column computation.
+package core

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"landmarkrd/internal/graph"
+)
+
+// Estimate is the result of a pairwise resistance query.
+type Estimate struct {
+	// Value is the estimated resistance distance.
+	Value float64
+	// ErrBound is an a-posteriori additive error bound when the algorithm
+	// provides one (Push); 0 means "no deterministic bound".
+	ErrBound float64
+	// Walks is the number of absorbed random walks sampled.
+	Walks int
+	// WalkSteps is the total number of random-walk steps taken.
+	WalkSteps int64
+	// PushOps is the number of push edge-relaxations performed.
+	PushOps int64
+	// Converged is false when a budget (MaxOps / MaxSteps) was exhausted
+	// before the accuracy target was met; Value is still the best
+	// available estimate.
+	Converged bool
+}
+
+// Common errors returned by query validation.
+var (
+	ErrSameVertex       = errors.New("core: s == t (resistance is 0)")
+	ErrLandmarkConflict = errors.New("core: landmark coincides with a query vertex")
+)
+
+// validateQuery checks a pair query against graph and landmark.
+func validateQuery(g *graph.Graph, landmark, s, t int) error {
+	if err := g.ValidateVertex(s); err != nil {
+		return err
+	}
+	if err := g.ValidateVertex(t); err != nil {
+		return err
+	}
+	if err := g.ValidateVertex(landmark); err != nil {
+		return fmt.Errorf("core: invalid landmark: %w", err)
+	}
+	if s == landmark || t == landmark {
+		return ErrLandmarkConflict
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/lap"
+	"landmarkrd/internal/randx"
+	"landmarkrd/internal/sketch"
+	"landmarkrd/internal/walk"
+)
+
+// DiagMode selects how the landmark index builds the diagonal
+// r(t, v) = L_v⁻¹[t,t] for all t.
+type DiagMode int
+
+const (
+	// DiagExactCG solves one grounded system per vertex — O(n) CG solves,
+	// exact to solver tolerance. Only sensible for small graphs.
+	DiagExactCG DiagMode = iota
+	// DiagMC estimates τ(t,t) = E[visits to t of a v-absorbed walk from t]
+	// by sampling; cost per vertex is the hitting time h(t, v).
+	DiagMC
+	// DiagSketch reads r(t,v) off a Spielman-Srivastava sketch; build cost
+	// is O(log n / ε²) Laplacian solves total.
+	DiagSketch
+)
+
+// String implements fmt.Stringer.
+func (m DiagMode) String() string {
+	switch m {
+	case DiagExactCG:
+		return "exact-cg"
+	case DiagMC:
+		return "mc"
+	case DiagSketch:
+		return "sketch"
+	default:
+		return fmt.Sprintf("diagmode(%d)", int(m))
+	}
+}
+
+// IndexOptions configures BuildIndex.
+type IndexOptions struct {
+	Mode DiagMode
+	// WalksPerVertex is the DiagMC sample count (default 64).
+	WalksPerVertex int
+	// MaxSteps truncates DiagMC walks (default 100·n).
+	MaxSteps int
+	// SketchEpsilon is the DiagSketch relative-error target (default 0.3).
+	SketchEpsilon float64
+	// Tol is the DiagExactCG solver tolerance (default lap.ExactTol).
+	Tol float64
+}
+
+// Index is the landmark index: the grounded diagonal r(t,v) for all t.
+// With it, a single-source query reduces to one grounded column
+// computation:
+//
+//	r(s,t) = L_v⁻¹[s,s] − 2·L_v⁻¹[s,t] + Diag[t].
+type Index struct {
+	G        *graph.Graph
+	Landmark int
+	// Diag[t] ≈ r(t, v); Diag[v] = 0.
+	Diag []float64
+	Mode DiagMode
+}
+
+// BuildIndex constructs the diagonal index for landmark v.
+func BuildIndex(g *graph.Graph, landmark int, opts IndexOptions, rng *randx.RNG) (*Index, error) {
+	if err := g.ValidateVertex(landmark); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	idx := &Index{G: g, Landmark: landmark, Diag: make([]float64, n), Mode: opts.Mode}
+	switch opts.Mode {
+	case DiagExactCG:
+		tol := opts.Tol
+		if tol <= 0 {
+			tol = lap.ExactTol
+		}
+		b := make([]float64, n)
+		for t := 0; t < n; t++ {
+			if t == landmark {
+				continue
+			}
+			b[t] = 1
+			x, _, err := lap.GroundedSolve(g, landmark, b, tol)
+			b[t] = 0
+			if err != nil {
+				return nil, fmt.Errorf("core: index diag solve at %d: %w", t, err)
+			}
+			idx.Diag[t] = x[t]
+		}
+	case DiagMC:
+		walks := opts.WalksPerVertex
+		if walks <= 0 {
+			walks = 64
+		}
+		maxSteps := opts.MaxSteps
+		if maxSteps <= 0 {
+			maxSteps = 100 * n
+			if maxSteps < 100000 {
+				maxSteps = 100000
+			}
+		}
+		sampler := walk.NewSampler(g)
+		for t := 0; t < n; t++ {
+			if t == landmark {
+				continue
+			}
+			var visits float64
+			for i := 0; i < walks; i++ {
+				sampler.AbsorbedVisits(t, landmark, maxSteps, rng, func(u int) {
+					if u == t {
+						visits++
+					}
+				})
+			}
+			idx.Diag[t] = visits / (float64(walks) * g.WeightedDegree(t))
+		}
+	case DiagSketch:
+		eps := opts.SketchEpsilon
+		if eps <= 0 {
+			eps = 0.3
+		}
+		sk, err := sketch.Build(g, sketch.Options{Epsilon: eps}, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: index sketch: %w", err)
+		}
+		diag, err := sk.ResistancesFrom(landmark)
+		if err != nil {
+			return nil, err
+		}
+		idx.Diag = diag
+		idx.Diag[landmark] = 0
+	default:
+		return nil, fmt.Errorf("core: unknown diag mode %d", int(opts.Mode))
+	}
+	return idx, nil
+}
+
+// MemoryBytes reports the index footprint.
+func (idx *Index) MemoryBytes() int64 { return int64(len(idx.Diag)) * 8 }
+
+// SingleSourceOptions configures single-source queries against an index.
+type SingleSourceOptions struct {
+	// UsePush selects the local push column computation instead of a CG
+	// solve. Push is faster when the source is close to the landmark but
+	// only lower-bounds the column.
+	UsePush bool
+	// PushTheta is the push residual threshold (default 1e-5).
+	PushTheta float64
+	// Tol is the CG tolerance (default 1e-8).
+	Tol float64
+	// MaxOps bounds the push.
+	MaxOps int64
+}
+
+// SingleSource computes r(s, t) for every t, using one grounded column from
+// s plus the index diagonal. The entry for t == s is 0 and for
+// t == landmark it is L_v⁻¹[s,s].
+func (idx *Index) SingleSource(s int, opts SingleSourceOptions) ([]float64, error) {
+	g := idx.G
+	v := idx.Landmark
+	if err := g.ValidateVertex(s); err != nil {
+		return nil, err
+	}
+	if s == v {
+		// r(v, t) = Diag[t] by definition of the index.
+		out := make([]float64, g.N())
+		copy(out, idx.Diag)
+		return out, nil
+	}
+	// col[t] = L_v⁻¹[s,t].
+	col := make([]float64, g.N())
+	if opts.UsePush {
+		theta := opts.PushTheta
+		if theta <= 0 {
+			theta = 1e-5
+		}
+		p, err := NewPusher(g, v)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.Run(s, PushOptions{Theta: theta, MaxOps: opts.MaxOps}); err != nil {
+			return nil, err
+		}
+		for _, u := range p.TouchedVertices() {
+			col[u] = p.GroundedEntry(int(u))
+		}
+	} else {
+		tol := opts.Tol
+		if tol <= 0 {
+			tol = 1e-8
+		}
+		b := make([]float64, g.N())
+		b[s] = 1
+		x, _, err := lap.GroundedSolve(g, v, b, tol)
+		if err != nil {
+			return nil, fmt.Errorf("core: single-source column solve: %w", err)
+		}
+		col = x
+	}
+	out := make([]float64, g.N())
+	lss := col[s]
+	for t := range out {
+		switch t {
+		case s:
+			out[t] = 0
+		case v:
+			out[t] = lss
+		default:
+			r := lss - 2*col[t] + idx.Diag[t]
+			if r < 0 {
+				r = 0 // clamp sampling noise on near-zero distances
+			}
+			out[t] = r
+		}
+	}
+	return out, nil
+}

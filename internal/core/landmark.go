@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/lap"
+	"landmarkrd/internal/randx"
+	"landmarkrd/internal/walk"
+)
+
+// Strategy selects how the landmark vertex is chosen. The choice is the
+// main tuning knob of the whole framework: every algorithm's cost is
+// governed by hitting times to the landmark.
+type Strategy int
+
+const (
+	// MaxDegree picks the vertex of maximum weighted degree — the paper's
+	// default; excellent on hub-dominated (social) graphs.
+	MaxDegree Strategy = iota
+	// PageRank picks the vertex of maximum PageRank score.
+	PageRank
+	// KCore picks a maximum-core vertex (ties broken by degree).
+	KCore
+	// MinHitting picks the vertex most visited by short random walks from
+	// random starts, a cheap proxy for small average hitting time.
+	MinHitting
+	// RandomVertex picks a uniform random vertex — the ablation baseline.
+	RandomVertex
+	// MinHittingExact evaluates the exact mean hitting time h̄(·,v) (one
+	// grounded solve per candidate) over a candidate pool of top-degree
+	// and random vertices, and picks the argmin — the most faithful
+	// implementation of the framework's cost model, at preprocessing cost
+	// O(candidates · solve).
+	MinHittingExact
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case MaxDegree:
+		return "degree"
+	case PageRank:
+		return "pagerank"
+	case KCore:
+		return "kcore"
+	case MinHitting:
+		return "minhit"
+	case RandomVertex:
+		return "random"
+	case MinHittingExact:
+		return "minhit-exact"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// AllStrategies lists every selection strategy, for ablation sweeps.
+func AllStrategies() []Strategy {
+	return []Strategy{MaxDegree, PageRank, KCore, MinHitting, RandomVertex, MinHittingExact}
+}
+
+// SelectLandmark picks a landmark vertex according to the strategy.
+// rng may be nil for the deterministic strategies.
+func SelectLandmark(g *graph.Graph, s Strategy, rng *randx.RNG) (int, error) {
+	if g.N() == 0 {
+		return 0, fmt.Errorf("core: empty graph")
+	}
+	switch s {
+	case MaxDegree:
+		return g.MaxDegreeVertex(), nil
+	case PageRank:
+		pr := PageRankScores(g, 0.15, 30)
+		best := 0
+		for u := 1; u < g.N(); u++ {
+			if pr[u] > pr[best] {
+				best = u
+			}
+		}
+		return best, nil
+	case KCore:
+		core := g.CoreNumbers()
+		best := 0
+		for u := 1; u < g.N(); u++ {
+			if core[u] > core[best] ||
+				(core[u] == core[best] && g.WeightedDegree(u) > g.WeightedDegree(best)) {
+				best = u
+			}
+		}
+		return best, nil
+	case MinHitting:
+		if rng == nil {
+			return 0, fmt.Errorf("core: MinHitting strategy needs an RNG")
+		}
+		return minHittingLandmark(g, rng), nil
+	case RandomVertex:
+		if rng == nil {
+			return 0, fmt.Errorf("core: RandomVertex strategy needs an RNG")
+		}
+		return rng.Intn(g.N()), nil
+	case MinHittingExact:
+		if rng == nil {
+			return 0, fmt.Errorf("core: MinHittingExact strategy needs an RNG")
+		}
+		return minHittingExactLandmark(g, rng)
+	default:
+		return 0, fmt.Errorf("core: unknown strategy %d", int(s))
+	}
+}
+
+// PageRankScores runs damped power iteration: p ← (1−α)·P p + α/n, with
+// P = A D⁻¹ the (weighted) column-stochastic transition matrix.
+func PageRankScores(g *graph.Graph, alpha float64, iters int) []float64 {
+	n := g.N()
+	p := make([]float64, n)
+	next := make([]float64, n)
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		base := alpha / float64(n)
+		for i := range next {
+			next[i] = base
+		}
+		for u := 0; u < n; u++ {
+			if d := g.WeightedDegree(u); d > 0 {
+				share := (1 - alpha) * p[u] / d
+				g.ForEachNeighbor(u, func(v int32, w float64) {
+					next[v] += share * w
+				})
+			} else {
+				// Dangling mass is spread uniformly (cannot happen on
+				// connected graphs with n >= 2, but keep the method total).
+				share := (1 - alpha) * p[u] / float64(n)
+				for v := range next {
+					next[v] += share
+				}
+			}
+		}
+		p, next = next, p
+	}
+	return p
+}
+
+// minHittingLandmark estimates, by simulation, which vertex short random
+// walks concentrate on. Walk endpoints after Θ(log n) steps approximate
+// the stationary distribution tilted toward well-connected vertices; the
+// most *visited* vertex across walks is a practical proxy for the vertex
+// with small average hitting time.
+func minHittingLandmark(g *graph.Graph, rng *randx.RNG) int {
+	n := g.N()
+	sampler := walk.NewSampler(g)
+	visits := make([]int32, n)
+	walks := 64
+	steps := 4
+	for x := n; x > 1; x /= 2 {
+		steps++ // steps ≈ 4 + log2 n
+	}
+	for i := 0; i < walks; i++ {
+		u := rng.Intn(n)
+		for j := 0; j < steps; j++ {
+			u = sampler.Step(u, rng)
+			visits[u]++
+		}
+	}
+	best := 0
+	for u := 1; u < n; u++ {
+		if visits[u] > visits[best] ||
+			(visits[u] == visits[best] && g.WeightedDegree(u) > g.WeightedDegree(best)) {
+			best = u
+		}
+	}
+	return best
+}
+
+// minHittingExactLandmark evaluates exact mean hitting times over a small
+// candidate pool (top degrees + random vertices) and returns the argmin.
+func minHittingExactLandmark(g *graph.Graph, rng *randx.RNG) (int, error) {
+	const poolTop, poolRand = 4, 4
+	seen := map[int]bool{}
+	var pool []int
+	for _, u := range g.TopKByDegree(poolTop) {
+		if !seen[u] {
+			seen[u] = true
+			pool = append(pool, u)
+		}
+	}
+	for len(pool) < poolTop+poolRand && len(pool) < g.N() {
+		u := rng.Intn(g.N())
+		if !seen[u] {
+			seen[u] = true
+			pool = append(pool, u)
+		}
+	}
+	best, bestHit := -1, 0.0
+	for _, v := range pool {
+		h, err := lap.MeanHittingTimeTo(g, v, 1e-6)
+		if err != nil {
+			return 0, err
+		}
+		if best < 0 || h < bestHit {
+			best, bestHit = v, h
+		}
+	}
+	return best, nil
+}
+
+// ResolveLandmark returns a landmark that avoids the query vertices s and t:
+// it applies the strategy and, on collision, falls back to the
+// highest-degree non-query vertex.
+func ResolveLandmark(g *graph.Graph, strat Strategy, s, t int, rng *randx.RNG) (int, error) {
+	v, err := SelectLandmark(g, strat, rng)
+	if err != nil {
+		return 0, err
+	}
+	if v != s && v != t {
+		return v, nil
+	}
+	for _, u := range g.TopKByDegree(3) {
+		if u != s && u != t {
+			return u, nil
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		if u != s && u != t {
+			return u, nil
+		}
+	}
+	return 0, fmt.Errorf("core: graph has no vertex besides the query pair")
+}

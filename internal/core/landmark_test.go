@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/randx"
+)
+
+func TestSelectLandmarkStrategies(t *testing.T) {
+	g := testBA(t, 200, 50)
+	rng := randx.New(1)
+	for _, s := range AllStrategies() {
+		v, err := SelectLandmark(g, s, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if v < 0 || v >= g.N() {
+			t.Errorf("%v returned out-of-range vertex %d", s, v)
+		}
+	}
+	// Deterministic strategies must be reproducible.
+	v1, _ := SelectLandmark(g, MaxDegree, nil)
+	v2, _ := SelectLandmark(g, MaxDegree, nil)
+	if v1 != v2 {
+		t.Error("MaxDegree not deterministic")
+	}
+	if v1 != g.MaxDegreeVertex() {
+		t.Errorf("MaxDegree returned %d, want %d", v1, g.MaxDegreeVertex())
+	}
+}
+
+func TestSelectLandmarkNeedsRNG(t *testing.T) {
+	g := testBA(t, 50, 51)
+	if _, err := SelectLandmark(g, RandomVertex, nil); err == nil {
+		t.Error("RandomVertex without RNG accepted")
+	}
+	if _, err := SelectLandmark(g, MinHitting, nil); err == nil {
+		t.Error("MinHitting without RNG accepted")
+	}
+	if _, err := SelectLandmark(g, MinHittingExact, nil); err == nil {
+		t.Error("MinHittingExact without RNG accepted")
+	}
+	if _, err := SelectLandmark(g, Strategy(99), randx.New(1)); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	names := map[Strategy]string{
+		MaxDegree: "degree", PageRank: "pagerank", KCore: "kcore",
+		MinHitting: "minhit", RandomVertex: "random",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+	if Strategy(42).String() == "" {
+		t.Error("unknown strategy has empty String()")
+	}
+}
+
+func TestPageRankScores(t *testing.T) {
+	g := testBA(t, 300, 52)
+	pr := PageRankScores(g, 0.15, 40)
+	var sum float64
+	for _, p := range pr {
+		if p < 0 {
+			t.Fatalf("negative PageRank %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PageRank sum = %v, want 1", sum)
+	}
+	// On BA graphs the top PageRank vertex should be a high-degree hub.
+	best := 0
+	for u := range pr {
+		if pr[u] > pr[best] {
+			best = u
+		}
+	}
+	if g.Degree(best) < g.BasicStats().MaxDegree/4 {
+		t.Errorf("top PageRank vertex %d has low degree %d (max %d)",
+			best, g.Degree(best), g.BasicStats().MaxDegree)
+	}
+}
+
+func TestPageRankUniformOnRegular(t *testing.T) {
+	g, err := graph.Cycle(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := PageRankScores(g, 0.15, 60)
+	for u, p := range pr {
+		if math.Abs(p-1.0/30) > 1e-9 {
+			t.Errorf("cycle PageRank[%d] = %v, want uniform", u, p)
+		}
+	}
+}
+
+func TestResolveLandmarkAvoidsQueryVertices(t *testing.T) {
+	g := testBA(t, 100, 53)
+	hub := g.MaxDegreeVertex()
+	rng := randx.New(2)
+	v, err := ResolveLandmark(g, MaxDegree, hub, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == hub || v == 5 {
+		t.Errorf("ResolveLandmark returned a query vertex %d", v)
+	}
+	// Normal case: strategy vertex returned untouched (query vertices
+	// chosen distinct from the hub).
+	a, b := (hub+1)%g.N(), (hub+2)%g.N()
+	v2, err := ResolveLandmark(g, MaxDegree, a, b, rng)
+	if err != nil || v2 != hub {
+		t.Errorf("ResolveLandmark = %d, %v; want %d", v2, err, hub)
+	}
+}
+
+func TestLandmarkChoiceDoesNotChangeAnswer(t *testing.T) {
+	// The estimated r(s,t) must agree across landmarks (the whole point
+	// of the framework): check with a tight Push at several landmarks.
+	g := testBA(t, 150, 54)
+	s, u := 3, 120
+	want := exactRD(t, g, s, u)
+	for _, v := range []int{0, 50, 99, 149} {
+		if v == s || v == u {
+			continue
+		}
+		pe, err := NewPushEstimator(g, v, PushOptions{Theta: 1e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := pe.Pair(s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est.Value-want) > 1e-4 {
+			t.Errorf("landmark %d: r = %v, want %v", v, est.Value, want)
+		}
+	}
+}

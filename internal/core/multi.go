@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/randx"
+)
+
+// MultiLandmarkOptions configures the multi-landmark estimator.
+type MultiLandmarkOptions struct {
+	// Landmarks is the number of landmarks to combine (default 3).
+	Landmarks int
+	// Strategy selects the primary landmark; the remaining ones are the
+	// next-best vertices under the same ranking (top degrees for
+	// MaxDegree, etc. — currently degree-ranked for all strategies, with
+	// RandomVertex drawing uniformly).
+	Strategy Strategy
+	// PerLandmark configures each underlying BiPush estimator.
+	PerLandmark BiPushOptions
+}
+
+// MultiLandmarkEstimator runs BiPush against several landmarks and combines
+// the estimates by the median. The combination serves two purposes the
+// single-landmark estimators cannot:
+//
+//   - robustness: one landmark that happens to be badly placed for a
+//     particular query (large hitting times from s or t) inflates that
+//     estimate's variance; the median discards it;
+//   - coverage: queries touching one landmark are transparently answered
+//     by the others, so no ErrLandmarkConflict escapes to the caller
+//     (unless the query hits every landmark).
+type MultiLandmarkEstimator struct {
+	g          *graph.Graph
+	landmarks  []int
+	estimators []*BiPushEstimator
+}
+
+// NewMultiLandmarkEstimator builds the estimator set.
+func NewMultiLandmarkEstimator(g *graph.Graph, opts MultiLandmarkOptions, rng *randx.RNG) (*MultiLandmarkEstimator, error) {
+	count := opts.Landmarks
+	if count <= 0 {
+		count = 3
+	}
+	if count > g.N()-2 {
+		count = g.N() - 2
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("core: graph too small for a multi-landmark estimator (n=%d)", g.N())
+	}
+	var landmarks []int
+	if opts.Strategy == RandomVertex {
+		if rng == nil {
+			return nil, fmt.Errorf("core: RandomVertex strategy needs an RNG")
+		}
+		landmarks = rng.SampleDistinct(count, g.N())
+	} else {
+		// Degree ranking approximates every centrality-flavoured strategy
+		// well enough for the secondary landmarks; the primary one is
+		// chosen by the requested strategy exactly.
+		primary, err := SelectLandmark(g, opts.Strategy, rng)
+		if err != nil {
+			return nil, err
+		}
+		landmarks = append(landmarks, primary)
+		for _, u := range g.TopKByDegree(count + 1) {
+			if len(landmarks) == count {
+				break
+			}
+			if u != primary {
+				landmarks = append(landmarks, u)
+			}
+		}
+	}
+	m := &MultiLandmarkEstimator{g: g, landmarks: landmarks}
+	for _, v := range landmarks {
+		var childRNG *randx.RNG
+		if rng != nil {
+			childRNG = rng.Split()
+		} else {
+			childRNG = randx.New(uint64(v)*0x9e3779b9 + 1)
+		}
+		e, err := NewBiPushEstimator(g, v, opts.PerLandmark, childRNG)
+		if err != nil {
+			return nil, err
+		}
+		m.estimators = append(m.estimators, e)
+	}
+	return m, nil
+}
+
+// Landmarks returns the landmark set in use.
+func (m *MultiLandmarkEstimator) Landmarks() []int {
+	out := make([]int, len(m.landmarks))
+	copy(out, m.landmarks)
+	return out
+}
+
+// Pair estimates r(s,t) as the median over the usable landmarks.
+func (m *MultiLandmarkEstimator) Pair(s, t int) (Estimate, error) {
+	if err := m.g.ValidateVertex(s); err != nil {
+		return Estimate{}, err
+	}
+	if err := m.g.ValidateVertex(t); err != nil {
+		return Estimate{}, err
+	}
+	if s == t {
+		return Estimate{Converged: true}, nil
+	}
+	var values []float64
+	combined := Estimate{Converged: true}
+	for i, e := range m.estimators {
+		if v := m.landmarks[i]; v == s || v == t {
+			continue // this landmark cannot serve the query
+		}
+		est, err := e.Pair(s, t)
+		if err != nil {
+			return Estimate{}, err
+		}
+		values = append(values, est.Value)
+		combined.Walks += est.Walks
+		combined.WalkSteps += est.WalkSteps
+		combined.PushOps += est.PushOps
+		combined.Converged = combined.Converged && est.Converged
+	}
+	if len(values) == 0 {
+		return Estimate{}, ErrLandmarkConflict
+	}
+	sort.Float64s(values)
+	mid := len(values) / 2
+	if len(values)%2 == 1 {
+		combined.Value = values[mid]
+	} else {
+		combined.Value = 0.5 * (values[mid-1] + values[mid])
+	}
+	return combined, nil
+}

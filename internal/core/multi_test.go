@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"landmarkrd/internal/randx"
+)
+
+func TestMultiLandmarkMatchesExact(t *testing.T) {
+	g := testBA(t, 200, 90)
+	rng := randx.New(1)
+	m, err := NewMultiLandmarkEstimator(g, MultiLandmarkOptions{
+		Landmarks:   3,
+		Strategy:    MaxDegree,
+		PerLandmark: BiPushOptions{PushTheta: 1e-3, Walks: 1000},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Landmarks()) != 3 {
+		t.Fatalf("landmarks = %v", m.Landmarks())
+	}
+	s, u := 7, 150
+	for _, v := range m.Landmarks() {
+		if v == s || v == u {
+			s, u = 8, 151
+		}
+	}
+	want := exactRD(t, g, s, u)
+	est, err := m.Pair(s, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Value-want) > 0.03*math.Max(want, 0.2) {
+		t.Errorf("multi-landmark = %v, want %v", est.Value, want)
+	}
+	if est.Walks == 0 || est.PushOps == 0 {
+		t.Errorf("work accounting missing: %+v", est)
+	}
+}
+
+func TestMultiLandmarkHandlesLandmarkQueries(t *testing.T) {
+	// A query touching one landmark must be served by the others.
+	g := testBA(t, 150, 91)
+	rng := randx.New(2)
+	m, err := NewMultiLandmarkEstimator(g, MultiLandmarkOptions{
+		Landmarks:   3,
+		PerLandmark: BiPushOptions{PushTheta: 1e-3, Walks: 1500},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := m.Landmarks()[0]
+	other := 0
+	for isLandmark(m, other) || other == lm {
+		other++
+	}
+	want := exactRD(t, g, lm, other)
+	est, err := m.Pair(lm, other)
+	if err != nil {
+		t.Fatalf("query touching a landmark failed: %v", err)
+	}
+	if math.Abs(est.Value-want) > 0.06*math.Max(want, 0.2) {
+		t.Errorf("landmark-touching query = %v, want %v", est.Value, want)
+	}
+}
+
+func isLandmark(m *MultiLandmarkEstimator, u int) bool {
+	for _, v := range m.Landmarks() {
+		if v == u {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMultiLandmarkAllConflict(t *testing.T) {
+	g := testBA(t, 50, 92)
+	rng := randx.New(3)
+	m, err := NewMultiLandmarkEstimator(g, MultiLandmarkOptions{Landmarks: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := m.Landmarks()[0]
+	if _, err := m.Pair(lm, (lm+1)%g.N()); err != ErrLandmarkConflict {
+		t.Errorf("single-landmark conflict = %v, want ErrLandmarkConflict", err)
+	}
+}
+
+func TestMultiLandmarkRandomStrategy(t *testing.T) {
+	g := testBA(t, 100, 93)
+	m, err := NewMultiLandmarkEstimator(g, MultiLandmarkOptions{
+		Landmarks: 4, Strategy: RandomVertex,
+		PerLandmark: BiPushOptions{PushTheta: 1e-2, Walks: 400},
+	}, randx.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, v := range m.Landmarks() {
+		if seen[v] {
+			t.Errorf("duplicate landmark %d", v)
+		}
+		seen[v] = true
+	}
+	if _, err := NewMultiLandmarkEstimator(g, MultiLandmarkOptions{Strategy: RandomVertex}, nil); err == nil {
+		t.Error("RandomVertex without RNG accepted")
+	}
+}
+
+func TestMultiLandmarkSameVertex(t *testing.T) {
+	g := testBA(t, 60, 94)
+	m, err := NewMultiLandmarkEstimator(g, MultiLandmarkOptions{}, randx.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := m.Pair(9, 9)
+	if err != nil || est.Value != 0 || !est.Converged {
+		t.Errorf("Pair(s,s) = %+v, %v", est, err)
+	}
+	if _, err := m.Pair(-1, 5); err == nil {
+		t.Error("invalid vertex accepted")
+	}
+}

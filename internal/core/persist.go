@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"landmarkrd/internal/graph"
+)
+
+// Index persistence: a small versioned binary format so an expensive diag
+// build (DiagMC on a poor expander, DiagExactCG anywhere) can be reused
+// across processes. Layout (little endian):
+//
+//	magic   [8]byte  "LRDIDX1\n"
+//	landmark int64
+//	mode     int64
+//	n        int64
+//	diag     n × float64
+
+var indexMagic = [8]byte{'L', 'R', 'D', 'I', 'D', 'X', '1', '\n'}
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		written += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(indexMagic); err != nil {
+		return written, fmt.Errorf("core: writing index: %w", err)
+	}
+	for _, v := range []int64{int64(idx.Landmark), int64(idx.Mode), int64(len(idx.Diag))} {
+		if err := write(v); err != nil {
+			return written, fmt.Errorf("core: writing index: %w", err)
+		}
+	}
+	if err := write(idx.Diag); err != nil {
+		return written, fmt.Errorf("core: writing index: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return written, fmt.Errorf("core: writing index: %w", err)
+	}
+	return written, nil
+}
+
+// SaveIndex writes the index to a file.
+func SaveIndex(idx *Index, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	if _, err := idx.WriteTo(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadIndex deserializes an index and binds it to g, validating that the
+// stored dimensions match.
+func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("core: reading index: %w", err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("core: bad index magic %q", magic[:])
+	}
+	var landmark, mode, n int64
+	for _, p := range []*int64{&landmark, &mode, &n} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("core: reading index header: %w", err)
+		}
+	}
+	if n != int64(g.N()) {
+		return nil, fmt.Errorf("core: index built for n=%d, graph has n=%d", n, g.N())
+	}
+	if landmark < 0 || landmark >= n {
+		return nil, fmt.Errorf("core: stored landmark %d out of range", landmark)
+	}
+	diag := make([]float64, n)
+	if err := binary.Read(br, binary.LittleEndian, diag); err != nil {
+		return nil, fmt.Errorf("core: reading index diagonal: %w", err)
+	}
+	return &Index{G: g, Landmark: int(landmark), Diag: diag, Mode: DiagMode(mode)}, nil
+}
+
+// LoadIndex reads an index file and binds it to g.
+func LoadIndex(path string, g *graph.Graph) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return ReadIndex(f, g)
+}

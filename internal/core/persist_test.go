@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"landmarkrd/internal/randx"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	g := testBA(t, 100, 95)
+	v := g.MaxDegreeVertex()
+	idx, err := BuildIndex(g, v, IndexOptions{Mode: DiagExactCG}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Landmark != idx.Landmark || got.Mode != idx.Mode {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	for i := range idx.Diag {
+		if got.Diag[i] != idx.Diag[i] {
+			t.Fatalf("diag[%d] changed: %v vs %v", i, got.Diag[i], idx.Diag[i])
+		}
+	}
+	// Loaded index must answer single-source queries identically.
+	s := (v + 1) % g.N()
+	a, err := idx.SingleSource(s, SingleSourceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.SingleSource(s, SingleSourceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("single-source diverged at %d", i)
+		}
+	}
+}
+
+func TestIndexSaveLoadFile(t *testing.T) {
+	g := testBA(t, 60, 96)
+	idx, err := BuildIndex(g, 0, IndexOptions{Mode: DiagMC, WalksPerVertex: 8}, randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "idx.bin")
+	if err := SaveIndex(idx, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadIndex(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Landmark != 0 || got.Mode != DiagMC {
+		t.Errorf("loaded header: %+v", got)
+	}
+	if _, err := LoadIndex(filepath.Join(t.TempDir(), "missing.bin"), g); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestIndexReadRejectsBadInput(t *testing.T) {
+	g := testBA(t, 40, 97)
+	if _, err := ReadIndex(strings.NewReader("not an index"), g); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Wrong graph size.
+	idx, err := BuildIndex(g, 0, IndexOptions{Mode: DiagExactCG}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := testBA(t, 50, 98)
+	if _, err := ReadIndex(&buf, other); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	// Truncated stream.
+	buf.Reset()
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()/2])
+	if _, err := ReadIndex(trunc, g); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}

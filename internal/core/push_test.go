@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/lap"
+	"landmarkrd/internal/randx"
+)
+
+// TestPushInvariant checks the defining invariant of the push computation:
+//
+//	τ(src, x) = est(x) + Σ_u res(u)·τ(u, x)   for every x,
+//
+// with τ taken from the dense grounded inverse.
+func TestPushInvariant(t *testing.T) {
+	rng := randx.New(60)
+	g, err := graph.ErdosRenyiGNM(25, 70, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := 0
+	inv, err := lap.DenseGroundedInverse(g, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := func(a, x int) float64 { return inv.At(a, x) * g.WeightedDegree(x) }
+
+	p, err := NewPusher(g, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.N() - 1
+	for _, theta := range []float64{1e-1, 1e-2, 1e-4} {
+		if _, err := p.Run(src, PushOptions{Theta: theta}); err != nil {
+			t.Fatal(err)
+		}
+		nodes, values := p.Residuals()
+		for _, x := range []int{1, 5, 12, src} {
+			got := p.Estimate(x)
+			for i, u := range nodes {
+				got += values[i] * tau(int(u), x)
+			}
+			want := tau(src, x)
+			if math.Abs(got-want) > 1e-8*math.Max(1, want) {
+				t.Errorf("theta=%v x=%d: invariant broken: %v vs %v", theta, x, got, want)
+			}
+		}
+	}
+}
+
+func TestPushEstimateIsLowerBound(t *testing.T) {
+	rng := randx.New(61)
+	g, err := graph.BarabasiAlbert(60, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := g.MaxDegreeVertex()
+	inv, err := lap.DenseGroundedInverse(g, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPusher(g, v)
+	src := (v + 1) % g.N()
+	if _, err := p.Run(src, PushOptions{Theta: 1e-3}); err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < g.N(); x++ {
+		want := inv.At(src, x) * g.WeightedDegree(x)
+		if p.Estimate(x) > want+1e-9 {
+			t.Errorf("est(%d) = %v exceeds τ = %v", x, p.Estimate(x), want)
+		}
+	}
+}
+
+func TestPushThetaControlsResiduals(t *testing.T) {
+	g := testBA(t, 200, 62)
+	v := g.MaxDegreeVertex()
+	p, _ := NewPusher(g, v)
+	src := (v + 7) % g.N()
+	prevOps := int64(0)
+	for _, theta := range []float64{1e-2, 1e-4, 1e-6} {
+		st, err := p.Run(src, PushOptions{Theta: theta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Converged {
+			t.Fatalf("theta=%v did not converge", theta)
+		}
+		// All residuals below threshold.
+		nodes, values := p.Residuals()
+		for i, u := range nodes {
+			if values[i] > theta*g.WeightedDegree(int(u))+1e-15 {
+				t.Errorf("theta=%v: res(%d)=%v above threshold", theta, u, values[i])
+			}
+		}
+		if st.Ops < prevOps {
+			t.Errorf("tighter theta did less work: %d < %d", st.Ops, prevOps)
+		}
+		prevOps = st.Ops
+	}
+}
+
+func TestPushMaxOpsBudget(t *testing.T) {
+	g, err := graph.Grid2D(40, 40, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPusher(g, 0)
+	st, err := p.Run(g.N()-1, PushOptions{Theta: 1e-9, MaxOps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Converged {
+		t.Error("claimed convergence under a tiny budget")
+	}
+	if st.Ops < 1000 {
+		t.Errorf("stopped after only %d ops", st.Ops)
+	}
+}
+
+func TestPushErrorBoundHolds(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		rng := randx.New(uint64(seed) + 70)
+		g, err := graph.BarabasiAlbert(80, 3, rng)
+		if err != nil {
+			return false
+		}
+		v := g.MaxDegreeVertex()
+		s := rng.Intn(g.N())
+		u := rng.Intn(g.N())
+		if s == u || s == v || u == v {
+			return true
+		}
+		pe, err := NewPushEstimator(g, v, PushOptions{Theta: 1e-3})
+		if err != nil {
+			return false
+		}
+		est, err := pe.Pair(s, u)
+		if err != nil {
+			return false
+		}
+		exact, err := lap.ResistanceCG(g, s, u)
+		if err != nil {
+			return false
+		}
+		return math.Abs(est.Value-exact) <= est.ErrBound+1e-9
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPushValidation(t *testing.T) {
+	g := testBA(t, 50, 63)
+	if _, err := NewPusher(g, -1); err == nil {
+		t.Error("invalid landmark accepted")
+	}
+	p, _ := NewPusher(g, 3)
+	if _, err := p.Run(3, PushOptions{}); err != ErrLandmarkConflict {
+		t.Errorf("Run(landmark) = %v, want ErrLandmarkConflict", err)
+	}
+	if _, err := p.Run(99, PushOptions{}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	pe, _ := NewPushEstimator(g, 3, PushOptions{})
+	if _, err := pe.Pair(3, 5); err != ErrLandmarkConflict {
+		t.Errorf("Pair(landmark, .) = %v", err)
+	}
+	if est, err := pe.Pair(7, 7); err != nil || est.Value != 0 {
+		t.Errorf("Pair(s,s) = %v, %v", est.Value, err)
+	}
+}
+
+func TestPushOnWeightedGraph(t *testing.T) {
+	rng := randx.New(64)
+	g0 := testBA(t, 120, 65)
+	g, err := graph.UniformWeighted(g0, 0.5, 2.5, rng.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := g.MaxDegreeVertex()
+	s, u := 5, 100
+	if s == v || u == v {
+		s, u = 6, 101
+	}
+	want, err := lap.ResistanceCG(g, s, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, _ := NewPushEstimator(g, v, PushOptions{Theta: 1e-8})
+	est, err := pe.Pair(s, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Value-want) > 1e-4 {
+		t.Errorf("weighted push = %v, want %v", est.Value, want)
+	}
+}
+
+func TestPusherReuseAcrossRuns(t *testing.T) {
+	g := testBA(t, 100, 66)
+	v := g.MaxDegreeVertex()
+	p, _ := NewPusher(g, v)
+	s1 := (v + 1) % g.N()
+	s2 := (v + 2) % g.N()
+	if _, err := p.Run(s1, PushOptions{Theta: 1e-5}); err != nil {
+		t.Fatal(err)
+	}
+	first := p.Estimate(s1)
+	if _, err := p.Run(s2, PushOptions{Theta: 1e-5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(s1, PushOptions{Theta: 1e-5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Estimate(s1); math.Abs(got-first) > 1e-12 {
+		t.Errorf("workspace reuse changed result: %v vs %v", got, first)
+	}
+}
+
+func TestPairWithTargetMeetsEps(t *testing.T) {
+	g := testBA(t, 250, 67)
+	v := g.MaxDegreeVertex()
+	pe, err := NewPushEstimator(g, v, PushOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0.1, 0.01, 0.001} {
+		for _, pair := range [][2]int{{3, 200}, {10, 100}} {
+			s, u := pair[0], pair[1]
+			if s == v || u == v {
+				continue
+			}
+			est, err := pe.PairWithTarget(s, u, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := exactRD(t, g, s, u)
+			if diff := math.Abs(est.Value - want); diff > eps {
+				t.Errorf("eps=%v pair=%v: error %v exceeds target", eps, pair, diff)
+			}
+		}
+	}
+	if _, err := pe.PairWithTarget(1, 2, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}

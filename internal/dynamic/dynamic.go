@@ -1,0 +1,175 @@
+// Package dynamic maintains resistance-distance queries over a base graph
+// subject to a small stream of edge insertions and deletions, without
+// rebuilding anything: each update is a rank-one change of the Laplacian,
+//
+//	L' = L + w·δδᵀ,   δ = e_a − e_b,
+//
+// so the pseudo-inverse updates by Sherman-Morrison,
+//
+//	L'† = L† − w·(L†δ)(L†δ)ᵀ / (1 + w·δᵀL†δ),
+//
+// (valid because δ ⊥ 1 keeps the null space fixed). The updater stores one
+// potential vector per update; a query costs one base Laplacian solve plus
+// O(n) per stored update. Intended for small update counts (the classic
+// "what if we add this link / close this road" analyses); for bulk changes
+// rebuild the graph.
+package dynamic
+
+import (
+	"fmt"
+	"math"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/lap"
+	"landmarkrd/internal/linalg"
+)
+
+// update is one applied rank-one modification.
+type update struct {
+	a, b  int
+	w     float64   // signed: negative = deletion of conductance
+	z     []float64 // (previous operator)† δ
+	denom float64   // 1 + w·δᵀz
+}
+
+// Updater answers resistance queries on the base graph plus applied updates.
+type Updater struct {
+	g       *graph.Graph
+	op      *lap.Laplacian
+	tol     float64
+	updates []update
+}
+
+// New creates an updater over base graph g. tol is the CG tolerance of the
+// base solves (default 1e-10).
+func New(g *graph.Graph, tol float64) (*Updater, error) {
+	if !g.IsConnected() {
+		return nil, graph.ErrNotConnected
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	return &Updater{g: g, op: &lap.Laplacian{G: g}, tol: tol}, nil
+}
+
+// Updates returns the number of applied modifications.
+func (u *Updater) Updates() int { return len(u.updates) }
+
+// applyPinv computes y = (current L)† x for x ⊥ 1.
+func (u *Updater) applyPinv(x []float64) ([]float64, error) {
+	y := make([]float64, u.g.N())
+	rhs := make([]float64, u.g.N())
+	copy(rhs, x)
+	linalg.ProjectOutConstant(rhs)
+	if _, err := linalg.CG(u.op, y, rhs, linalg.CGOptions{Tol: u.tol, ProjectConstant: true}); err != nil {
+		return nil, fmt.Errorf("dynamic: base solve: %w", err)
+	}
+	for _, up := range u.updates {
+		coef := up.w * linalg.Dot(up.z, x) / up.denom
+		linalg.Axpy(-coef, up.z, y)
+	}
+	return y, nil
+}
+
+func (u *Updater) validate(a, b int) error {
+	if err := u.g.ValidateVertex(a); err != nil {
+		return err
+	}
+	if err := u.g.ValidateVertex(b); err != nil {
+		return err
+	}
+	if a == b {
+		return fmt.Errorf("dynamic: self loop (%d,%d)", a, b)
+	}
+	return nil
+}
+
+// Resistance returns r(s, t) on the current (base + updates) graph.
+func (u *Updater) Resistance(s, t int) (float64, error) {
+	if err := u.g.ValidateVertex(s); err != nil {
+		return 0, err
+	}
+	if err := u.g.ValidateVertex(t); err != nil {
+		return 0, err
+	}
+	if s == t {
+		return 0, nil
+	}
+	delta := make([]float64, u.g.N())
+	delta[s] = 1
+	delta[t] = -1
+	y, err := u.applyPinv(delta)
+	if err != nil {
+		return 0, err
+	}
+	return y[s] - y[t], nil
+}
+
+// AddEdge inserts an edge {a, b} of conductance w > 0 (parallel to any
+// existing edge; conductances add).
+func (u *Updater) AddEdge(a, b int, w float64) error {
+	if err := u.validate(a, b); err != nil {
+		return err
+	}
+	if !(w > 0) {
+		return fmt.Errorf("dynamic: AddEdge needs w > 0, got %v", w)
+	}
+	return u.applyRankOne(a, b, w)
+}
+
+// RemoveConductance subtracts w units of conductance from the pair {a, b}.
+// Removing a bridge (or more conductance than exists) disconnects the
+// graph; that is detected via the Sherman-Morrison denominator
+// 1 − w·r(a,b) ≤ 0 and rejected.
+func (u *Updater) RemoveConductance(a, b int, w float64) error {
+	if err := u.validate(a, b); err != nil {
+		return err
+	}
+	if !(w > 0) {
+		return fmt.Errorf("dynamic: RemoveConductance needs w > 0, got %v", w)
+	}
+	return u.applyRankOne(a, b, -w)
+}
+
+func (u *Updater) applyRankOne(a, b int, w float64) error {
+	delta := make([]float64, u.g.N())
+	delta[a] = 1
+	delta[b] = -1
+	z, err := u.applyPinv(delta)
+	if err != nil {
+		return err
+	}
+	rab := z[a] - z[b]
+	denom := 1 + w*rab
+	if denom <= 1e-12 || math.IsNaN(denom) {
+		return fmt.Errorf("dynamic: update (%d,%d,%v) would disconnect the graph (1 + w·r = %v)", a, b, w, denom)
+	}
+	u.updates = append(u.updates, update{a: a, b: b, w: w, z: z, denom: denom})
+	return nil
+}
+
+// Materialize rebuilds a plain graph with all updates applied — useful to
+// reset the updater after many modifications, and for testing.
+func (u *Updater) Materialize() (*graph.Graph, error) {
+	type key struct{ a, b int }
+	weights := map[key]float64{}
+	u.g.ForEachEdge(func(a, b int32, w float64) {
+		weights[key{int(a), int(b)}] += w
+	})
+	for _, up := range u.updates {
+		a, b := up.a, up.b
+		if a > b {
+			a, b = b, a
+		}
+		weights[key{a, b}] += up.w
+	}
+	bld := graph.NewBuilder(u.g.N())
+	for k, w := range weights {
+		if w > 1e-12 {
+			bld.AddWeightedEdge(k.a, k.b, w)
+		} else if w < -1e-9 {
+			return nil, fmt.Errorf("dynamic: negative accumulated weight %v on (%d,%d)", w, k.a, k.b)
+		}
+	}
+	return bld.Build()
+}

@@ -1,0 +1,245 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/lap"
+	"landmarkrd/internal/randx"
+)
+
+func TestAddEdgeMatchesRebuild(t *testing.T) {
+	rng := randx.New(1)
+	g, err := graph.BarabasiAlbert(150, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := New(g, 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply a sequence of insertions, checking against a full rebuild
+	// after each.
+	adds := [][3]float64{{3, 120, 1}, {7, 99, 2.5}, {3, 120, 1}, {0, 149, 0.5}}
+	for step, e := range adds {
+		if err := u.AddEdge(int(e[0]), int(e[1]), e[2]); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		mat, err := u.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range [][2]int{{5, 100}, {3, 120}, {0, 149}} {
+			want, err := lap.ResistanceCG(mat, pair[0], pair[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := u.Resistance(pair[0], pair[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-6 {
+				t.Errorf("step %d pair %v: dynamic %v vs rebuild %v", step, pair, got, want)
+			}
+		}
+	}
+	if u.Updates() != len(adds) {
+		t.Errorf("Updates() = %d", u.Updates())
+	}
+}
+
+func TestAddEdgeDecreasesResistance(t *testing.T) {
+	g, _ := graph.Path(20)
+	u, err := New(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := u.Resistance(0, 19)
+	if math.Abs(before-19) > 1e-7 {
+		t.Fatalf("path resistance %v, want 19", before)
+	}
+	if err := u.AddEdge(0, 19, 1); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := u.Resistance(0, 19)
+	want := 19.0 / 20 // 19 Ω parallel with 1 Ω
+	if math.Abs(after-want) > 1e-7 {
+		t.Errorf("after shortcut r = %v, want %v", after, want)
+	}
+}
+
+func TestRemoveConductanceMatchesRebuild(t *testing.T) {
+	rng := randx.New(2)
+	g, err := graph.ErdosRenyiGNM(100, 400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := New(g, 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove an existing (non-bridge) edge entirely.
+	var ea, eb int = -1, -1
+	g.ForEachEdge(func(a, b int32, w float64) {
+		if ea < 0 && g.Degree(int(a)) > 3 && g.Degree(int(b)) > 3 {
+			ea, eb = int(a), int(b)
+		}
+	})
+	if ea < 0 {
+		t.Skip("no removable edge found")
+	}
+	if err := u.RemoveConductance(ea, eb, 1); err != nil {
+		t.Fatal(err)
+	}
+	mat, err := u.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]int{{ea, eb}, {0, 99}} {
+		want, err := lap.ResistanceCG(mat, pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := u.Resistance(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("pair %v: dynamic %v vs rebuild %v", pair, got, want)
+		}
+	}
+}
+
+func TestRemoveBridgeRejected(t *testing.T) {
+	g, _ := graph.Path(5) // every edge is a bridge
+	u, err := New(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.RemoveConductance(2, 3, 1); err == nil {
+		t.Error("bridge removal accepted")
+	}
+	if u.Updates() != 0 {
+		t.Error("failed update was recorded")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g, _ := graph.Cycle(6)
+	u, err := New(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.AddEdge(1, 1, 1); err == nil {
+		t.Error("self loop accepted")
+	}
+	if err := u.AddEdge(0, 9, 1); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if err := u.AddEdge(0, 2, -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := u.RemoveConductance(0, 2, 0); err == nil {
+		t.Error("zero removal accepted")
+	}
+	if r, err := u.Resistance(3, 3); err != nil || r != 0 {
+		t.Errorf("r(3,3) = %v, %v", r, err)
+	}
+	// Disconnected base graph rejected.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	dg, _ := b.Build()
+	if _, err := New(dg, 0); err == nil {
+		t.Error("disconnected base accepted")
+	}
+}
+
+func TestInsertionThenDeletionRoundTrip(t *testing.T) {
+	rng := randx.New(3)
+	g, err := graph.WattsStrogatz(80, 2, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := New(g, 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := u.Resistance(5, 60)
+	if err := u.AddEdge(5, 60, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.RemoveConductance(5, 60, 2); err != nil {
+		t.Fatal(err)
+	}
+	back, _ := u.Resistance(5, 60)
+	if math.Abs(back-base) > 1e-6 {
+		t.Errorf("insert+delete did not round-trip: %v vs %v", back, base)
+	}
+}
+
+// TestRandomUpdateSequencesMatchRebuild is the property test of the whole
+// module: arbitrary interleavings of insertions and (legal) deletions must
+// agree with a full rebuild.
+func TestRandomUpdateSequencesMatchRebuild(t *testing.T) {
+	err := quick.Check(func(seedRaw uint16) bool {
+		rng := randx.New(uint64(seedRaw) + 500)
+		g, err := graph.ErdosRenyiGNM(40, 140, rng)
+		if err != nil || g.N() < 10 {
+			return true
+		}
+		u, err := New(g, 1e-11)
+		if err != nil {
+			return false
+		}
+		type applied struct {
+			a, b int
+			w    float64
+		}
+		var inserted []applied
+		for step := 0; step < 6; step++ {
+			if rng.Float64() < 0.7 || len(inserted) == 0 {
+				a, b := rng.Intn(g.N()), rng.Intn(g.N())
+				if a == b {
+					continue
+				}
+				w := 0.5 + 2*rng.Float64()
+				if err := u.AddEdge(a, b, w); err != nil {
+					return false
+				}
+				inserted = append(inserted, applied{a, b, w})
+			} else {
+				// Delete a previously inserted edge (always legal: its
+				// conductance exists and removal restores a connected state).
+				i := rng.Intn(len(inserted))
+				e := inserted[i]
+				if err := u.RemoveConductance(e.a, e.b, e.w); err != nil {
+					return false
+				}
+				inserted = append(inserted[:i], inserted[i+1:]...)
+			}
+		}
+		mat, err := u.Materialize()
+		if err != nil {
+			return false
+		}
+		s, x := rng.Intn(g.N()), rng.Intn(g.N())
+		if s == x {
+			return true
+		}
+		want, err := lap.ResistanceCG(mat, s, x)
+		if err != nil {
+			return false
+		}
+		got, err := u.Resistance(s, x)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-want) < 1e-6
+	}, &quick.Config{MaxCount: 15})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package eval is the experiment harness: the dataset registry (synthetic
+// stand-ins for the paper's SNAP/KONECT datasets), query-workload
+// generation, timing/error measurement, and table output. Every experiment
+// in EXPERIMENTS.md is driven through this package, either from
+// cmd/rdbench or from the benchmarks in bench_test.go.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/lap"
+	"landmarkrd/internal/randx"
+)
+
+// Scale selects dataset sizes so the same experiment can run as a fast
+// test, a benchmark, or a full reproduction.
+type Scale int
+
+const (
+	// Tiny is for unit tests (n ≈ 300).
+	Tiny Scale = iota
+	// Small is the default benchmark size (n ≈ 2 000).
+	Small
+	// Medium is the rdbench default (n ≈ 20 000).
+	Medium
+	// Large approaches the paper's smaller datasets (n ≈ 200 000).
+	Large
+)
+
+// ParseScale converts a string flag value to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return Tiny, nil
+	case "small":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	case "large":
+		return Large, nil
+	default:
+		return 0, fmt.Errorf("eval: unknown scale %q (want tiny|small|medium|large)", s)
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	default:
+		return fmt.Sprintf("scale(%d)", int(s))
+	}
+}
+
+func (s Scale) n() int {
+	switch s {
+	case Tiny:
+		return 300
+	case Small:
+		return 2000
+	case Medium:
+		return 20000
+	default:
+		return 200000
+	}
+}
+
+// Dataset describes one entry in the registry.
+type Dataset struct {
+	// Name identifies the dataset (e.g. "ba", "road").
+	Name string
+	// Kind is the paper dataset class it stands in for.
+	Kind string
+	// StandsFor names the paper datasets this replaces.
+	StandsFor string
+	// Generate builds the graph at the requested scale, deterministically
+	// in seed.
+	Generate func(scale Scale, seed uint64) (*graph.Graph, error)
+}
+
+// Registry returns the dataset registry in presentation order: the
+// small-condition-number (social-like) datasets first, then the
+// large-condition-number (road-like) ones.
+func Registry() []Dataset {
+	return []Dataset{
+		{
+			Name:      "ba",
+			Kind:      "social",
+			StandsFor: "Dblp/Youtube (hub-dominated, small kappa)",
+			Generate: func(s Scale, seed uint64) (*graph.Graph, error) {
+				return graph.BarabasiAlbert(s.n(), 4, randx.New(seed))
+			},
+		},
+		{
+			Name:      "ba-dense",
+			Kind:      "social",
+			StandsFor: "Orkut/LiveJournal (denser, small kappa)",
+			Generate: func(s Scale, seed uint64) (*graph.Graph, error) {
+				return graph.BarabasiAlbert(s.n(), 8, randx.New(seed+1))
+			},
+		},
+		{
+			Name:      "rmat",
+			Kind:      "social",
+			StandsFor: "community-structured social graphs (Graph500 R-MAT)",
+			Generate: func(s Scale, seed uint64) (*graph.Graph, error) {
+				scale := 1
+				for (1 << scale) < s.n() {
+					scale++
+				}
+				return graph.RMAT(scale, 8, 0, 0, 0, randx.New(seed+9))
+			},
+		},
+		{
+			Name:      "er",
+			Kind:      "uniform",
+			StandsFor: "near-expander control (kappa = O(1))",
+			Generate: func(s Scale, seed uint64) (*graph.Graph, error) {
+				n := s.n()
+				m := int64(float64(n) * math.Log(float64(n)))
+				return graph.ErdosRenyiGNM(n, m, randx.New(seed+2))
+			},
+		},
+		{
+			Name:      "ws",
+			Kind:      "infrastructure",
+			StandsFor: "powergrid (sparse, poor expansion)",
+			Generate: func(s Scale, seed uint64) (*graph.Graph, error) {
+				return graph.WattsStrogatz(s.n(), 2, 0.05, randx.New(seed+3))
+			},
+		},
+		{
+			Name:      "road",
+			Kind:      "road",
+			StandsFor: "RoadNet-CA/PA/TX (grid-like, kappa = Theta(n))",
+			Generate: func(s Scale, seed uint64) (*graph.Graph, error) {
+				side := int(math.Round(math.Sqrt(float64(s.n()))))
+				return graph.Grid2D(side, side, 0.08, randx.New(seed+4))
+			},
+		},
+	}
+}
+
+// DatasetByName returns the registry entry with the given name.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Registry() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	var names []string
+	for _, d := range Registry() {
+		names = append(names, d.Name)
+	}
+	sort.Strings(names)
+	return Dataset{}, fmt.Errorf("eval: unknown dataset %q (have %v)", name, names)
+}
+
+// DatasetStats is one row of the Table-2 analogue.
+type DatasetStats struct {
+	Name     string
+	Kind     string
+	N        int
+	M        int64
+	MOverN   float64
+	Kappa    float64
+	MaxDeg   int
+	Weighted bool
+}
+
+// ComputeStats builds the dataset statistics row, estimating κ with a
+// Lanczos eigen-solve on the deflated normalized adjacency.
+func ComputeStats(d Dataset, g *graph.Graph, seed uint64) (DatasetStats, error) {
+	bs := g.BasicStats()
+	st := DatasetStats{
+		Name:     d.Name,
+		Kind:     d.Kind,
+		N:        bs.N,
+		M:        bs.M,
+		MOverN:   float64(bs.M) / float64(bs.N),
+		MaxDeg:   bs.MaxDegree,
+		Weighted: bs.Weighted,
+	}
+	// Enough Lanczos steps to resolve μ₂ on poor expanders.
+	k := 120
+	if g.N() < k*2 {
+		k = g.N() / 2
+	}
+	spec, err := lap.LanczosConditionNumber(g, k, randx.New(seed^0x5eed))
+	if err != nil {
+		return st, err
+	}
+	st.Kappa = spec.Kappa
+	return st, nil
+}

@@ -1,0 +1,356 @@
+package eval
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"landmarkrd/internal/randx"
+)
+
+func TestRegistryGeneratesAtTiny(t *testing.T) {
+	for _, d := range Registry() {
+		g, err := d.Generate(Tiny, 2023)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if !g.IsConnected() {
+			t.Errorf("%s: not connected", d.Name)
+		}
+		if g.N() < 100 {
+			t.Errorf("%s: n=%d too small", d.Name, g.N())
+		}
+		// Determinism.
+		g2, err := d.Generate(Tiny, 2023)
+		if err != nil || g.N() != g2.N() || g.M() != g2.M() {
+			t.Errorf("%s: not deterministic", d.Name)
+		}
+	}
+}
+
+func TestDatasetByName(t *testing.T) {
+	d, err := DatasetByName("road")
+	if err != nil || d.Kind != "road" {
+		t.Errorf("DatasetByName(road) = %+v, %v", d, err)
+	}
+	if _, err := DatasetByName("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestComputeStatsKappaOrdering(t *testing.T) {
+	// The central premise: road-like stand-ins must have much larger κ
+	// than the social-like ones at the same scale.
+	kappas := map[string]float64{}
+	for _, name := range []string{"ba", "road"} {
+		d, _ := DatasetByName(name)
+		g, err := d.Generate(Tiny, 2023)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := ComputeStats(d, g, 2023)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Kappa <= 1 {
+			t.Errorf("%s kappa = %v", name, st.Kappa)
+		}
+		kappas[name] = st.Kappa
+	}
+	if kappas["road"] < 5*kappas["ba"] {
+		t.Errorf("road kappa %v not >> ba kappa %v", kappas["road"], kappas["ba"])
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, s := range []string{"tiny", "small", "medium", "large"} {
+		sc, err := ParseScale(s)
+		if err != nil || sc.String() != s {
+			t.Errorf("ParseScale(%s) = %v, %v", s, sc, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestMakeQueries(t *testing.T) {
+	d, _ := DatasetByName("ba")
+	g, err := d.Generate(Tiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(9)
+	for _, strat := range []PairStrategy{UniformPairs, HighDegreePairs, FarPairs} {
+		qs, err := MakeQueries(g, 8, strat, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if len(qs) != 8 {
+			t.Fatalf("%v: got %d queries", strat, len(qs))
+		}
+		seen := map[[2]int]bool{}
+		for _, q := range qs {
+			if q.S == q.T {
+				t.Errorf("%v: degenerate pair", strat)
+			}
+			key := [2]int{minInt(q.S, q.T), maxInt(q.S, q.T)}
+			if seen[key] {
+				t.Errorf("%v: duplicate pair %v", strat, key)
+			}
+			seen[key] = true
+			if q.Truth <= 0 {
+				t.Errorf("%v: non-positive ground truth %v", strat, q.Truth)
+			}
+		}
+	}
+}
+
+func TestRunSettingAggregates(t *testing.T) {
+	queries := []QueryPair{{S: 0, T: 1, Truth: 1}, {S: 0, T: 2, Truth: 2}, {S: 1, T: 2, Truth: 3}}
+	pt, err := RunSetting(AlgoSetting{
+		Algo: "mock", Setting: "x",
+		Run: func(s, t int) (float64, error) { return 1.5, nil },
+	}, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// errors: 0.5, 0.5, 1.5 → mean 2.5/3, max 1.5, median 0.5
+	if wantMean := 2.5 / 3; pt.MeanAbsErr < wantMean-1e-12 || pt.MeanAbsErr > wantMean+1e-12 {
+		t.Errorf("mean = %v", pt.MeanAbsErr)
+	}
+	if pt.MaxAbsErr != 1.5 || pt.P50AbsErr != 0.5 {
+		t.Errorf("max = %v, p50 = %v", pt.MaxAbsErr, pt.P50AbsErr)
+	}
+	if pt.Failures != 0 || pt.Queries != 3 {
+		t.Errorf("counters: %+v", pt)
+	}
+}
+
+func TestRunSettingFailures(t *testing.T) {
+	queries := []QueryPair{{S: 0, T: 1, Truth: 1}}
+	if _, err := RunSetting(AlgoSetting{
+		Algo: "bad", Run: func(s, t int) (float64, error) { return 0, fmt.Errorf("boom") },
+	}, queries); err == nil {
+		t.Error("all-failing setting did not error")
+	}
+	if _, err := RunSetting(AlgoSetting{Algo: "empty", Run: nil}, nil); err == nil {
+		t.Error("empty query set accepted")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("median odd = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("median even = %v", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Errorf("median empty = %v", m)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "a", "bb")
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", 3*time.Millisecond)
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "a", "bb", "2.500", "3.00ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "a,bb\n") {
+		t.Errorf("CSV header: %q", buf.String())
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("", "h")
+	tb.AddRow(`va"l,ue`)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"va""l,ue"`) {
+		t.Errorf("CSV quoting wrong: %q", buf.String())
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1e-5:    "1.000e-05",
+		0.5:     "0.50000",
+		12.3456: "12.346",
+		2e7:     "2.000e+07",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := FormatDuration(500 * time.Nanosecond); got != "500ns" {
+		t.Errorf("FormatDuration = %q", got)
+	}
+	if got := FormatDuration(2 * time.Second); got != "2.00s" {
+		t.Errorf("FormatDuration = %q", got)
+	}
+}
+
+func TestMeasureAllocBytes(t *testing.T) {
+	var sink []byte
+	bytes := MeasureAllocBytes(func() {
+		sink = make([]byte, 1<<20)
+	})
+	_ = sink
+	if bytes < 1<<20 {
+		t.Errorf("measured %d bytes for a 1MiB allocation", bytes)
+	}
+}
+
+func TestExperimentIDsDispatch(t *testing.T) {
+	if err := RunExperiment("bogus", ExpConfig{Out: &bytes.Buffer{}}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	for _, id := range ExperimentIDs() {
+		if id == "" {
+			t.Error("empty experiment id in list")
+		}
+	}
+}
+
+// TestRunStatsExperiment exercises the full stats pipeline end to end.
+func TestRunStatsExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("stats", ExpConfig{Scale: Tiny, Seed: 7, Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, d := range Registry() {
+		if !strings.Contains(out, d.Name) {
+			t.Errorf("stats output missing dataset %s", d.Name)
+		}
+	}
+}
+
+// TestRunIdentitiesExperiment exercises E8 end to end (closed forms,
+// Foster via sketch and UST).
+func TestRunIdentitiesExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("e8", ExpConfig{Scale: Tiny, Seed: 7, Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Foster") {
+		t.Error("identities output missing Foster rows")
+	}
+}
+
+func TestSortPointsByError(t *testing.T) {
+	pts := []CurvePoint{{MeanAbsErr: 3}, {MeanAbsErr: 1}, {MeanAbsErr: 2}}
+	SortPointsByError(pts)
+	if pts[0].MeanAbsErr != 1 || pts[2].MeanAbsErr != 3 {
+		t.Errorf("sorted: %+v", pts)
+	}
+}
+
+// TestRunAllExperimentsTiny exercises every experiment end-to-end at Tiny
+// scale with a minimal query budget. E3 (the scalability sweep) is the
+// slowest and is skipped in -short mode.
+func TestRunAllExperimentsTiny(t *testing.T) {
+	for _, id := range ExperimentIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && (id == "e3" || id == "e1b" || id == "e2" || id == "e9") {
+				t.Skip("slow experiment skipped in -short mode")
+			}
+			var buf bytes.Buffer
+			cfg := ExpConfig{Scale: Tiny, Seed: 11, Queries: 3, Out: &buf}
+			if err := RunExperiment(id, cfg); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s produced no output", id)
+			}
+		})
+	}
+}
+
+func TestEmitCSV(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ExpConfig{Scale: Tiny, Seed: 7, Out: &bytes.Buffer{}, CSVDir: dir}
+	if err := RunExperiment("stats", cfg); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no CSV emitted: %v %v", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "dataset,") {
+		t.Errorf("CSV header wrong: %q", string(data)[:40])
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"T2: dataset statistics (x)": "t2-dataset-statistics-x",
+		"":                           "table",
+		"---":                        "table",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWinnersTable(t *testing.T) {
+	points := []CurvePoint{
+		{Algo: "a", Setting: "x", MeanTime: 10, MeanAbsErr: 0.05},
+		{Algo: "a", Setting: "y", MeanTime: 100, MeanAbsErr: 0.001},
+		{Algo: "b", Setting: "z", MeanTime: 50, MeanAbsErr: 0.005},
+		{Algo: "c", Setting: "w", MeanTime: 5, MeanAbsErr: 0.5, Failures: 0},
+	}
+	tb := WinnersTable("t", points, []float64{0.1, 0.01, 1e-6})
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// At 0.1: fastest qualifying is a/x (10ns).
+	if tb.Rows[0][1] != "a" || tb.Rows[0][2] != "x" {
+		t.Errorf("winner at 0.1 = %v", tb.Rows[0])
+	}
+	// At 0.01: qualifying are a/y (100) and b/z (50) -> b wins, a runner-up.
+	if tb.Rows[1][1] != "b" || tb.Rows[1][5] != "a" {
+		t.Errorf("winner at 0.01 = %v", tb.Rows[1])
+	}
+	// At 1e-6: nobody qualifies.
+	if tb.Rows[2][1] != "(none)" {
+		t.Errorf("winner at 1e-6 = %v", tb.Rows[2])
+	}
+}
+
+func TestPairStrategyString(t *testing.T) {
+	if UniformPairs.String() != "uniform" || HighDegreePairs.String() != "high-degree" || FarPairs.String() != "far" {
+		t.Error("PairStrategy.String() mismatch")
+	}
+	if PairStrategy(9).String() == "" {
+		t.Error("unknown strategy empty")
+	}
+}

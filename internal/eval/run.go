@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// PairFunc answers one resistance query.
+type PairFunc func(s, t int) (float64, error)
+
+// AlgoSetting is one (algorithm, knob) point of an accuracy/time curve.
+type AlgoSetting struct {
+	// Algo names the algorithm ("push", "abwalk", ...).
+	Algo string
+	// Setting describes the accuracy knob ("eps=1e-4", "walks=2000").
+	Setting string
+	// Run answers a query at this setting.
+	Run PairFunc
+}
+
+// CurvePoint is the measured outcome of one setting over a query set.
+type CurvePoint struct {
+	Algo       string
+	Setting    string
+	MeanTime   time.Duration
+	MeanAbsErr float64
+	MaxAbsErr  float64
+	P50AbsErr  float64
+	Queries    int
+	Failures   int
+}
+
+// RunSetting measures one setting over the query workload.
+func RunSetting(s AlgoSetting, queries []QueryPair) (CurvePoint, error) {
+	pt := CurvePoint{Algo: s.Algo, Setting: s.Setting, Queries: len(queries)}
+	if len(queries) == 0 {
+		return pt, fmt.Errorf("eval: empty query set")
+	}
+	errs := make([]float64, 0, len(queries))
+	var total time.Duration
+	for _, q := range queries {
+		start := time.Now()
+		val, err := s.Run(q.S, q.T)
+		total += time.Since(start)
+		if err != nil {
+			pt.Failures++
+			continue
+		}
+		e := math.Abs(val - q.Truth)
+		errs = append(errs, e)
+		pt.MeanAbsErr += e
+		if e > pt.MaxAbsErr {
+			pt.MaxAbsErr = e
+		}
+	}
+	ok := len(errs)
+	if ok == 0 {
+		return pt, fmt.Errorf("eval: every query failed for %s/%s", s.Algo, s.Setting)
+	}
+	pt.MeanAbsErr /= float64(ok)
+	pt.MeanTime = total / time.Duration(len(queries))
+	pt.P50AbsErr = median(errs)
+	return pt, nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	// Insertion sort: the slices here are tiny (tens of queries).
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return 0.5 * (cp[mid-1] + cp[mid])
+}
+
+// RunSweep measures a list of settings over the same workload.
+func RunSweep(settings []AlgoSetting, queries []QueryPair) ([]CurvePoint, error) {
+	var out []CurvePoint
+	for _, s := range settings {
+		pt, err := RunSetting(s, queries)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// WinnersTable digests sweep results into the paper's headline comparison:
+// for each error level, the fastest algorithm (over its best setting) whose
+// mean absolute error meets the level.
+func WinnersTable(title string, points []CurvePoint, levels []float64) *Table {
+	t := NewTable(title, "err<=", "winner", "setting", "mean-time", "mean-abs-err", "runner-up", "runner-up-time")
+	for _, lvl := range levels {
+		type cand struct {
+			algo, setting string
+			tm            time.Duration
+			err           float64
+		}
+		best := map[string]cand{}
+		for _, p := range points {
+			if p.MeanAbsErr > lvl || p.Failures > 0 {
+				continue
+			}
+			c, ok := best[p.Algo]
+			if !ok || p.MeanTime < c.tm {
+				best[p.Algo] = cand{p.Algo, p.Setting, p.MeanTime, p.MeanAbsErr}
+			}
+		}
+		var ranked []cand
+		for _, c := range best {
+			ranked = append(ranked, c)
+		}
+		sort.Slice(ranked, func(i, j int) bool { return ranked[i].tm < ranked[j].tm })
+		switch {
+		case len(ranked) == 0:
+			t.AddRow(lvl, "(none)", "", "", "", "", "")
+		case len(ranked) == 1:
+			w := ranked[0]
+			t.AddRow(lvl, w.algo, w.setting, w.tm, w.err, "(none)", "")
+		default:
+			w, r := ranked[0], ranked[1]
+			t.AddRow(lvl, w.algo, w.setting, w.tm, w.err, r.algo, r.tm)
+		}
+	}
+	return t
+}
+
+// MeasureAllocBytes reports the heap bytes allocated while running fn.
+// It is a coarse (but GC-stable) proxy for an algorithm's working memory,
+// used by the memory experiment.
+func MeasureAllocBytes(fn func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	if after.TotalAlloc < before.TotalAlloc {
+		return 0
+	}
+	return after.TotalAlloc - before.TotalAlloc
+}

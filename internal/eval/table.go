@@ -1,0 +1,159 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a simple aligned text table with an optional CSV form, used for
+// all experiment output so EXPERIMENTS.md rows can be pasted directly.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case time.Duration:
+			row[i] = FormatDuration(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders floats compactly: scientific for very small/large
+// magnitudes, fixed otherwise.
+func FormatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case av < 1e-3 || av >= 1e6:
+		return fmt.Sprintf("%.3e", v)
+	case av < 1:
+		return fmt.Sprintf("%.5f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// FormatDuration renders durations with 3 significant figures.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fus", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// Write renders the aligned text table to w.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("== " + t.Title + " ==\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (comma-separated, quoted on demand).
+func (t *Table) WriteCSV(w io.Writer) error {
+	quote := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(quote(c))
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Headers)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// CurveTable renders sweep results as a table.
+func CurveTable(title string, points []CurvePoint) *Table {
+	t := NewTable(title, "algo", "setting", "mean-time", "mean-abs-err", "p50-abs-err", "max-abs-err", "queries", "failures")
+	for _, p := range points {
+		t.AddRow(p.Algo, p.Setting, p.MeanTime, p.MeanAbsErr, p.P50AbsErr, p.MaxAbsErr, p.Queries, p.Failures)
+	}
+	return t
+}
+
+// StatsTable renders dataset statistics as the Table-2 analogue.
+func StatsTable(rows []DatasetStats) *Table {
+	t := NewTable("T2: dataset statistics (synthetic stand-ins, see DESIGN.md)",
+		"dataset", "kind", "n", "m", "m/n", "kappa", "max-deg")
+	for _, r := range rows {
+		t.AddRow(r.Name, r.Kind, r.N, r.M, r.MOverN, r.Kappa, r.MaxDeg)
+	}
+	return t
+}

@@ -1,0 +1,116 @@
+package eval
+
+import (
+	"fmt"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/lap"
+	"landmarkrd/internal/randx"
+)
+
+// QueryPair is one (source, sink) resistance query with its ground truth.
+type QueryPair struct {
+	S, T  int
+	Truth float64
+}
+
+// PairStrategy selects how query pairs are drawn.
+type PairStrategy int
+
+const (
+	// UniformPairs draws endpoints uniformly at random (the paper's
+	// default workload: 50 random sources x 50 random sinks reported as
+	// averages; we sample pairs directly).
+	UniformPairs PairStrategy = iota
+	// HighDegreePairs draws endpoints from the top-degree vertices.
+	HighDegreePairs
+	// FarPairs draws s uniformly and t from the BFS-farthest decile.
+	FarPairs
+)
+
+// String implements fmt.Stringer.
+func (p PairStrategy) String() string {
+	switch p {
+	case UniformPairs:
+		return "uniform"
+	case HighDegreePairs:
+		return "high-degree"
+	case FarPairs:
+		return "far"
+	default:
+		return fmt.Sprintf("pairs(%d)", int(p))
+	}
+}
+
+// MakeQueries draws count distinct-endpoint query pairs and computes their
+// ground truth by grounded CG to lap.ExactTol.
+func MakeQueries(g *graph.Graph, count int, strat PairStrategy, rng *randx.RNG) ([]QueryPair, error) {
+	if g.N() < 3 {
+		return nil, fmt.Errorf("eval: graph too small for queries (n=%d)", g.N())
+	}
+	pairs := make([]QueryPair, 0, count)
+	drawPair := func() (int, int) {
+		switch strat {
+		case HighDegreePairs:
+			top := g.TopKByDegree(minInt(g.N(), 64))
+			s := top[rng.Intn(len(top))]
+			t := top[rng.Intn(len(top))]
+			return s, t
+		case FarPairs:
+			s := rng.Intn(g.N())
+			dist := g.BFS(s)
+			// Pick t among the farthest ~10% of vertices.
+			maxD := int32(0)
+			for _, d := range dist {
+				if d > maxD {
+					maxD = d
+				}
+			}
+			threshold := maxD * 9 / 10
+			var far []int
+			for u, d := range dist {
+				if d >= threshold && u != s {
+					far = append(far, u)
+				}
+			}
+			if len(far) == 0 {
+				return s, (s + 1) % g.N()
+			}
+			return s, far[rng.Intn(len(far))]
+		default:
+			return rng.Intn(g.N()), rng.Intn(g.N())
+		}
+	}
+	seen := make(map[int64]struct{}, count)
+	for len(pairs) < count {
+		s, t := drawPair()
+		if s == t {
+			continue
+		}
+		key := int64(minInt(s, t))<<32 | int64(maxInt(s, t))
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		truth, err := lap.ResistanceCG(g, s, t)
+		if err != nil {
+			return nil, fmt.Errorf("eval: ground truth for (%d,%d): %w", s, t, err)
+		}
+		pairs = append(pairs, QueryPair{S: s, T: t, Truth: truth})
+	}
+	return pairs, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph.
+//
+// Duplicate edges are merged by summing their weights; self loops are
+// rejected at Build time (resistance distance is defined on simple graphs,
+// and self loops do not change it anyway).
+type Builder struct {
+	n      int
+	us     []int32
+	vs     []int32
+	ws     []float64
+	wAny   bool // true once any weight != 1 has been added
+	errors []error
+}
+
+// NewBuilder returns a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u, v} with weight 1.
+func (b *Builder) AddEdge(u, v int) { b.AddWeightedEdge(u, v, 1) }
+
+// AddWeightedEdge records the undirected edge {u, v} with weight w.
+// Errors (out-of-range endpoints, non-positive weights, self loops) are
+// accumulated and reported by Build.
+func (b *Builder) AddWeightedEdge(u, v int, w float64) {
+	switch {
+	case u < 0 || u >= b.n || v < 0 || v >= b.n:
+		b.errors = append(b.errors, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+		return
+	case u == v:
+		b.errors = append(b.errors, fmt.Errorf("graph: self loop at vertex %d", u))
+		return
+	case !(w > 0):
+		b.errors = append(b.errors, fmt.Errorf("graph: edge (%d,%d) has non-positive weight %v", u, v, w))
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.us = append(b.us, int32(u))
+	b.vs = append(b.vs, int32(v))
+	b.ws = append(b.ws, w)
+	if w != 1 {
+		b.wAny = true
+	}
+}
+
+// Build finalizes the graph: sorts adjacency lists, merges duplicate edges
+// by summing weights, and freezes the CSR arrays.
+func (b *Builder) Build() (*Graph, error) {
+	if len(b.errors) > 0 {
+		return nil, fmt.Errorf("graph: %d invalid edges, first: %w", len(b.errors), b.errors[0])
+	}
+	type edge struct {
+		u, v int32
+		w    float64
+	}
+	edges := make([]edge, len(b.us))
+	for i := range b.us {
+		edges[i] = edge{b.us[i], b.vs[i], b.ws[i]}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	// Merge duplicates in place.
+	out := edges[:0]
+	for _, e := range edges {
+		if len(out) > 0 && out[len(out)-1].u == e.u && out[len(out)-1].v == e.v {
+			out[len(out)-1].w += e.w
+			continue
+		}
+		out = append(out, e)
+	}
+	edges = out
+
+	g := &Graph{
+		n:       b.n,
+		m:       int64(len(edges)),
+		offsets: make([]int64, b.n+1),
+		adj:     make([]int32, 2*len(edges)),
+		deg:     make([]float64, b.n),
+	}
+	// Duplicate unit edges merge to weight > 1, so the weighted/unweighted
+	// decision must be made after merging, not from the raw input.
+	weighted := b.wAny
+	if !weighted {
+		for _, e := range edges {
+			if e.w != 1 {
+				weighted = true
+				break
+			}
+		}
+	}
+	if weighted {
+		g.w = make([]float64, 2*len(edges))
+	}
+	// Count degrees.
+	counts := make([]int64, b.n+1)
+	for _, e := range edges {
+		counts[e.u+1]++
+		counts[e.v+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		g.offsets[i+1] = g.offsets[i] + counts[i+1]
+	}
+	cursor := make([]int64, b.n)
+	copy(cursor, g.offsets[:b.n])
+	for _, e := range edges {
+		g.adj[cursor[e.u]] = e.v
+		g.adj[cursor[e.v]] = e.u
+		if g.w != nil {
+			g.w[cursor[e.u]] = e.w
+			g.w[cursor[e.v]] = e.w
+		}
+		cursor[e.u]++
+		cursor[e.v]++
+		g.deg[e.u] += e.w
+		g.deg[e.v] += e.w
+	}
+	// Adjacency lists are sorted within each vertex because edges were
+	// sorted by (u,v) and appended in order for the u side; the v side
+	// needs an explicit sort.
+	for u := 0; u < b.n; u++ {
+		lo, hi := g.offsets[u], g.offsets[u+1]
+		if g.w == nil {
+			s := g.adj[lo:hi]
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			continue
+		}
+		a, w := g.adj[lo:hi], g.w[lo:hi]
+		sort.Sort(&adjSorter{a, w})
+	}
+	for _, d := range g.deg {
+		g.volume += d
+	}
+	return g, nil
+}
+
+type adjSorter struct {
+	a []int32
+	w []float64
+}
+
+func (s *adjSorter) Len() int           { return len(s.a) }
+func (s *adjSorter) Less(i, j int) bool { return s.a[i] < s.a[j] }
+func (s *adjSorter) Swap(i, j int) {
+	s.a[i], s.a[j] = s.a[j], s.a[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}
+
+// FromEdges is a convenience wrapper that builds a graph from parallel
+// endpoint slices with unit weights.
+func FromEdges(n int, us, vs []int) (*Graph, error) {
+	if len(us) != len(vs) {
+		return nil, fmt.Errorf("graph: endpoint slices have different lengths %d and %d", len(us), len(vs))
+	}
+	b := NewBuilder(n)
+	for i := range us {
+		b.AddEdge(us[i], vs[i])
+	}
+	return b.Build()
+}

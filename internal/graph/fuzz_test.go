@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks that arbitrary input never panics the parser and
+// that anything it accepts round-trips through the writer.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("1 2\n2 3\n")
+	f.Add("# comment\n5 6 2.5\n")
+	f.Add("")
+	f.Add("a b c\n")
+	f.Add("1 2 -5\n")
+	f.Add("9999999 0\n1 1\n% x\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, _, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		// Anything accepted must be internally consistent and re-parse to
+		// the same shape.
+		var sum int64
+		for u := 0; u < g.N(); u++ {
+			sum += int64(g.Degree(u))
+		}
+		if sum != 2*g.M() {
+			t.Fatalf("degree sum %d != 2m %d", sum, 2*g.M())
+		}
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		g2, _, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: (%d,%d) vs (%d,%d)", g.N(), g.M(), g2.N(), g2.M())
+		}
+	})
+}
+
+// FuzzBuilder checks that the builder either rejects or produces a
+// consistent CSR graph for arbitrary edge streams.
+func FuzzBuilder(f *testing.F) {
+	f.Add(5, []byte{0, 1, 1, 2, 2, 3})
+	f.Add(3, []byte{0, 0})
+	f.Add(2, []byte{0, 1, 0, 1, 1, 0})
+	f.Fuzz(func(t *testing.T, nRaw int, pairs []byte) {
+		n := nRaw % 64
+		if n < 0 {
+			n = -n
+		}
+		b := NewBuilder(n)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			b.AddEdge(int(pairs[i]), int(pairs[i+1]))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return
+		}
+		var sum int64
+		for u := 0; u < g.N(); u++ {
+			nb := g.Neighbors(u)
+			sum += int64(len(nb))
+			for i := 1; i < len(nb); i++ {
+				if nb[i-1] >= nb[i] {
+					t.Fatalf("adjacency of %d unsorted or duplicated", u)
+				}
+			}
+		}
+		if sum != 2*g.M() {
+			t.Fatalf("degree sum %d != 2m %d", sum, 2*g.M())
+		}
+	})
+}

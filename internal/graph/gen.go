@@ -1,0 +1,420 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"landmarkrd/internal/randx"
+)
+
+// The generators in this file produce the synthetic stand-ins documented in
+// DESIGN.md §3. All of them are deterministic given the RNG, and all of
+// them return the largest connected component so the resulting graph is
+// always valid input for resistance-distance computation.
+
+// ErdosRenyiGNM samples a uniform graph with n vertices and (approximately,
+// after deduplication and connectivity extraction) m edges.
+func ErdosRenyiGNM(n int, m int64, rng *randx.RNG) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: ErdosRenyiGNM needs n >= 2, got %d", n)
+	}
+	maxM := int64(n) * int64(n-1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	b := NewBuilder(n)
+	for i := int64(0); i < m; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		for v == u {
+			v = rng.Intn(n)
+		}
+		b.AddEdge(u, v)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	g, _, err = g.LargestComponent()
+	return g, err
+}
+
+// ErdosRenyiGNP samples G(n, p). Intended for small n; uses the geometric
+// skipping method so the cost is proportional to the number of edges.
+func ErdosRenyiGNP(n int, p float64, rng *randx.RNG) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: ErdosRenyiGNP needs n >= 2, got %d", n)
+	}
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("graph: ErdosRenyiGNP needs p in (0,1], got %v", p)
+	}
+	b := NewBuilder(n)
+	if p == 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				b.AddEdge(u, v)
+			}
+		}
+	} else {
+		// Iterate candidate pairs in lexicographic order, skipping
+		// geometrically many between successive present edges.
+		lq := math.Log(1 - p)
+		total := int64(n) * int64(n-1) / 2
+		at := int64(-1)
+		for {
+			u := rng.Float64()
+			skip := int64(math.Floor(math.Log(1-u) / lq))
+			at += 1 + skip
+			if at >= total {
+				break
+			}
+			// Decode pair index into (row, col) of the strict upper triangle.
+			row := int64(0)
+			rem := at
+			rowLen := int64(n - 1)
+			for rem >= rowLen {
+				rem -= rowLen
+				row++
+				rowLen--
+			}
+			b.AddEdge(int(row), int(row+1+rem))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	g, _, err = g.LargestComponent()
+	return g, err
+}
+
+// BarabasiAlbert grows a preferential-attachment graph: each new vertex
+// attaches k edges to existing vertices chosen proportionally to degree.
+// The result is connected by construction and has heavy-tailed degrees,
+// which makes it the stand-in for the paper's social networks.
+func BarabasiAlbert(n, k int, rng *randx.RNG) (*Graph, error) {
+	if k < 1 || n < k+1 {
+		return nil, fmt.Errorf("graph: BarabasiAlbert needs 1 <= k < n, got n=%d k=%d", n, k)
+	}
+	b := NewBuilder(n)
+	// repeated endpoints list: choosing a uniform element is equivalent to
+	// degree-proportional sampling.
+	targets := make([]int32, 0, 2*int64(n)*int64(k))
+	// Seed clique on k+1 vertices.
+	for u := 0; u <= k; u++ {
+		for v := u + 1; v <= k; v++ {
+			b.AddEdge(u, v)
+			targets = append(targets, int32(u), int32(v))
+		}
+	}
+	chosen := make(map[int32]struct{}, k)
+	for u := k + 1; u < n; u++ {
+		clear(chosen)
+		for len(chosen) < k {
+			t := targets[rng.Intn(len(targets))]
+			if _, dup := chosen[t]; !dup {
+				chosen[t] = struct{}{}
+			}
+		}
+		for t := range chosen {
+			b.AddEdge(u, int(t))
+			targets = append(targets, int32(u), t)
+		}
+	}
+	return b.Build()
+}
+
+// Grid2D builds the w x h grid graph, the stand-in for road networks:
+// bounded degree, poor expansion, condition number Θ(n).
+// If perturb > 0, each non-bridging edge is independently removed with that
+// probability and the largest component is returned, which roughens the
+// grid like a real road network.
+func Grid2D(w, h int, perturb float64, rng *randx.RNG) (*Graph, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("graph: Grid2D needs w,h >= 2, got %dx%d", w, h)
+	}
+	id := func(x, y int) int { return y*w + x }
+	b := NewBuilder(w * h)
+	keep := func() bool { return perturb <= 0 || rng.Float64() >= perturb }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w && keep() {
+				b.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h && keep() {
+				b.AddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	g, _, err = g.LargestComponent()
+	return g, err
+}
+
+// WattsStrogatz builds a ring lattice with n vertices, each connected to k
+// nearest neighbors per side, with each edge rewired to a uniform endpoint
+// with probability beta. With small beta it is the stand-in for the
+// powergrid dataset: sparse, clustered, poor expansion.
+func WattsStrogatz(n, k int, beta float64, rng *randx.RNG) (*Graph, error) {
+	if k < 1 || n < 2*k+1 {
+		return nil, fmt.Errorf("graph: WattsStrogatz needs 1 <= k and n > 2k, got n=%d k=%d", n, k)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("graph: WattsStrogatz needs beta in [0,1], got %v", beta)
+	}
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k; j++ {
+			v := (u + j) % n
+			if beta > 0 && rng.Float64() < beta {
+				v = rng.Intn(n)
+				for v == u {
+					v = rng.Intn(n)
+				}
+			}
+			b.AddEdge(u, v)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	g, _, err = g.LargestComponent()
+	return g, err
+}
+
+// RandomRegular samples an approximately uniform d-regular simple graph via
+// the configuration model. Self loops and duplicate edges are repaired by
+// random pair swaps (the standard heuristic — whole-matching rejection has
+// exponentially small success probability beyond d ≈ 4).
+func RandomRegular(n, d int, rng *randx.RNG) (*Graph, error) {
+	if d < 1 || n <= d || (n*d)%2 != 0 {
+		return nil, fmt.Errorf("graph: RandomRegular needs 1 <= d < n with n*d even, got n=%d d=%d", n, d)
+	}
+	const maxAttempts = 50
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		stubs := make([]int32, 0, n*d)
+		for u := 0; u < n; u++ {
+			for j := 0; j < d; j++ {
+				stubs = append(stubs, int32(u))
+			}
+		}
+		for i := len(stubs) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			stubs[i], stubs[j] = stubs[j], stubs[i]
+		}
+		nPairs := len(stubs) / 2
+		pairKey := func(i int) (int64, bool) {
+			u, v := stubs[2*i], stubs[2*i+1]
+			if u == v {
+				return 0, false
+			}
+			if u > v {
+				u, v = v, u
+			}
+			return int64(u)<<32 | int64(v), true
+		}
+		// Repair loop: swap the second stub of a bad pair with the second
+		// stub of a random pair until the matching is simple.
+		repaired := true
+		seen := make(map[int64]int, nPairs) // key -> pair index
+		for i := 0; i < nPairs; i++ {
+			fixAttempts := 0
+			for {
+				key, ok := pairKey(i)
+				if ok {
+					if _, dup := seen[key]; !dup {
+						seen[key] = i
+						break
+					}
+				}
+				fixAttempts++
+				if fixAttempts > 200*n {
+					repaired = false
+					break
+				}
+				// Swap with a random earlier-or-later pair's second stub;
+				// if the partner pair was already accepted, un-accept it.
+				j := rng.Intn(nPairs)
+				if j == i {
+					continue
+				}
+				if j < i {
+					if key2, ok2 := pairKey(j); ok2 {
+						if owner, present := seen[key2]; present && owner == j {
+							delete(seen, key2)
+						}
+					}
+				}
+				stubs[2*i+1], stubs[2*j+1] = stubs[2*j+1], stubs[2*i+1]
+				if j < i {
+					// Re-validate the disturbed earlier pair.
+					key2, ok2 := pairKey(j)
+					if !ok2 {
+						continue // pair j now invalid; it will be fixed when revisited below
+					}
+					if owner, present := seen[key2]; present && owner != j {
+						continue
+					}
+					seen[key2] = j
+				}
+			}
+			if !repaired {
+				break
+			}
+		}
+		if !repaired {
+			continue
+		}
+		// The repair above can leave earlier pairs invalid (when a swap
+		// disturbed them); validate the whole matching and retry if not.
+		b := NewBuilder(n)
+		valid := true
+		check := make(map[int64]struct{}, nPairs)
+		for i := 0; i < nPairs; i++ {
+			key, ok := pairKey(i)
+			if !ok {
+				valid = false
+				break
+			}
+			if _, dup := check[key]; dup {
+				valid = false
+				break
+			}
+			check[key] = struct{}{}
+			b.AddEdge(int(stubs[2*i]), int(stubs[2*i+1]))
+		}
+		if !valid {
+			continue
+		}
+		g, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		if g.IsConnected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: RandomRegular(n=%d, d=%d) failed to produce a connected simple graph", n, d)
+}
+
+// Path returns the path graph on n vertices (r(i,j) = |i-j|).
+func Path(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: Path needs n >= 2, got %d", n)
+	}
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph on n vertices (r(i,j) = k(n-k)/n for hop
+// distance k).
+func Cycle(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: Cycle needs n >= 3, got %d", n)
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph on n vertices (r(i,j) = 2/n).
+func Complete(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: Complete needs n >= 2, got %d", n)
+	}
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// Star returns the star graph with center 0 and n-1 leaves
+// (r(0,leaf) = 1, r(leaf,leaf') = 2).
+func Star(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: Star needs n >= 2, got %d", n)
+	}
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniform random labelled tree on n vertices via a
+// random Prüfer-like attachment (each vertex i >= 1 attaches to a uniform
+// earlier vertex), which yields a random recursive tree — sufficient for
+// testing since on trees r(u,v) equals the path length.
+func RandomTree(n int, rng *randx.RNG) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: RandomTree needs n >= 2, got %d", n)
+	}
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(v, rng.Intn(v))
+	}
+	return b.Build()
+}
+
+// RMAT samples a recursive-matrix (Kronecker-style) graph with 2^scale
+// vertices and approximately edgeFactor·2^scale edges, using the classic
+// (a, b, c, d) quadrant probabilities (defaults 0.57, 0.19, 0.19, 0.05 —
+// the Graph500 parameters — when all are zero). R-MAT graphs combine a
+// heavy-tailed degree profile with community structure, complementing the
+// Barabási-Albert stand-in. Self loops and duplicates are dropped; the
+// largest connected component is returned.
+func RMAT(scale, edgeFactor int, a, b, c float64, rng *randx.RNG) (*Graph, error) {
+	if scale < 2 || scale > 24 {
+		return nil, fmt.Errorf("graph: RMAT needs scale in [2,24], got %d", scale)
+	}
+	if edgeFactor < 1 {
+		return nil, fmt.Errorf("graph: RMAT needs edgeFactor >= 1, got %d", edgeFactor)
+	}
+	if a == 0 && b == 0 && c == 0 {
+		a, b, c = 0.57, 0.19, 0.19
+	}
+	if a <= 0 || b < 0 || c < 0 || a+b+c >= 1 {
+		return nil, fmt.Errorf("graph: RMAT needs a>0, b,c>=0, a+b+c<1 (d=1-a-b-c)")
+	}
+	n := 1 << scale
+	m := int64(edgeFactor) * int64(n)
+	bld := NewBuilder(n)
+	for e := int64(0); e < m; e++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u != v {
+			bld.AddEdge(u, v)
+		}
+	}
+	g, err := bld.Build()
+	if err != nil {
+		return nil, err
+	}
+	g, _, err = g.LargestComponent()
+	return g, err
+}

@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"testing"
+
+	"landmarkrd/internal/randx"
+)
+
+func TestGeneratorsConnectedAndDeterministic(t *testing.T) {
+	gens := []struct {
+		name string
+		gen  func(seed uint64) (*Graph, error)
+	}{
+		{"ba", func(s uint64) (*Graph, error) { return BarabasiAlbert(500, 3, randx.New(s)) }},
+		{"er-gnm", func(s uint64) (*Graph, error) { return ErdosRenyiGNM(500, 2000, randx.New(s)) }},
+		{"er-gnp", func(s uint64) (*Graph, error) { return ErdosRenyiGNP(300, 0.03, randx.New(s)) }},
+		{"grid", func(s uint64) (*Graph, error) { return Grid2D(20, 25, 0.05, randx.New(s)) }},
+		{"ws", func(s uint64) (*Graph, error) { return WattsStrogatz(400, 3, 0.1, randx.New(s)) }},
+		{"regular", func(s uint64) (*Graph, error) { return RandomRegular(200, 4, randx.New(s)) }},
+		{"tree", func(s uint64) (*Graph, error) { return RandomTree(300, randx.New(s)) }},
+	}
+	for _, gc := range gens {
+		t.Run(gc.name, func(t *testing.T) {
+			g1, err := gc.gen(42)
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			if !g1.IsConnected() {
+				t.Error("generated graph not connected")
+			}
+			if g1.N() < 2 {
+				t.Errorf("n = %d too small", g1.N())
+			}
+			g2, err := gc.gen(42)
+			if err != nil {
+				t.Fatalf("regenerate: %v", err)
+			}
+			if g1.N() != g2.N() || g1.M() != g2.M() {
+				t.Errorf("same seed produced different graphs: (%d,%d) vs (%d,%d)",
+					g1.N(), g1.M(), g2.N(), g2.M())
+			}
+		})
+	}
+}
+
+func TestBarabasiAlbertDegrees(t *testing.T) {
+	g, err := BarabasiAlbert(1000, 4, randx.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every non-seed vertex attaches 4 edges; dedup can only remove
+	// within the seed clique, so min degree >= 4.
+	st := g.BasicStats()
+	if st.MinDegree < 4 {
+		t.Errorf("BA min degree %d < k=4", st.MinDegree)
+	}
+	// Hubs must emerge.
+	if st.MaxDegree < 30 {
+		t.Errorf("BA max degree %d suspiciously small", st.MaxDegree)
+	}
+	if g.M() < 3900 || g.M() > 4010 {
+		t.Errorf("BA m = %d, want ~%d", g.M(), 4*1000)
+	}
+}
+
+func TestGridDegrees(t *testing.T) {
+	g, err := Grid2D(10, 12, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 120 {
+		t.Fatalf("n = %d, want 120", g.N())
+	}
+	if g.M() != int64(9*12+11*10) {
+		t.Errorf("m = %d, want %d", g.M(), 9*12+11*10)
+	}
+	st := g.BasicStats()
+	if st.MaxDegree > 4 || st.MinDegree < 2 {
+		t.Errorf("grid degrees out of range: %+v", st)
+	}
+}
+
+func TestRandomRegularIsRegular(t *testing.T) {
+	g, err := RandomRegular(100, 6, randx.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) != 6 {
+			t.Fatalf("degree(%d) = %d, want 6", u, g.Degree(u))
+		}
+	}
+}
+
+func TestRandomRegularRejectsOddProduct(t *testing.T) {
+	if _, err := RandomRegular(5, 3, randx.New(1)); err == nil {
+		t.Error("RandomRegular(5,3) succeeded with odd n*d")
+	}
+}
+
+func TestClosedFormGraphs(t *testing.T) {
+	p, err := Path(5)
+	if err != nil || p.M() != 4 {
+		t.Errorf("Path: %v, m=%d", err, p.M())
+	}
+	c, err := Cycle(5)
+	if err != nil || c.M() != 5 {
+		t.Errorf("Cycle: %v, m=%d", err, c.M())
+	}
+	k, err := Complete(5)
+	if err != nil || k.M() != 10 {
+		t.Errorf("Complete: %v, m=%d", err, k.M())
+	}
+	s, err := Star(5)
+	if err != nil || s.M() != 4 || s.Degree(0) != 4 {
+		t.Errorf("Star: %v", err)
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	g, err := RandomTree(200, randx.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != int64(g.N()-1) || !g.IsConnected() {
+		t.Errorf("not a tree: n=%d m=%d connected=%v", g.N(), g.M(), g.IsConnected())
+	}
+}
+
+func TestGeneratorParameterValidation(t *testing.T) {
+	rng := randx.New(1)
+	cases := []func() error{
+		func() error { _, err := BarabasiAlbert(3, 5, rng); return err },
+		func() error { _, err := ErdosRenyiGNM(1, 5, rng); return err },
+		func() error { _, err := ErdosRenyiGNP(10, 0, rng); return err },
+		func() error { _, err := ErdosRenyiGNP(10, 1.5, rng); return err },
+		func() error { _, err := Grid2D(1, 5, 0, rng); return err },
+		func() error { _, err := WattsStrogatz(5, 3, 0.1, rng); return err },
+		func() error { _, err := WattsStrogatz(10, 2, -0.1, rng); return err },
+		func() error { _, err := Path(1); return err },
+		func() error { _, err := Cycle(2); return err },
+		func() error { _, err := Complete(1); return err },
+		func() error { _, err := Star(1); return err },
+		func() error { _, err := RandomTree(1, rng); return err },
+	}
+	for i, c := range cases {
+		if c() == nil {
+			t.Errorf("case %d: invalid parameters accepted", i)
+		}
+	}
+}
+
+func TestErdosRenyiGNPCompleteAtP1(t *testing.T) {
+	g, err := ErdosRenyiGNP(12, 1, randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 66 {
+		t.Errorf("G(12, 1) has m=%d, want 66", g.M())
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g, err := RMAT(10, 8, 0, 0, 0, randx.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Error("RMAT largest component not connected")
+	}
+	if g.N() < 512 || g.N() > 1024 {
+		t.Errorf("RMAT n = %d, want most of 1024", g.N())
+	}
+	// Heavy tail: max degree far above average.
+	st := g.BasicStats()
+	if float64(st.MaxDegree) < 5*st.AvgDegree {
+		t.Errorf("RMAT max degree %d not heavy-tailed (avg %.1f)", st.MaxDegree, st.AvgDegree)
+	}
+	// Determinism.
+	g2, err := RMAT(10, 8, 0, 0, 0, randx.New(77))
+	if err != nil || g.N() != g2.N() || g.M() != g2.M() {
+		t.Error("RMAT not deterministic")
+	}
+	// Validation.
+	if _, err := RMAT(1, 8, 0, 0, 0, randx.New(1)); err == nil {
+		t.Error("tiny scale accepted")
+	}
+	if _, err := RMAT(8, 0, 0, 0, 0, randx.New(1)); err == nil {
+		t.Error("zero edge factor accepted")
+	}
+	if _, err := RMAT(8, 4, 0.9, 0.1, 0.1, randx.New(1)); err == nil {
+		t.Error("invalid quadrant probabilities accepted")
+	}
+}

@@ -1,0 +1,209 @@
+// Package graph provides the compressed-sparse-row (CSR) undirected graph
+// that every algorithm in this module operates on, together with builders,
+// edge-list IO, traversals, and synthetic generators.
+//
+// Graphs are simple (no self loops, no parallel edges after building),
+// undirected, and optionally weighted with positive edge weights. Vertices
+// are dense integers in [0, N).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Graph is an immutable undirected graph in CSR form.
+//
+// For each vertex u, the neighbors are adj[offsets[u]:offsets[u+1]] with
+// matching weights w[offsets[u]:offsets[u+1]]. Every undirected edge {u,v}
+// is stored twice, once in each endpoint's adjacency list.
+type Graph struct {
+	n       int
+	m       int64 // number of undirected edges
+	offsets []int64
+	adj     []int32
+	w       []float64 // nil for unweighted graphs (all weights 1)
+	deg     []float64 // weighted degree per vertex
+	cumw    []float64 // per-vertex cumulative weights, built lazily for weighted sampling
+	volume  float64   // sum of weighted degrees = 2 * total edge weight
+}
+
+// ErrNotConnected is returned by operations that require a connected graph.
+var ErrNotConnected = errors.New("graph: not connected")
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int64 { return g.m }
+
+// Weighted reports whether the graph carries non-unit edge weights.
+func (g *Graph) Weighted() bool { return g.w != nil }
+
+// Volume returns the sum of weighted degrees (twice the total edge weight).
+func (g *Graph) Volume() float64 { return g.volume }
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int) int {
+	return int(g.offsets[u+1] - g.offsets[u])
+}
+
+// WeightedDegree returns the sum of weights of edges incident to u.
+// For unweighted graphs this equals Degree(u).
+func (g *Graph) WeightedDegree(u int) float64 { return g.deg[u] }
+
+// Neighbors returns the adjacency slice of u. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Neighbors(u int) []int32 {
+	return g.adj[g.offsets[u]:g.offsets[u+1]]
+}
+
+// NeighborWeights returns the weights aligned with Neighbors(u), or nil for
+// unweighted graphs.
+func (g *Graph) NeighborWeights(u int) []float64 {
+	if g.w == nil {
+		return nil
+	}
+	return g.w[g.offsets[u]:g.offsets[u+1]]
+}
+
+// EdgeWeight returns the weight of the i-th incident edge of u
+// (1 for unweighted graphs).
+func (g *Graph) EdgeWeight(u int, i int) float64 {
+	if g.w == nil {
+		return 1
+	}
+	return g.w[g.offsets[u]+int64(i)]
+}
+
+// ForEachNeighbor calls fn(v, w) for every edge (u, v) with weight w.
+func (g *Graph) ForEachNeighbor(u int, fn func(v int32, w float64)) {
+	lo, hi := g.offsets[u], g.offsets[u+1]
+	if g.w == nil {
+		for i := lo; i < hi; i++ {
+			fn(g.adj[i], 1)
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		fn(g.adj[i], g.w[i])
+	}
+}
+
+// ForEachEdge calls fn(u, v, w) exactly once per undirected edge, with u < v.
+func (g *Graph) ForEachEdge(fn func(u, v int32, w float64)) {
+	for u := 0; u < g.n; u++ {
+		lo, hi := g.offsets[u], g.offsets[u+1]
+		for i := lo; i < hi; i++ {
+			v := g.adj[i]
+			if int32(u) < v {
+				wt := 1.0
+				if g.w != nil {
+					wt = g.w[i]
+				}
+				fn(int32(u), v, wt)
+			}
+		}
+	}
+}
+
+// HasEdge reports whether {u,v} is an edge, by binary search over u's
+// (sorted) adjacency list.
+func (g *Graph) HasEdge(u, v int) bool {
+	a := g.Neighbors(u)
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < int32(v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(a) && a[lo] == int32(v)
+}
+
+// MaxDegreeVertex returns a vertex of maximum weighted degree.
+func (g *Graph) MaxDegreeVertex() int {
+	best, bestDeg := 0, math.Inf(-1)
+	for u := 0; u < g.n; u++ {
+		if g.deg[u] > bestDeg {
+			best, bestDeg = u, g.deg[u]
+		}
+	}
+	return best
+}
+
+// ValidateVertex returns an error if u is out of range.
+func (g *Graph) ValidateVertex(u int) error {
+	if u < 0 || u >= g.n {
+		return fmt.Errorf("graph: vertex %d out of range [0,%d)", u, g.n)
+	}
+	return nil
+}
+
+// cumWeights returns the per-vertex prefix-sum weight array used by the
+// weighted neighbor sampler, building it on first use. Safe only for
+// single-goroutine construction phases; callers that sample concurrently
+// must call EnsureSamplingIndex first.
+func (g *Graph) cumWeights() []float64 {
+	if g.cumw == nil && g.w != nil {
+		cw := make([]float64, len(g.w))
+		for u := 0; u < g.n; u++ {
+			lo, hi := g.offsets[u], g.offsets[u+1]
+			sum := 0.0
+			for i := lo; i < hi; i++ {
+				sum += g.w[i]
+				cw[i] = sum
+			}
+		}
+		g.cumw = cw
+	}
+	return g.cumw
+}
+
+// EnsureSamplingIndex eagerly builds the weighted-sampling prefix sums so
+// that subsequent sampling from multiple goroutines is read-only.
+func (g *Graph) EnsureSamplingIndex() { g.cumWeights() }
+
+// CumWeights returns the cumulative weight slice aligned with Neighbors(u)
+// (nil for unweighted graphs). Callers sampling concurrently must have
+// called EnsureSamplingIndex first.
+func (g *Graph) CumWeights(u int) []float64 {
+	cw := g.cumWeights()
+	if cw == nil {
+		return nil
+	}
+	return cw[g.offsets[u]:g.offsets[u+1]]
+}
+
+// Stats summarizes basic structural statistics.
+type Stats struct {
+	N         int
+	M         int64
+	AvgDegree float64
+	MaxDegree int
+	MinDegree int
+	Weighted  bool
+}
+
+// BasicStats computes the summary statistics of g.
+func (g *Graph) BasicStats() Stats {
+	s := Stats{N: g.n, M: g.m, Weighted: g.w != nil, MinDegree: math.MaxInt}
+	for u := 0; u < g.n; u++ {
+		d := g.Degree(u)
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+	}
+	if g.n > 0 {
+		s.AvgDegree = 2 * float64(g.m) / float64(g.n)
+	} else {
+		s.MinDegree = 0
+	}
+	return s
+}

@@ -1,0 +1,233 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"landmarkrd/internal/randx"
+)
+
+func mustBuild(t *testing.T, b *Builder) *Graph {
+	t.Helper()
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	g := mustBuild(t, b)
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("got n=%d m=%d, want 4, 4", g.N(), g.M())
+	}
+	for u := 0; u < 4; u++ {
+		if g.Degree(u) != 2 {
+			t.Errorf("degree(%d) = %d, want 2", u, g.Degree(u))
+		}
+		if g.WeightedDegree(u) != 2 {
+			t.Errorf("weighted degree(%d) = %v, want 2", u, g.WeightedDegree(u))
+		}
+	}
+	if g.Weighted() {
+		t.Error("unit-weight graph reported as weighted")
+	}
+	if g.Volume() != 8 {
+		t.Errorf("volume = %v, want 8", g.Volume())
+	}
+}
+
+func TestBuilderMergesDuplicates(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(1, 0, 3) // same edge, reversed
+	b.AddEdge(1, 2)
+	g := mustBuild(t, b)
+	if g.M() != 2 {
+		t.Fatalf("m = %d, want 2 after merging", g.M())
+	}
+	w := g.NeighborWeights(0)
+	if len(w) != 1 || w[0] != 5 {
+		t.Errorf("merged weight = %v, want [5]", w)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		add  func(b *Builder)
+	}{
+		{"self loop", func(b *Builder) { b.AddEdge(1, 1) }},
+		{"out of range", func(b *Builder) { b.AddEdge(0, 9) }},
+		{"negative vertex", func(b *Builder) { b.AddEdge(-1, 0) }},
+		{"zero weight", func(b *Builder) { b.AddWeightedEdge(0, 1, 0) }},
+		{"negative weight", func(b *Builder) { b.AddWeightedEdge(0, 1, -2) }},
+		{"NaN weight", func(b *Builder) { b.AddWeightedEdge(0, 1, math.NaN()) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := NewBuilder(3)
+			b.AddEdge(0, 1)
+			c.add(b)
+			if _, err := b.Build(); err == nil {
+				t.Errorf("Build succeeded despite %s", c.name)
+			}
+		})
+	}
+}
+
+func TestAdjacencySortedAndSymmetric(t *testing.T) {
+	rng := randx.New(11)
+	err := quick.Check(func(seed uint16) bool {
+		n := 20
+		b := NewBuilder(n)
+		local := randx.New(uint64(seed))
+		for i := 0; i < 40; i++ {
+			u, v := local.Intn(n), local.Intn(n)
+			if u != v {
+				b.AddWeightedEdge(u, v, 1+local.Float64())
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			nb := g.Neighbors(u)
+			for i := 1; i < len(nb); i++ {
+				if nb[i-1] >= nb[i] {
+					return false // unsorted or duplicate
+				}
+			}
+			for i, v := range nb {
+				if !g.HasEdge(int(v), u) {
+					return false // asymmetric storage
+				}
+				// Weight symmetry.
+				wu := g.EdgeWeight(u, i)
+				found := false
+				for j, x := range g.Neighbors(int(v)) {
+					if int(x) == u && g.EdgeWeight(int(v), j) == wu {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30, Rand: nil})
+	_ = rng
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := mustBuild(t, func() *Builder {
+		b := NewBuilder(5)
+		b.AddEdge(0, 2)
+		b.AddEdge(2, 4)
+		return b
+	}())
+	if !g.HasEdge(0, 2) || !g.HasEdge(2, 0) || !g.HasEdge(4, 2) {
+		t.Error("existing edges not found")
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(0, 4) || g.HasEdge(3, 3) {
+		t.Error("phantom edges found")
+	}
+}
+
+func TestForEachEdgeVisitsOnce(t *testing.T) {
+	g, err := BarabasiAlbert(100, 3, randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := int64(0)
+	g.ForEachEdge(func(u, v int32, w float64) {
+		if u >= v {
+			t.Errorf("ForEachEdge order violated: (%d,%d)", u, v)
+		}
+		count++
+	})
+	if count != g.M() {
+		t.Errorf("visited %d edges, want %d", count, g.M())
+	}
+}
+
+func TestDegreeSumEqualsTwoM(t *testing.T) {
+	g, err := ErdosRenyiGNM(200, 600, randx.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for u := 0; u < g.N(); u++ {
+		sum += int64(g.Degree(u))
+	}
+	if sum != 2*g.M() {
+		t.Errorf("degree sum %d != 2m %d", sum, 2*g.M())
+	}
+}
+
+func TestMaxDegreeVertex(t *testing.T) {
+	g, err := Star(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := g.MaxDegreeVertex(); v != 0 {
+		t.Errorf("star max-degree vertex = %d, want 0", v)
+	}
+}
+
+func TestValidateVertex(t *testing.T) {
+	g, _ := Path(5)
+	if err := g.ValidateVertex(4); err != nil {
+		t.Errorf("ValidateVertex(4) = %v", err)
+	}
+	if err := g.ValidateVertex(5); err == nil {
+		t.Error("ValidateVertex(5) succeeded")
+	}
+	if err := g.ValidateVertex(-1); err == nil {
+		t.Error("ValidateVertex(-1) succeeded")
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	g, _ := Star(6)
+	s := g.BasicStats()
+	if s.N != 6 || s.M != 5 || s.MaxDegree != 5 || s.MinDegree != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCumWeights(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(0, 2, 3)
+	g := mustBuild(t, b)
+	cw := g.CumWeights(0)
+	if len(cw) != 2 || cw[0] != 2 || cw[1] != 5 {
+		t.Errorf("CumWeights(0) = %v, want [2 5]", cw)
+	}
+	gu, _ := Path(3)
+	if gu.CumWeights(0) != nil {
+		t.Error("unweighted graph returned non-nil CumWeights")
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g, err := FromEdges(3, []int{0, 1}, []int{1, 2})
+	if err != nil || g.M() != 2 {
+		t.Errorf("FromEdges: %v, m=%d", err, g.M())
+	}
+	if _, err := FromEdges(3, []int{0}, []int{1, 2}); err == nil {
+		t.Error("FromEdges with mismatched slices succeeded")
+	}
+}

@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Edge-list format: one edge per line, "u v" or "u v w", '#'-prefixed
+// comment lines ignored. Vertex ids are arbitrary non-negative integers and
+// are compacted to a dense range on load.
+
+// ReadEdgeList parses an edge list from r. Vertex ids are remapped densely
+// in order of first appearance; the mapping is returned so callers can
+// translate back.
+func ReadEdgeList(r io.Reader) (*Graph, map[int]int, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	idOf := make(map[int]int)
+	var us, vs []int
+	var ws []float64
+	lineNo := 0
+	lookup := func(raw int) int {
+		if id, ok := idOf[raw]; ok {
+			return id
+		}
+		id := len(idOf)
+		idOf[raw] = id
+		return id
+	}
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: expected at least 2 fields, got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad vertex %q: %w", lineNo, fields[0], err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad vertex %q: %w", lineNo, fields[1], err)
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("graph: line %d: bad weight %q: %w", lineNo, fields[2], err)
+			}
+		}
+		if u == v {
+			continue // skip self loops silently on load
+		}
+		us = append(us, lookup(u))
+		vs = append(vs, lookup(v))
+		ws = append(ws, w)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	b := NewBuilder(len(idOf))
+	for i := range us {
+		b.AddWeightedEdge(us[i], vs[i], ws[i])
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, idOf, nil
+}
+
+// LoadEdgeList reads an edge-list file from path.
+func LoadEdgeList(path string) (*Graph, map[int]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// WriteEdgeList writes g in the edge-list format. Weights are emitted only
+// for weighted graphs.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# landmarkrd edge list: n=%d m=%d weighted=%v\n", g.n, g.m, g.Weighted())
+	var err error
+	g.ForEachEdge(func(u, v int32, wt float64) {
+		if err != nil {
+			return
+		}
+		if g.Weighted() {
+			_, err = fmt.Fprintf(bw, "%d %d %g\n", u, v, wt)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("graph: writing edge list: %w", err)
+	}
+	return bw.Flush()
+}
+
+// SaveEdgeList writes g to the file at path.
+func (g *Graph) SaveEdgeList(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	return g.WriteEdgeList(f)
+}

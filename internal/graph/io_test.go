@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"landmarkrd/internal/randx"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g1, err := BarabasiAlbert(200, 3, randx.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g1.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.N() != g2.N() || g1.M() != g2.M() {
+		t.Fatalf("round trip changed size: (%d,%d) vs (%d,%d)", g1.N(), g1.M(), g2.N(), g2.M())
+	}
+}
+
+func TestWeightedRoundTrip(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 2.5)
+	b.AddWeightedEdge(1, 2, 0.125)
+	g1 := mustBuild(t, b)
+	var buf bytes.Buffer
+	if err := g1.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, idOf, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Weighted() {
+		t.Fatal("weights lost in round trip")
+	}
+	u, v := idOf[0], idOf[1]
+	found := false
+	for i, x := range g2.Neighbors(u) {
+		if int(x) == v && g2.EdgeWeight(u, i) == 2.5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("weight 2.5 not preserved")
+	}
+}
+
+func TestReadEdgeListParsing(t *testing.T) {
+	input := `# comment
+% another comment
+10 20
+20 30 2.5
+
+30 10
+5 5
+`
+	g, idOf, err := ReadEdgeList(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 {
+		t.Errorf("n = %d, want 3 (self loop skipped, ids compacted)", g.N())
+	}
+	if g.M() != 3 {
+		t.Errorf("m = %d, want 3", g.M())
+	}
+	if len(idOf) != 3 {
+		t.Errorf("id map size %d, want 3", len(idOf))
+	}
+	if !g.Weighted() {
+		t.Error("weighted edge not detected")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"1\n",          // too few fields
+		"a b\n",        // bad vertex
+		"1 b\n",        // bad second vertex
+		"1 2 weight\n", // bad weight
+		"1 2 -1\n",     // negative weight rejected by builder
+	}
+	for _, c := range cases {
+		if _, _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadEdgeList(%q) succeeded", c)
+		}
+	}
+}
+
+func TestSaveAndLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g1, _ := Cycle(10)
+	if err := g1.SaveEdgeList(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 10 || g2.M() != 10 {
+		t.Errorf("loaded n=%d m=%d", g2.N(), g2.M())
+	}
+	if _, _, err := LoadEdgeList(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("loading missing file succeeded")
+	}
+	// Make sure we wrote a comment header.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "#") {
+		t.Error("edge list missing header comment")
+	}
+}
+
+func TestTriangleWeighted(t *testing.T) {
+	// K4: every edge lies in exactly 2 triangles.
+	g, _ := Complete(4)
+	w, err := TriangleWeighted(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ForEachEdge(func(u, v int32, wt float64) {
+		if wt != 2 {
+			t.Errorf("K4 edge (%d,%d) weight %v, want 2", u, v, wt)
+		}
+	})
+	// A tree has no triangles: all weights floored to 1.
+	tr, _ := Path(5)
+	wt, err := TriangleWeighted(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt.ForEachEdge(func(u, v int32, w float64) {
+		if w != 1 {
+			t.Errorf("path edge (%d,%d) weight %v, want 1", u, v, w)
+		}
+	})
+}
+
+func TestUniformWeighted(t *testing.T) {
+	g, _ := Cycle(20)
+	rng := randx.New(4)
+	w, err := UniformWeighted(g, 1, 3, rng.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ForEachEdge(func(u, v int32, wt float64) {
+		if wt < 1 || wt >= 3 {
+			t.Errorf("weight %v out of [1,3)", wt)
+		}
+	})
+	if w.M() != g.M() {
+		t.Errorf("edge count changed: %d vs %d", w.M(), g.M())
+	}
+}

@@ -1,0 +1,196 @@
+package graph
+
+import "sort"
+
+// BFS runs a breadth-first search from src and returns the hop distance to
+// every vertex (-1 for unreachable vertices).
+func (g *Graph) BFS(src int) []int32 {
+	dist := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, 64)
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		for _, v := range g.Neighbors(int(u)) {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Components labels the connected components of g. It returns the label of
+// each vertex (labels are dense in [0, count)) and the number of components.
+func (g *Graph) Components() (labels []int32, count int) {
+	labels = make([]int32, g.n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int32
+	for start := 0; start < g.n; start++ {
+		if labels[start] >= 0 {
+			continue
+		}
+		labels[start] = int32(count)
+		queue = append(queue[:0], int32(start))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range g.Neighbors(int(u)) {
+				if labels[v] < 0 {
+					labels[v] = int32(count)
+					queue = append(queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// IsConnected reports whether g is connected (the empty graph counts as
+// connected; a single vertex does too).
+func (g *Graph) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	_, c := g.Components()
+	return c == 1
+}
+
+// LargestComponent returns the subgraph induced by the largest connected
+// component, together with the mapping from new vertex ids to original ids.
+func (g *Graph) LargestComponent() (*Graph, []int32, error) {
+	labels, count := g.Components()
+	if count == 1 {
+		ids := make([]int32, g.n)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		return g, ids, nil
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	remap := make([]int32, g.n)
+	var ids []int32
+	next := int32(0)
+	for u := 0; u < g.n; u++ {
+		if labels[u] == int32(best) {
+			remap[u] = next
+			ids = append(ids, int32(u))
+			next++
+		} else {
+			remap[u] = -1
+		}
+	}
+	b := NewBuilder(int(next))
+	g.ForEachEdge(func(u, v int32, w float64) {
+		if remap[u] >= 0 && remap[v] >= 0 {
+			b.AddWeightedEdge(int(remap[u]), int(remap[v]), w)
+		}
+	})
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, ids, nil
+}
+
+// CoreNumbers computes the k-core number of every vertex using the standard
+// linear-time peeling algorithm (Batagelj-Zaveršnik), on unweighted degrees.
+func (g *Graph) CoreNumbers() []int32 {
+	n := g.n
+	deg := make([]int32, n)
+	maxDeg := int32(0)
+	for u := 0; u < n; u++ {
+		deg[u] = int32(g.Degree(u))
+		if deg[u] > maxDeg {
+			maxDeg = deg[u]
+		}
+	}
+	// Bucket sort vertices by degree.
+	bin := make([]int32, maxDeg+2)
+	for u := 0; u < n; u++ {
+		bin[deg[u]+1]++
+	}
+	for d := int32(1); d < int32(len(bin)); d++ {
+		bin[d] += bin[d-1]
+	}
+	pos := make([]int32, n)  // position of vertex in vert
+	vert := make([]int32, n) // vertices sorted by degree
+	start := make([]int32, maxDeg+1)
+	copy(start, bin[:maxDeg+1])
+	fill := make([]int32, maxDeg+1)
+	copy(fill, start)
+	for u := 0; u < n; u++ {
+		pos[u] = fill[deg[u]]
+		vert[pos[u]] = int32(u)
+		fill[deg[u]]++
+	}
+	core := make([]int32, n)
+	for i := 0; i < n; i++ {
+		u := vert[i]
+		core[u] = deg[u]
+		for _, v := range g.Neighbors(int(u)) {
+			if deg[v] > deg[u] {
+				dv := deg[v]
+				pv, pw := pos[v], start[dv]
+				w := vert[pw]
+				if v != w {
+					vert[pv], vert[pw] = w, v
+					pos[v], pos[w] = pw, pv
+				}
+				start[dv]++
+				deg[v]--
+			}
+		}
+	}
+	return core
+}
+
+// Eccentricity returns the BFS eccentricity of u (max hop distance to any
+// reachable vertex).
+func (g *Graph) Eccentricity(u int) int32 {
+	dist := g.BFS(u)
+	var ecc int32
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// TopKByDegree returns the k vertices of highest weighted degree, in
+// decreasing order. Ties break by vertex id for determinism.
+func (g *Graph) TopKByDegree(k int) []int {
+	if k > g.n {
+		k = g.n
+	}
+	idx := make([]int, g.n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if g.deg[idx[a]] != g.deg[idx[b]] {
+			return g.deg[idx[a]] > g.deg[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:k]
+}

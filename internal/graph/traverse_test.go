@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"testing"
+
+	"landmarkrd/internal/randx"
+)
+
+func TestBFSOnPath(t *testing.T) {
+	g, _ := Path(6)
+	d := g.BFS(0)
+	for i, want := range []int32{0, 1, 2, 3, 4, 5} {
+		if d[i] != want {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+	d = g.BFS(3)
+	for i, want := range []int32{3, 2, 1, 0, 1, 2} {
+		if d[i] != want {
+			t.Errorf("dist from 3: [%d] = %d, want %d", i, d[i], want)
+		}
+	}
+}
+
+func TestComponentsAndLargest(t *testing.T) {
+	// Two components: a triangle {0,1,2} and an edge {3,4}, plus isolated 5.
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(3, 4)
+	g := mustBuild(t, b)
+	labels, count := g.Components()
+	if count != 3 {
+		t.Fatalf("components = %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Error("triangle split across components")
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Error("edge component mislabeled")
+	}
+	if g.IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+	sub, ids, err := g.LargestComponent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 || sub.M() != 3 {
+		t.Errorf("largest component n=%d m=%d, want 3, 3", sub.N(), sub.M())
+	}
+	for _, orig := range ids {
+		if orig > 2 {
+			t.Errorf("largest component contains vertex %d", orig)
+		}
+	}
+}
+
+func TestLargestComponentIdentityWhenConnected(t *testing.T) {
+	g, _ := Cycle(10)
+	sub, ids, err := g.LargestComponent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub != g {
+		t.Error("connected graph was rebuilt")
+	}
+	for i, v := range ids {
+		if int(v) != i {
+			t.Errorf("ids[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestCoreNumbers(t *testing.T) {
+	// K5 with a pendant path: core of clique vertices is 4, path tail is 1.
+	b := NewBuilder(7)
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 6)
+	g := mustBuild(t, b)
+	core := g.CoreNumbers()
+	for u := 0; u < 5; u++ {
+		if core[u] != 4 {
+			t.Errorf("core[%d] = %d, want 4", u, core[u])
+		}
+	}
+	if core[5] != 1 || core[6] != 1 {
+		t.Errorf("pendant cores = %d, %d, want 1, 1", core[5], core[6])
+	}
+}
+
+func TestCoreNumbersOnStarAndCycle(t *testing.T) {
+	s, _ := Star(8)
+	for u, c := range s.CoreNumbers() {
+		if c != 1 {
+			t.Errorf("star core[%d] = %d, want 1", u, c)
+		}
+	}
+	cy, _ := Cycle(8)
+	for u, c := range cy.CoreNumbers() {
+		if c != 2 {
+			t.Errorf("cycle core[%d] = %d, want 2", u, c)
+		}
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g, _ := Path(7)
+	if e := g.Eccentricity(0); e != 6 {
+		t.Errorf("ecc(0) = %d, want 6", e)
+	}
+	if e := g.Eccentricity(3); e != 3 {
+		t.Errorf("ecc(3) = %d, want 3", e)
+	}
+}
+
+func TestTopKByDegree(t *testing.T) {
+	g, err := BarabasiAlbert(300, 3, randx.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := g.TopKByDegree(10)
+	if len(top) != 10 {
+		t.Fatalf("len(top) = %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if g.WeightedDegree(top[i-1]) < g.WeightedDegree(top[i]) {
+			t.Errorf("top-k not sorted at %d", i)
+		}
+	}
+	if g.WeightedDegree(top[0]) != g.WeightedDegree(g.MaxDegreeVertex()) {
+		t.Error("top[0] is not a max-degree vertex")
+	}
+	if got := g.TopKByDegree(10 * g.N()); len(got) != g.N() {
+		t.Errorf("oversized k returned %d entries", len(got))
+	}
+}

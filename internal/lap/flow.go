@@ -1,0 +1,97 @@
+package lap
+
+import (
+	"fmt"
+	"math"
+
+	"landmarkrd/internal/graph"
+)
+
+// ElectricFlow is the unit s→t current flow on a graph: for each edge
+// (u, v) with u < v, Flow holds w_uv·(φ(u) − φ(v)) — the current from u to
+// v (negative values mean current flows v → u).
+type ElectricFlow struct {
+	G      *graph.Graph
+	S, T   int
+	Phi    []float64 // vertex potentials, mean-centred
+	keys   []int64   // packed (u<<32|v) edge keys, u < v
+	values []float64 // current on the corresponding edge
+	index  map[int64]int
+}
+
+// ComputeElectricFlow solves for the unit-current electric flow from s to t.
+// The energy of the flow equals r(s, t).
+func ComputeElectricFlow(g *graph.Graph, s, t int) (*ElectricFlow, error) {
+	if s == t {
+		return nil, fmt.Errorf("lap: electric flow needs distinct endpoints, got %d", s)
+	}
+	phi, err := PotentialCG(g, s, t)
+	if err != nil {
+		return nil, err
+	}
+	f := &ElectricFlow{G: g, S: s, T: t, Phi: phi, index: make(map[int64]int)}
+	g.ForEachEdge(func(u, v int32, w float64) {
+		key := int64(u)<<32 | int64(v)
+		f.index[key] = len(f.keys)
+		f.keys = append(f.keys, key)
+		f.values = append(f.values, w*(phi[u]-phi[v]))
+	})
+	return f, nil
+}
+
+// Flow returns the signed current on edge {u, v}, oriented u → v.
+// It returns an error when {u, v} is not an edge.
+func (f *ElectricFlow) Flow(u, v int) (float64, error) {
+	sign := 1.0
+	if u > v {
+		u, v = v, u
+		sign = -1
+	}
+	i, ok := f.index[int64(u)<<32|int64(v)]
+	if !ok {
+		return 0, fmt.Errorf("lap: (%d,%d) is not an edge", u, v)
+	}
+	return sign * f.values[i], nil
+}
+
+// NetDivergence returns the net out-flow at vertex u. By Kirchhoff's
+// current law it is +1 at s, −1 at t, and 0 elsewhere.
+func (f *ElectricFlow) NetDivergence(u int) float64 {
+	var div float64
+	phiU := f.Phi[u]
+	f.G.ForEachNeighbor(u, func(v int32, w float64) {
+		div += w * (phiU - f.Phi[v])
+	})
+	return div
+}
+
+// Energy returns Σ_e flow(e)²/w_e, which equals r(s, t) for the unit
+// current (Thomson's principle: the electric flow minimizes this energy).
+func (f *ElectricFlow) Energy() float64 {
+	var sum float64
+	i := 0
+	f.G.ForEachEdge(func(u, v int32, w float64) {
+		cur := f.values[i]
+		i++
+		sum += cur * cur / w
+	})
+	return sum
+}
+
+// MaxFlowEdge returns the edge carrying the largest absolute current — the
+// bottleneck of the electric routing.
+func (f *ElectricFlow) MaxFlowEdge() (u, v int, current float64) {
+	best := -1
+	bestAbs := -1.0
+	for i, c := range f.values {
+		if a := math.Abs(c); a > bestAbs {
+			bestAbs = a
+			best = i
+		}
+	}
+	if best < 0 {
+		return -1, -1, 0
+	}
+	key := f.keys[best]
+	return int(key >> 32), int(key & 0xffffffff), f.values[best]
+}

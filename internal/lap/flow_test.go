@@ -1,0 +1,138 @@
+package lap
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/randx"
+)
+
+func TestElectricFlowKirchhoff(t *testing.T) {
+	// Kirchhoff's current law on random graphs: divergence is +1 at s,
+	// -1 at t, 0 elsewhere; and the flow energy equals r(s,t).
+	err := quick.Check(func(seedRaw uint16, aRaw, bRaw uint8) bool {
+		rng := randx.New(uint64(seedRaw) + 200)
+		g, err := graph.ErdosRenyiGNM(40, 120, rng)
+		if err != nil {
+			return false
+		}
+		n := g.N()
+		s, u := int(aRaw)%n, int(bRaw)%n
+		if s == u {
+			return true
+		}
+		f, err := ComputeElectricFlow(g, s, u)
+		if err != nil {
+			return false
+		}
+		for x := 0; x < n; x++ {
+			want := 0.0
+			if x == s {
+				want = 1
+			} else if x == u {
+				want = -1
+			}
+			if math.Abs(f.NetDivergence(x)-want) > 1e-6 {
+				return false
+			}
+		}
+		r, err := ResistanceCG(g, s, u)
+		if err != nil {
+			return false
+		}
+		return math.Abs(f.Energy()-r) < 1e-6
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElectricFlowOnPath(t *testing.T) {
+	g, _ := graph.Path(5)
+	f, err := ComputeElectricFlow(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit current flows along every path edge, in orientation i -> i+1.
+	for i := 0; i+1 < 5; i++ {
+		cur, err := f.Flow(i, i+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cur-1) > 1e-7 {
+			t.Errorf("flow(%d,%d) = %v, want 1", i, i+1, cur)
+		}
+		// Reversed orientation flips the sign.
+		rev, _ := f.Flow(i+1, i)
+		if math.Abs(rev+1) > 1e-7 {
+			t.Errorf("flow(%d,%d) = %v, want -1", i+1, i, rev)
+		}
+	}
+	if _, err := f.Flow(0, 3); err == nil {
+		t.Error("non-edge accepted")
+	}
+	u, v, cur := f.MaxFlowEdge()
+	if math.Abs(math.Abs(cur)-1) > 1e-7 || !g.HasEdge(u, v) {
+		t.Errorf("MaxFlowEdge = (%d,%d,%v)", u, v, cur)
+	}
+}
+
+func TestElectricFlowSplitsAcrossParallelPaths(t *testing.T) {
+	// A cycle of 6: from 0 to 3 there are two 3-edge paths; current splits
+	// evenly, 1/2 each.
+	g, _ := graph.Cycle(6)
+	f, err := ComputeElectricFlow(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := f.Flow(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cur-0.5) > 1e-7 {
+		t.Errorf("flow(0,1) = %v, want 0.5", cur)
+	}
+	cur, _ = f.Flow(0, 5)
+	if math.Abs(cur-0.5) > 1e-7 {
+		t.Errorf("flow(0,5) = %v, want 0.5", cur)
+	}
+}
+
+func TestElectricFlowWeighted(t *testing.T) {
+	// Parallel conductances 2 and 1 between 0 and 2 via 1 and 3: the
+	// current divides proportionally to conductance of each series path.
+	b := graph.NewBuilder(4)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(1, 2, 2) // top path, conductance 1 overall
+	b.AddWeightedEdge(0, 3, 1)
+	b.AddWeightedEdge(3, 2, 1) // bottom path, conductance 1/2 overall
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ComputeElectricFlow(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, _ := f.Flow(0, 1)
+	bottom, _ := f.Flow(0, 3)
+	if math.Abs(top+bottom-1) > 1e-7 {
+		t.Errorf("total out-current = %v, want 1", top+bottom)
+	}
+	// Path conductances 1 and 0.5 → split 2:1.
+	if math.Abs(top-2.0/3) > 1e-7 || math.Abs(bottom-1.0/3) > 1e-7 {
+		t.Errorf("split = (%v, %v), want (2/3, 1/3)", top, bottom)
+	}
+}
+
+func TestElectricFlowValidation(t *testing.T) {
+	g, _ := graph.Cycle(5)
+	if _, err := ComputeElectricFlow(g, 2, 2); err == nil {
+		t.Error("s == t accepted")
+	}
+	if _, err := ComputeElectricFlow(g, 0, 9); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+}

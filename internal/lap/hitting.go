@@ -1,0 +1,55 @@
+package lap
+
+import (
+	"fmt"
+
+	"landmarkrd/internal/graph"
+)
+
+// HittingTimesTo returns the expected hitting time h(s, v) of the random
+// walk from every source s to the target v, computed exactly with a single
+// grounded solve:
+//
+//	h(·, v) = L_v⁻¹ · d   (restricted to V \ {v}),
+//
+// since (L_v⁻¹ d)_s = Σ_t τ_v(s,t) = E[steps of the v-absorbed walk from s].
+// h(v, v) = 0. This quantity is the cost model of every landmark algorithm,
+// so the evaluation uses it to explain landmark quality.
+func HittingTimesTo(g *graph.Graph, v int, tol float64) ([]float64, error) {
+	if err := g.ValidateVertex(v); err != nil {
+		return nil, err
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	d := make([]float64, g.N())
+	for u := 0; u < g.N(); u++ {
+		d[u] = g.WeightedDegree(u)
+	}
+	d[v] = 0
+	h, _, err := GroundedSolve(g, v, d, tol)
+	if err != nil {
+		return nil, fmt.Errorf("lap: hitting times: %w", err)
+	}
+	h[v] = 0
+	return h, nil
+}
+
+// MeanHittingTimeTo returns the average of h(s, v) over all sources s ≠ v —
+// a single scalar summarizing how good v is as a landmark.
+func MeanHittingTimeTo(g *graph.Graph, v int, tol float64) (float64, error) {
+	h, err := HittingTimesTo(g, v, tol)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for u, x := range h {
+		if u != v {
+			sum += x
+		}
+	}
+	if g.N() <= 1 {
+		return 0, nil
+	}
+	return sum / float64(g.N()-1), nil
+}

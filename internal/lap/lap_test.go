@@ -1,0 +1,467 @@
+package lap
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/linalg"
+	"landmarkrd/internal/randx"
+)
+
+func TestLaplacianApply(t *testing.T) {
+	g, _ := graph.Path(4) // L of a path: tridiag(-1, deg, -1)
+	l := &Laplacian{G: g}
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 4)
+	l.Apply(y, x)
+	want := []float64{1*1 - 2, 2*2 - 1 - 3, 2*3 - 2 - 4, 1*4 - 3}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-12 {
+			t.Errorf("L·x[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	// L annihilates constants.
+	for i := range x {
+		x[i] = 3
+	}
+	l.Apply(y, x)
+	for i := range y {
+		if math.Abs(y[i]) > 1e-12 {
+			t.Errorf("L·1[%d] = %v", i, y[i])
+		}
+	}
+	d := l.Diagonal()
+	if d[0] != 1 || d[1] != 2 {
+		t.Errorf("Diagonal = %v", d)
+	}
+}
+
+func TestGroundedApplyPinsLandmark(t *testing.T) {
+	g, _ := graph.Cycle(5)
+	op := &Grounded{G: g, Landmark: 2}
+	x := []float64{1, 1, 99, 1, 1} // value at landmark must be ignored
+	y := make([]float64, 5)
+	op.Apply(y, x)
+	if y[2] != 0 {
+		t.Errorf("dst[landmark] = %v, want 0", y[2])
+	}
+	// Vertex 1 neighbors {0, 2}; contribution of 2 dropped:
+	// y[1] = 2*1 - x[0] = 1.
+	if math.Abs(y[1]-1) > 1e-12 {
+		t.Errorf("y[1] = %v, want 1", y[1])
+	}
+	if d := op.Diagonal(); d[2] != 1 {
+		t.Errorf("grounded diagonal at landmark = %v", d[2])
+	}
+}
+
+func TestResistanceClosedForms(t *testing.T) {
+	// Path: r(i,j) = |i-j|.
+	p, _ := graph.Path(10)
+	for _, pair := range [][2]int{{0, 9}, {2, 5}, {3, 4}} {
+		r, err := ResistanceCG(p, pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Abs(float64(pair[0] - pair[1]))
+		if math.Abs(r-want) > 1e-8 {
+			t.Errorf("path r%v = %v, want %v", pair, r, want)
+		}
+	}
+	// Cycle: r(0,k) = k(n-k)/n.
+	c, _ := graph.Cycle(12)
+	for _, k := range []int{1, 3, 6} {
+		r, err := ResistanceCG(c, 0, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(k) * float64(12-k) / 12
+		if math.Abs(r-want) > 1e-8 {
+			t.Errorf("cycle r(0,%d) = %v, want %v", k, r, want)
+		}
+	}
+	// Complete: r = 2/n.
+	kg, _ := graph.Complete(9)
+	r, err := ResistanceCG(kg, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-2.0/9) > 1e-8 {
+		t.Errorf("K9 r = %v, want %v", r, 2.0/9)
+	}
+	// Star: r(0, leaf) = 1, r(leaf, leaf') = 2.
+	s, _ := graph.Star(6)
+	if r, _ := ResistanceCG(s, 0, 3); math.Abs(r-1) > 1e-8 {
+		t.Errorf("star r(center,leaf) = %v", r)
+	}
+	if r, _ := ResistanceCG(s, 2, 4); math.Abs(r-2) > 1e-8 {
+		t.Errorf("star r(leaf,leaf) = %v", r)
+	}
+}
+
+func TestResistanceOnTreesEqualsPathLength(t *testing.T) {
+	rng := randx.New(21)
+	g, err := graph.RandomTree(60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := g.BFS(7)
+	for _, u := range []int{0, 13, 25, 59} {
+		if u == 7 {
+			continue
+		}
+		r, err := ResistanceCG(g, 7, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r-float64(dist[u])) > 1e-7 {
+			t.Errorf("tree r(7,%d) = %v, want %d", u, r, dist[u])
+		}
+	}
+}
+
+func TestWeightedResistanceSeriesParallel(t *testing.T) {
+	// Two parallel edges of conductance 2 and 3 between 0 and 1 merge to
+	// conductance 5 (the builder sums duplicate weights): r = 1/5.
+	b := graph.NewBuilder(2)
+	b.AddWeightedEdge(0, 1, 2)
+	b.AddWeightedEdge(0, 1, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ResistanceCG(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.2) > 1e-9 {
+		t.Errorf("parallel r = %v, want 0.2", r)
+	}
+	// Series: conductances 2 and 3 in series give r = 1/2 + 1/3.
+	b2 := graph.NewBuilder(3)
+	b2.AddWeightedEdge(0, 1, 2)
+	b2.AddWeightedEdge(1, 2, 3)
+	g2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ResistanceCG(g2, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2-(0.5+1.0/3)) > 1e-9 {
+		t.Errorf("series r = %v, want %v", r2, 0.5+1.0/3)
+	}
+}
+
+func TestDenseMatchesCG(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		rng := randx.New(uint64(seed) + 100)
+		g, err := graph.ErdosRenyiGNM(40, 120, rng)
+		if err != nil || g.N() < 5 {
+			return true // skip degenerate draws
+		}
+		s, u := rng.Intn(g.N()), rng.Intn(g.N())
+		if s == u {
+			return true
+		}
+		rcg, err := ResistanceCG(g, s, u)
+		if err != nil {
+			return false
+		}
+		rdense, err := ResistanceDense(g, s, u)
+		if err != nil {
+			return false
+		}
+		return math.Abs(rcg-rdense) < 1e-6
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroundedInverseIdentities(t *testing.T) {
+	rng := randx.New(33)
+	g, err := graph.BarabasiAlbert(40, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := 11
+	inv, err := DenseGroundedInverse(g, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identity 1: r(s,t) = inv[s,s] - 2 inv[s,t] + inv[t,t].
+	for _, pair := range [][2]int{{0, 5}, {3, 30}, {20, 39}} {
+		s, u := pair[0], pair[1]
+		want, err := ResistanceDense(g, s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := inv.At(s, s) - 2*inv.At(s, u) + inv.At(u, u)
+		if math.Abs(got-want) > 1e-8 {
+			t.Errorf("grounded identity r(%d,%d): %v vs %v", s, u, got, want)
+		}
+	}
+	// Identity 2: r(s,v) = inv[s,s].
+	for _, s := range []int{0, 7, 25} {
+		want, _ := ResistanceDense(g, s, v)
+		if math.Abs(inv.At(s, s)-want) > 1e-8 {
+			t.Errorf("r(%d,v) = %v, want %v", s, inv.At(s, s), want)
+		}
+	}
+	// Identity 3: symmetry of the grounded inverse.
+	for i := 0; i < g.N(); i += 7 {
+		for j := 0; j < g.N(); j += 5 {
+			if math.Abs(inv.At(i, j)-inv.At(j, i)) > 1e-9 {
+				t.Errorf("asymmetry at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestLandmarkInvariance(t *testing.T) {
+	rng := randx.New(44)
+	g, err := graph.WattsStrogatz(60, 3, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, u := 5, 40
+	var base float64
+	for i, v := range []int{0, 17, 33, 59} {
+		if v == s || v == u {
+			continue
+		}
+		b := make([]float64, g.N())
+		b[s] = 1
+		b[u] = -1
+		x, _, err := GroundedSolve(g, v, b, ExactTol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := x[s] - x[u]
+		if i == 0 {
+			base = r
+			continue
+		}
+		if math.Abs(r-base) > 1e-7 {
+			t.Errorf("landmark %d changed resistance: %v vs %v", v, r, base)
+		}
+	}
+}
+
+func TestPotentialCG(t *testing.T) {
+	g, _ := graph.Path(5)
+	phi, err := PotentialCG(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(linalg.Sum(phi)) > 1e-8 {
+		t.Errorf("potential not mean-centred: sum = %v", linalg.Sum(phi))
+	}
+	if math.Abs((phi[0]-phi[4])-4) > 1e-7 {
+		t.Errorf("phi(s)-phi(t) = %v, want 4", phi[0]-phi[4])
+	}
+	// Ohm's law on each edge: unit current flows along the path.
+	for i := 0; i+1 < 5; i++ {
+		if math.Abs((phi[i]-phi[i+1])-1) > 1e-7 {
+			t.Errorf("flow on edge (%d,%d) = %v, want 1", i, i+1, phi[i]-phi[i+1])
+		}
+	}
+}
+
+func TestCommuteTime(t *testing.T) {
+	// On a path of 2 vertices, commute time = 2 (one step each way), and
+	// Vol·r = 2·1 = 2.
+	g, _ := graph.Path(2)
+	c, err := CommuteTime(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-2) > 1e-8 {
+		t.Errorf("commute = %v, want 2", c)
+	}
+}
+
+func TestFosterTheoremExact(t *testing.T) {
+	rng := randx.New(55)
+	g, err := graph.ErdosRenyiGNM(40, 140, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var ferr error
+	g.ForEachEdge(func(u, v int32, w float64) {
+		if ferr != nil {
+			return
+		}
+		r, err := EffectiveResistanceOfEdge(g, int(u), int(v))
+		if err != nil {
+			ferr = err
+			return
+		}
+		sum += w * r
+	})
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if math.Abs(sum-float64(g.N()-1)) > 1e-5 {
+		t.Errorf("Foster sum = %v, want %d", sum, g.N()-1)
+	}
+	if _, err := EffectiveResistanceOfEdge(g, 0, 0); err == nil {
+		t.Error("non-edge accepted")
+	}
+}
+
+func TestSameVertexZeroAndValidation(t *testing.T) {
+	g, _ := graph.Cycle(6)
+	if r, err := ResistanceCG(g, 3, 3); err != nil || r != 0 {
+		t.Errorf("r(3,3) = %v, %v", r, err)
+	}
+	if _, err := ResistanceCG(g, 0, 17); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if _, err := ResistanceDense(g, -1, 2); err == nil {
+		t.Error("negative vertex accepted")
+	}
+}
+
+func TestTwoVertexGraph(t *testing.T) {
+	g, _ := graph.Path(2)
+	r, err := ResistanceCG(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-9 {
+		t.Errorf("r = %v, want 1", r)
+	}
+}
+
+func TestConditionNumberOnCycle(t *testing.T) {
+	// For the n-cycle, λ₂(ℒ) = 1 - cos(2π/n), so κ = 2/(1-cos(2π/n)).
+	n := 40
+	g, _ := graph.Cycle(n)
+	want := 2 / (1 - math.Cos(2*math.Pi/float64(n)))
+	rng := randx.New(66)
+	pw, err := ConditionNumber(g, 1e-10, 200000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pw.Kappa-want)/want > 0.02 {
+		t.Errorf("power kappa = %v, want %v", pw.Kappa, want)
+	}
+	lz, err := LanczosConditionNumber(g, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lz.Kappa-want)/want > 0.02 {
+		t.Errorf("lanczos kappa = %v, want %v", lz.Kappa, want)
+	}
+}
+
+func TestConditionNumberExpanderSmall(t *testing.T) {
+	g, err := graph.RandomRegular(200, 6, randx.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LanczosConditionNumber(g, 80, randx.New(78))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kappa > 10 {
+		t.Errorf("expander kappa = %v, want small", res.Kappa)
+	}
+	road, err := graph.Grid2D(20, 20, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := LanczosConditionNumber(road, 120, randx.New(79))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Kappa < 5*res.Kappa {
+		t.Errorf("grid kappa %v not much larger than expander kappa %v", res2.Kappa, res.Kappa)
+	}
+}
+
+func TestNormalizedAdjacencyTopEigenvector(t *testing.T) {
+	g, _ := graph.BarabasiAlbert(80, 3, randx.New(88))
+	op := NewNormalizedAdjacency(g)
+	top := op.TopEigenvector()
+	out := make([]float64, g.N())
+	op.Apply(out, top)
+	// 𝒜·top = top exactly (eigenvalue 1).
+	for i := range out {
+		if math.Abs(out[i]-top[i]) > 1e-9 {
+			t.Fatalf("top eigenvector violated at %d: %v vs %v", i, out[i], top[i])
+		}
+	}
+	if math.Abs(linalg.Norm2(top)-1) > 1e-12 {
+		t.Errorf("top eigenvector not normalized")
+	}
+}
+
+func TestHittingTimesExactVsMC(t *testing.T) {
+	rng := randx.New(99)
+	g, err := graph.BarabasiAlbert(60, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := g.MaxDegreeVertex()
+	h, err := HittingTimesTo(g, v, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[v] != 0 {
+		t.Errorf("h(v,v) = %v", h[v])
+	}
+	// Cross-check one source against the dense grounded row sum.
+	inv, err := DenseGroundedInverse(g, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := (v + 3) % g.N()
+	want := 0.0
+	for u := 0; u < g.N(); u++ {
+		want += inv.At(src, u) * g.WeightedDegree(u)
+	}
+	if math.Abs(h[src]-want) > 1e-6 {
+		t.Errorf("h(%d,v) = %v, want %v", src, h[src], want)
+	}
+	mean, err := MeanHittingTimeTo(g, v, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for u, x := range h {
+		if u != v {
+			sum += x
+		}
+	}
+	if math.Abs(mean-sum/float64(g.N()-1)) > 1e-9 {
+		t.Errorf("mean hitting mismatch: %v", mean)
+	}
+}
+
+func TestHittingTimeOnPathClosedForm(t *testing.T) {
+	// On the path 0..n-1 (reflecting far end), the birth-death recurrence
+	// gives h(s, 0) = s·(2(n-1) − s): the increments d(k) = h(k)−h(k−1)
+	// satisfy d(n−1) = 1 and d(k) = d(k+1) + 2.
+	n := 12
+	g, _ := graph.Path(n)
+	h, err := HittingTimesTo(g, 0, 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s < n; s++ {
+		want := float64(s * (2*(n-1) - s))
+		if math.Abs(h[s]-want) > 1e-6 {
+			t.Errorf("h(%d,0) = %v, want %v", s, h[s], want)
+		}
+	}
+	if _, err := HittingTimesTo(g, 99, 0); err == nil {
+		t.Error("invalid target accepted")
+	}
+}

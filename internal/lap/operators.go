@@ -1,0 +1,153 @@
+// Package lap provides Laplacian operators over CSR graphs and the exact
+// (reference) resistance-distance computations built on them: grounded
+// conjugate-gradient solves for large graphs and dense pseudo-inverse
+// computation for small test graphs, plus spectral utilities (condition
+// number estimation).
+package lap
+
+import (
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/linalg"
+	"math"
+)
+
+// Laplacian is the linalg.Operator view of L = D - A.
+// It is symmetric positive semi-definite with null space span{1} on a
+// connected graph.
+type Laplacian struct {
+	G *graph.Graph
+}
+
+// Dim implements linalg.Operator.
+func (l *Laplacian) Dim() int { return l.G.N() }
+
+// Apply computes dst = L x.
+func (l *Laplacian) Apply(dst, x []float64) {
+	g := l.G
+	for u := 0; u < g.N(); u++ {
+		s := g.WeightedDegree(u) * x[u]
+		g.ForEachNeighbor(u, func(v int32, w float64) {
+			s -= w * x[v]
+		})
+		dst[u] = s
+	}
+}
+
+// Diagonal implements linalg.DiagonalProvider (the weighted degrees).
+func (l *Laplacian) Diagonal() []float64 {
+	g := l.G
+	d := make([]float64, g.N())
+	for u := range d {
+		d[u] = g.WeightedDegree(u)
+	}
+	return d
+}
+
+// Grounded is the grounded Laplacian L_v: the operator that behaves as L
+// restricted to V \ {v}. Rather than renumbering vertices, it keeps the
+// full index space and pins coordinate v to zero, which keeps all vertex
+// ids stable for callers.
+type Grounded struct {
+	G        *graph.Graph
+	Landmark int
+}
+
+// Dim implements linalg.Operator. The operator acts on full-length vectors
+// whose v-th entry is ignored and produced as zero.
+func (l *Grounded) Dim() int { return l.G.N() }
+
+// Apply computes dst = L_v x, treating x[Landmark] as 0 and forcing
+// dst[Landmark] = 0.
+func (l *Grounded) Apply(dst, x []float64) {
+	g := l.G
+	v := l.Landmark
+	for u := 0; u < g.N(); u++ {
+		if u == v {
+			dst[u] = 0
+			continue
+		}
+		s := g.WeightedDegree(u) * x[u]
+		g.ForEachNeighbor(u, func(w int32, wt float64) {
+			if int(w) != v {
+				s -= wt * x[w]
+			}
+		})
+		dst[u] = s
+	}
+}
+
+// Diagonal implements linalg.DiagonalProvider.
+func (l *Grounded) Diagonal() []float64 {
+	g := l.G
+	d := make([]float64, g.N())
+	for u := range d {
+		d[u] = g.WeightedDegree(u)
+	}
+	d[l.Landmark] = 1 // pinned coordinate; any positive value works
+	return d
+}
+
+// NormalizedAdjacency is the operator 𝒜 = D^{-1/2} A D^{-1/2}.
+type NormalizedAdjacency struct {
+	G       *graph.Graph
+	invSqrt []float64
+}
+
+// NewNormalizedAdjacency precomputes D^{-1/2}.
+func NewNormalizedAdjacency(g *graph.Graph) *NormalizedAdjacency {
+	inv := make([]float64, g.N())
+	for u := range inv {
+		d := g.WeightedDegree(u)
+		if d > 0 {
+			inv[u] = 1 / math.Sqrt(d)
+		}
+	}
+	return &NormalizedAdjacency{G: g, invSqrt: inv}
+}
+
+// Dim implements linalg.Operator.
+func (a *NormalizedAdjacency) Dim() int { return a.G.N() }
+
+// Apply computes dst = 𝒜 x.
+func (a *NormalizedAdjacency) Apply(dst, x []float64) {
+	g := a.G
+	for u := 0; u < g.N(); u++ {
+		var s float64
+		iu := a.invSqrt[u]
+		g.ForEachNeighbor(u, func(v int32, w float64) {
+			s += w * a.invSqrt[v] * x[v]
+		})
+		dst[u] = iu * s
+	}
+}
+
+// TopEigenvector returns the known top eigenvector of 𝒜, namely D^{1/2}·1
+// normalized, with eigenvalue exactly 1 on a connected graph.
+func (a *NormalizedAdjacency) TopEigenvector() []float64 {
+	g := a.G
+	v := make([]float64, g.N())
+	for u := range v {
+		v[u] = math.Sqrt(g.WeightedDegree(u))
+	}
+	n := linalg.Norm2(v)
+	if n > 0 {
+		linalg.Scale(1/n, v)
+	}
+	return v
+}
+
+// GroundedSolve solves L_v x = b (with b[v] ignored) by preconditioned CG
+// and returns the solution with x[v] = 0.
+func GroundedSolve(g *graph.Graph, landmark int, b []float64, tol float64) ([]float64, linalg.CGResult, error) {
+	op := &Grounded{G: g, Landmark: landmark}
+	rhs := make([]float64, g.N())
+	copy(rhs, b)
+	rhs[landmark] = 0
+	x := make([]float64, g.N())
+	res, err := linalg.CG(op, x, rhs, linalg.CGOptions{Tol: tol})
+	if err != nil {
+		return nil, res, err
+	}
+	x[landmark] = 0
+	return x, res, nil
+}

@@ -1,0 +1,169 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Operator is an abstract symmetric positive (semi-)definite linear
+// operator. Implementations must compute dst = A*x without retaining
+// either slice.
+type Operator interface {
+	Dim() int
+	Apply(dst, x []float64)
+}
+
+// Preconditioner applies an approximate inverse: dst ≈ A⁻¹ x.
+type Preconditioner interface {
+	Precondition(dst, x []float64)
+}
+
+// JacobiPreconditioner scales by the inverse diagonal.
+type JacobiPreconditioner struct {
+	InvDiag []float64
+}
+
+// Precondition implements Preconditioner.
+func (p *JacobiPreconditioner) Precondition(dst, x []float64) {
+	for i, d := range p.InvDiag {
+		dst[i] = d * x[i]
+	}
+}
+
+// IdentityPreconditioner is a no-op preconditioner.
+type IdentityPreconditioner struct{}
+
+// Precondition implements Preconditioner.
+func (IdentityPreconditioner) Precondition(dst, x []float64) { copy(dst, x) }
+
+// CGOptions controls the conjugate-gradient solver.
+type CGOptions struct {
+	// Tol is the relative residual tolerance ‖r‖₂ ≤ Tol·‖b‖₂ (default 1e-10).
+	Tol float64
+	// MaxIter bounds the iteration count (default 10·dim + 100).
+	MaxIter int
+	// Precond is the preconditioner (default Jacobi if the operator
+	// provides one via DiagonalProvider, else identity).
+	Precond Preconditioner
+	// ProjectConstant, if set, re-projects iterates to be orthogonal to
+	// the all-ones vector after every step. Required when solving with a
+	// singular graph Laplacian whose null space is span{1}.
+	ProjectConstant bool
+}
+
+// DiagonalProvider is implemented by operators that can expose their
+// diagonal for Jacobi preconditioning.
+type DiagonalProvider interface {
+	Diagonal() []float64
+}
+
+// CGResult reports convergence metadata.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final relative residual
+	Converged  bool
+}
+
+// ErrCGBreakdown indicates a (numerically) indefinite operator was detected.
+var ErrCGBreakdown = errors.New("linalg: conjugate gradient breakdown (operator not positive definite?)")
+
+// CG solves A x = b with the (preconditioned) conjugate gradient method and
+// writes the solution into x (used as the starting guess; pass a zero
+// vector for a cold start). b is not modified.
+func CG(a Operator, x, b []float64, opts CGOptions) (CGResult, error) {
+	n := a.Dim()
+	if len(x) != n || len(b) != n {
+		return CGResult{}, fmt.Errorf("linalg: CG dimension mismatch: operator %d, x %d, b %d", n, len(x), len(b))
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-10
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 10*n + 100
+	}
+	if opts.Precond == nil {
+		if dp, ok := a.(DiagonalProvider); ok {
+			diag := dp.Diagonal()
+			inv := make([]float64, n)
+			for i, d := range diag {
+				if d > 0 {
+					inv[i] = 1 / d
+				} else {
+					inv[i] = 1
+				}
+			}
+			opts.Precond = &JacobiPreconditioner{InvDiag: inv}
+		} else {
+			opts.Precond = IdentityPreconditioner{}
+		}
+	}
+
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	normB := Norm2(b)
+	if normB == 0 {
+		Zero(x)
+		return CGResult{Converged: true}, nil
+	}
+	if opts.ProjectConstant {
+		ProjectOutConstant(x)
+	}
+	// r = b - A x
+	a.Apply(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	if opts.ProjectConstant {
+		ProjectOutConstant(r)
+	}
+	opts.Precond.Precondition(z, r)
+	if opts.ProjectConstant {
+		ProjectOutConstant(z)
+	}
+	copy(p, z)
+	rz := Dot(r, z)
+
+	res := CGResult{}
+	for res.Iterations = 0; res.Iterations < opts.MaxIter; res.Iterations++ {
+		rnorm := Norm2(r)
+		res.Residual = rnorm / normB
+		if res.Residual <= opts.Tol {
+			res.Converged = true
+			return res, nil
+		}
+		a.Apply(ap, p)
+		if opts.ProjectConstant {
+			ProjectOutConstant(ap)
+		}
+		pap := Dot(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			return res, ErrCGBreakdown
+		}
+		alpha := rz / pap
+		Axpy(alpha, p, x)
+		Axpy(-alpha, ap, r)
+		if opts.ProjectConstant {
+			ProjectOutConstant(r)
+		}
+		opts.Precond.Precondition(z, r)
+		if opts.ProjectConstant {
+			ProjectOutConstant(z)
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	res.Residual = Norm2(r) / normB
+	res.Converged = res.Residual <= opts.Tol
+	if !res.Converged {
+		return res, fmt.Errorf("linalg: CG did not converge in %d iterations (residual %.3e)", opts.MaxIter, res.Residual)
+	}
+	return res, nil
+}

@@ -1,0 +1,123 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix. It is used only for small reference
+// computations (exact ground truth on test graphs), so clarity beats
+// blocking/vectorization here.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense allocates a zeroed rows x cols matrix.
+func NewDense(rows, cols int) *Dense {
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the (i, j) element.
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the (i, j) element.
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates into the (i, j) element.
+func (m *Dense) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec computes dst = m * x. dst must have length m.Rows.
+func (m *Dense) MulVec(dst, x []float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, r := range row {
+			s += r * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L with A = L Lᵀ.
+type Cholesky struct {
+	n int
+	l []float64 // row-major lower triangle, full n x n storage
+}
+
+// NewCholesky factorizes the symmetric positive-definite matrix a.
+// Only the lower triangle of a is read.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	c := &Cholesky{n: n, l: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= c.l[i*n+k] * c.l[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotPositiveDefinite
+				}
+				c.l[i*n+i] = math.Sqrt(sum)
+			} else {
+				c.l[i*n+j] = sum / c.l[j*n+j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// Solve solves A x = b and writes the solution into x (which may alias b).
+func (c *Cholesky) Solve(x, b []float64) {
+	n := c.n
+	// Forward substitution L y = b.
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= c.l[i*n+k] * x[k]
+		}
+		x[i] = sum / c.l[i*n+i]
+	}
+	// Back substitution Lᵀ x = y.
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for k := i + 1; k < n; k++ {
+			sum -= c.l[k*n+i] * x[k]
+		}
+		x[i] = sum / c.l[i*n+i]
+	}
+}
+
+// Inverse returns A⁻¹ by solving against the identity, column by column.
+func (c *Cholesky) Inverse() *Dense {
+	n := c.n
+	inv := NewDense(n, n)
+	b := make([]float64, n)
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		Zero(b)
+		b[j] = 1
+		c.Solve(x, b)
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, x[i])
+		}
+	}
+	return inv
+}

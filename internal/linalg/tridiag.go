@@ -1,0 +1,198 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SymTridiag is a symmetric tridiagonal matrix with diagonal Alpha
+// (length k) and off-diagonal Beta (length k-1): T[i][i] = Alpha[i],
+// T[i][i+1] = T[i+1][i] = Beta[i]. It is the output of Lanczos-style
+// iterations and the input to the small solves those methods need.
+type SymTridiag struct {
+	Alpha []float64
+	Beta  []float64
+}
+
+// ErrSingularTridiag is returned when an LDLᵀ pivot (numerically) vanishes.
+var ErrSingularTridiag = errors.New("linalg: singular tridiagonal system")
+
+// Dim returns the dimension of the matrix.
+func (t *SymTridiag) Dim() int { return len(t.Alpha) }
+
+// Validate checks the invariant len(Beta) == len(Alpha)-1.
+func (t *SymTridiag) Validate() error {
+	if len(t.Alpha) == 0 {
+		return errors.New("linalg: empty tridiagonal matrix")
+	}
+	if len(t.Beta) != len(t.Alpha)-1 {
+		return fmt.Errorf("linalg: tridiagonal size mismatch: %d diagonal, %d off-diagonal", len(t.Alpha), len(t.Beta))
+	}
+	return nil
+}
+
+// Solve solves T x = b via the LDLᵀ (Thomas) recurrence without pivoting.
+// For the shifted matrices this library solves (I − T with spectrum inside
+// the unit disc) the factorization is well conditioned.
+func (t *SymTridiag) Solve(b []float64) ([]float64, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	k := t.Dim()
+	if len(b) != k {
+		return nil, fmt.Errorf("linalg: rhs length %d does not match dimension %d", len(b), k)
+	}
+	d := make([]float64, k) // pivots
+	l := make([]float64, k) // subdiagonal multipliers, l[0] unused
+	x := make([]float64, k)
+	d[0] = t.Alpha[0]
+	if d[0] == 0 || math.IsNaN(d[0]) {
+		return nil, ErrSingularTridiag
+	}
+	for i := 1; i < k; i++ {
+		l[i] = t.Beta[i-1] / d[i-1]
+		d[i] = t.Alpha[i] - l[i]*t.Beta[i-1]
+		if d[i] == 0 || math.IsNaN(d[i]) {
+			return nil, ErrSingularTridiag
+		}
+	}
+	// Forward solve L y = b.
+	x[0] = b[0]
+	for i := 1; i < k; i++ {
+		x[i] = b[i] - l[i]*x[i-1]
+	}
+	// Diagonal solve D z = y.
+	for i := 0; i < k; i++ {
+		x[i] /= d[i]
+	}
+	// Back solve Lᵀ x = z.
+	for i := k - 2; i >= 0; i-- {
+		x[i] -= l[i+1] * x[i+1]
+	}
+	return x, nil
+}
+
+// ShiftedSolveE1 solves (c·I − T) x = e₁ and returns x[0]. This is the
+// quadratic form the Lanczos resistance-distance estimators need
+// (with c = 1).
+func (t *SymTridiag) ShiftedSolveE1(c float64) (float64, error) {
+	k := t.Dim()
+	shifted := SymTridiag{Alpha: make([]float64, k), Beta: make([]float64, max(k-1, 0))}
+	for i := range t.Alpha {
+		shifted.Alpha[i] = c - t.Alpha[i]
+	}
+	for i := range t.Beta {
+		shifted.Beta[i] = -t.Beta[i]
+	}
+	b := make([]float64, k)
+	b[0] = 1
+	x, err := shifted.Solve(b)
+	if err != nil {
+		return 0, err
+	}
+	return x[0], nil
+}
+
+// ShiftedSolveE1Vec solves (c·I − T) x = e₁ and returns the full solution
+// vector, used when the Krylov basis is needed to reconstruct potentials.
+func (t *SymTridiag) ShiftedSolveE1Vec(c float64) ([]float64, error) {
+	k := t.Dim()
+	shifted := SymTridiag{Alpha: make([]float64, k), Beta: make([]float64, max(k-1, 0))}
+	for i := range t.Alpha {
+		shifted.Alpha[i] = c - t.Alpha[i]
+	}
+	for i := range t.Beta {
+		shifted.Beta[i] = -t.Beta[i]
+	}
+	b := make([]float64, k)
+	b[0] = 1
+	return shifted.Solve(b)
+}
+
+// sturmCount returns the number of eigenvalues of T strictly less than x,
+// via the Sturm sequence of the LDLᵀ pivots.
+func (t *SymTridiag) sturmCount(x float64) int {
+	count := 0
+	d := t.Alpha[0] - x
+	if d < 0 {
+		count++
+	}
+	const tiny = 1e-300
+	for i := 1; i < len(t.Alpha); i++ {
+		if d == 0 {
+			d = tiny
+		}
+		d = (t.Alpha[i] - x) - t.Beta[i-1]*t.Beta[i-1]/d
+		if d < 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// EigenRange returns (lo, hi) bracketing all eigenvalues via Gershgorin.
+func (t *SymTridiag) EigenRange() (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	k := t.Dim()
+	for i := 0; i < k; i++ {
+		r := 0.0
+		if i > 0 {
+			r += math.Abs(t.Beta[i-1])
+		}
+		if i < k-1 {
+			r += math.Abs(t.Beta[i])
+		}
+		if t.Alpha[i]-r < lo {
+			lo = t.Alpha[i] - r
+		}
+		if t.Alpha[i]+r > hi {
+			hi = t.Alpha[i] + r
+		}
+	}
+	return lo, hi
+}
+
+// Eigenvalue returns the (idx+1)-th smallest eigenvalue of T (idx in
+// [0, k)), computed by Sturm-sequence bisection to absolute tolerance tol.
+func (t *SymTridiag) Eigenvalue(idx int, tol float64) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	k := t.Dim()
+	if idx < 0 || idx >= k {
+		return 0, fmt.Errorf("linalg: eigenvalue index %d out of range [0,%d)", idx, k)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	lo, hi := t.EigenRange()
+	lo -= tol
+	hi += tol
+	for hi-lo > tol {
+		mid := 0.5 * (lo + hi)
+		if t.sturmCount(mid) <= idx {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// ExtremeEigenvalues returns the smallest and largest eigenvalues of T.
+func (t *SymTridiag) ExtremeEigenvalues(tol float64) (smallest, largest float64, err error) {
+	smallest, err = t.Eigenvalue(0, tol)
+	if err != nil {
+		return 0, 0, err
+	}
+	largest, err = t.Eigenvalue(t.Dim()-1, tol)
+	return smallest, largest, err
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

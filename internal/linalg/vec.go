@@ -1,0 +1,107 @@
+// Package linalg provides the small dense/sparse linear-algebra kernels the
+// library needs: vector primitives, dense symmetric positive-definite
+// solves (Cholesky), symmetric tridiagonal solves and eigen-bounds, and a
+// preconditioned conjugate-gradient solver over abstract operators.
+//
+// Everything is float64 and stdlib-only.
+package linalg
+
+import "math"
+
+// Dot returns the inner product of x and y. The slices must have the same
+// length.
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i, xi := range x {
+		s += xi * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	for i, xi := range x {
+		y[i] += a * xi
+	}
+}
+
+// Scale multiplies x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, xi := range x {
+		s += xi * xi
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the 1-norm of x.
+func Norm1(x []float64) float64 {
+	var s float64
+	for _, xi := range x {
+		s += math.Abs(xi)
+	}
+	return s
+}
+
+// NormInf returns the max-norm of x.
+func NormInf(x []float64) float64 {
+	var s float64
+	for _, xi := range x {
+		if a := math.Abs(xi); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// Zero sets every element of x to 0.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// CopyTo copies src into dst (lengths must match) and returns dst.
+func CopyTo(dst, src []float64) []float64 {
+	copy(dst, src)
+	return dst
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, xi := range x {
+		s += xi
+	}
+	return s
+}
+
+// ProjectOutConstant subtracts the mean from x, making it orthogonal to the
+// all-ones vector. Used to keep Laplacian solves inside range(L).
+func ProjectOutConstant(x []float64) {
+	if len(x) == 0 {
+		return
+	}
+	mean := Sum(x) / float64(len(x))
+	for i := range x {
+		x[i] -= mean
+	}
+}
+
+// ProjectOutWeighted subtracts the w-weighted mean: x -= (<w,x>/<w,w>) * w.
+// Used to deflate the known top eigenvector of the normalized adjacency.
+func ProjectOutWeighted(x, w []float64) {
+	ww := Dot(w, w)
+	if ww == 0 {
+		return
+	}
+	a := Dot(w, x) / ww
+	Axpy(-a, w, x)
+}

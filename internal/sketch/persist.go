@@ -1,0 +1,108 @@
+package sketch
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"landmarkrd/internal/graph"
+)
+
+// Sketch persistence. Layout (little endian):
+//
+//	magic [8]byte "LRDSKT1\n"
+//	k     int64
+//	n     int64
+//	rows  k × n × float64
+
+var sketchMagic = [8]byte{'L', 'R', 'D', 'S', 'K', 'T', '1', '\n'}
+
+// WriteTo serializes the sketch. It implements io.WriterTo.
+func (s *Sketch) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		written += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(sketchMagic); err != nil {
+		return written, fmt.Errorf("sketch: writing: %w", err)
+	}
+	if err := write(int64(s.k)); err != nil {
+		return written, fmt.Errorf("sketch: writing: %w", err)
+	}
+	if err := write(int64(s.g.N())); err != nil {
+		return written, fmt.Errorf("sketch: writing: %w", err)
+	}
+	for _, row := range s.rows {
+		if err := write(row); err != nil {
+			return written, fmt.Errorf("sketch: writing rows: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, fmt.Errorf("sketch: writing: %w", err)
+	}
+	return written, nil
+}
+
+// Save writes the sketch to a file.
+func (s *Sketch) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sketch: %w", err)
+	}
+	defer f.Close()
+	if _, err := s.WriteTo(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Read deserializes a sketch and binds it to g, validating dimensions.
+func Read(r io.Reader, g *graph.Graph) (*Sketch, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("sketch: reading: %w", err)
+	}
+	if magic != sketchMagic {
+		return nil, fmt.Errorf("sketch: bad magic %q", magic[:])
+	}
+	var k, n int64
+	if err := binary.Read(br, binary.LittleEndian, &k); err != nil {
+		return nil, fmt.Errorf("sketch: reading header: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("sketch: reading header: %w", err)
+	}
+	if n != int64(g.N()) {
+		return nil, fmt.Errorf("sketch: built for n=%d, graph has n=%d", n, g.N())
+	}
+	if k <= 0 || k > 1<<24 {
+		return nil, fmt.Errorf("sketch: implausible row count %d", k)
+	}
+	s := &Sketch{g: g, k: int(k), rows: make([][]float64, k)}
+	for i := range s.rows {
+		row := make([]float64, n)
+		if err := binary.Read(br, binary.LittleEndian, row); err != nil {
+			return nil, fmt.Errorf("sketch: reading row %d: %w", i, err)
+		}
+		s.rows[i] = row
+	}
+	return s, nil
+}
+
+// Load reads a sketch file and binds it to g.
+func Load(path string, g *graph.Graph) (*Sketch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sketch: %w", err)
+	}
+	defer f.Close()
+	return Read(f, g)
+}

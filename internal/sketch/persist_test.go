@@ -1,0 +1,88 @@
+package sketch
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/randx"
+)
+
+func TestSketchRoundTrip(t *testing.T) {
+	g, err := graph.BarabasiAlbert(120, 3, randx.New(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := Build(g, Options{K: 32}, randx.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sk.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K() != sk.K() {
+		t.Fatalf("K = %d, want %d", got.K(), sk.K())
+	}
+	for _, pair := range [][2]int{{0, 50}, {3, 119}} {
+		a, _ := sk.Resistance(pair[0], pair[1])
+		b, _ := got.Resistance(pair[0], pair[1])
+		if a != b {
+			t.Errorf("query %v diverged: %v vs %v", pair, a, b)
+		}
+	}
+}
+
+func TestSketchSaveLoadFile(t *testing.T) {
+	g, err := graph.Cycle(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := Build(g, Options{K: 16}, randx.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sk.bin")
+	if err := sk.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K() != 16 {
+		t.Errorf("K = %d", got.K())
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.bin"), g); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSketchReadRejectsBadInput(t *testing.T) {
+	g, _ := graph.Cycle(10)
+	if _, err := Read(strings.NewReader("garbage garbage"), g); err == nil {
+		t.Error("garbage accepted")
+	}
+	sk, err := Build(g, Options{K: 8}, randx.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sk.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := graph.Cycle(12)
+	if _, err := Read(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()-8])
+	if _, err := Read(trunc, g); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}

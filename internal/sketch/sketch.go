@@ -1,0 +1,192 @@
+// Package sketch implements the Spielman-Srivastava effective-resistance
+// sketch: a k x n matrix Z ≈ Q W^{1/2} B L† (Q a random Johnson-
+// Lindenstrauss projection, B the edge-vertex incidence matrix) such that
+//
+//	r(s,t) ≈ ‖Z(e_s − e_t)‖₂²
+//
+// for every pair simultaneously, with relative error 1±ε when
+// k = O(log n / ε²). Building the sketch costs k preconditioned-CG
+// Laplacian solves; queries cost O(k).
+//
+// In this repository the sketch plays two roles: the "sketch/index"-style
+// baseline in the experiment grid, and one of the builders for the
+// landmark index diagonal (r(t, v) for all t).
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/lap"
+	"landmarkrd/internal/linalg"
+	"landmarkrd/internal/randx"
+)
+
+// Sketch holds the k x n sketch matrix, stored row-major.
+type Sketch struct {
+	g    *graph.Graph
+	k    int
+	rows [][]float64
+}
+
+// Options configures sketch construction.
+type Options struct {
+	// Epsilon is the target relative error; used to derive K when K == 0.
+	Epsilon float64
+	// K overrides the number of rows directly (0 = derive from Epsilon).
+	K int
+	// Tol is the CG tolerance for the Laplacian solves (default 1e-8).
+	Tol float64
+	// Workers parallelizes the row solves (default GOMAXPROCS; 1 forces
+	// sequential construction). The result is deterministic in the seed
+	// regardless of worker count: each row gets its own derived RNG.
+	Workers int
+}
+
+// RowsFor returns the standard JL row count ⌈c·ln n / ε²⌉ for the given
+// parameters (c = 8, a practical constant rather than the worst-case one).
+func RowsFor(n int, eps float64) int {
+	if eps <= 0 {
+		eps = 0.5
+	}
+	k := int(math.Ceil(8 * math.Log(float64(n)) / (eps * eps)))
+	if k < 4 {
+		k = 4
+	}
+	return k
+}
+
+// Build constructs the sketch for g.
+func Build(g *graph.Graph, opts Options, rng *randx.RNG) (*Sketch, error) {
+	if g.N() < 2 {
+		return nil, fmt.Errorf("sketch: need n >= 2, got %d", g.N())
+	}
+	if !g.IsConnected() {
+		return nil, graph.ErrNotConnected
+	}
+	k := opts.K
+	if k <= 0 {
+		k = RowsFor(g.N(), opts.Epsilon)
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	n := g.N()
+	op := &lap.Laplacian{G: g}
+	s := &Sketch{g: g, k: k, rows: make([][]float64, k)}
+	scale := 1 / math.Sqrt(float64(k))
+
+	// Derive one RNG per row up front so the sketch is deterministic in
+	// the seed no matter how the rows are scheduled.
+	rowRNGs := make([]*randx.RNG, k)
+	for i := range rowRNGs {
+		rowRNGs[i] = rng.Split()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	solveRow := func(i int) error {
+		// b = Bᵀ W^{1/2} q for a Rademacher edge vector q: each edge
+		// {u,v} contributes ±√w to u and ∓√w to v.
+		rowRNG := rowRNGs[i]
+		b := make([]float64, n)
+		g.ForEachEdge(func(u, v int32, w float64) {
+			sgn := rowRNG.Rademacher() * math.Sqrt(w) * scale
+			b[u] += sgn
+			b[v] -= sgn
+		})
+		// b ⊥ 1 by construction, but project to be safe against rounding.
+		linalg.ProjectOutConstant(b)
+		x := make([]float64, n)
+		if _, err := linalg.CG(op, x, b, linalg.CGOptions{Tol: tol, ProjectConstant: true}); err != nil {
+			return fmt.Errorf("sketch: row %d solve: %w", i, err)
+		}
+		s.rows[i] = x
+		return nil
+	}
+	if workers == 1 {
+		for i := 0; i < k; i++ {
+			if err := solveRow(i); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, k)
+	for i := 0; i < k; i++ {
+		next <- i
+	}
+	close(next)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range next {
+				if err := solveRow(i); err != nil {
+					errs[worker] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// K returns the number of sketch rows.
+func (s *Sketch) K() int { return s.k }
+
+// Resistance returns the sketched estimate of r(u, v).
+func (s *Sketch) Resistance(u, v int) (float64, error) {
+	if err := s.g.ValidateVertex(u); err != nil {
+		return 0, err
+	}
+	if err := s.g.ValidateVertex(v); err != nil {
+		return 0, err
+	}
+	if u == v {
+		return 0, nil
+	}
+	var sum float64
+	for _, row := range s.rows {
+		d := row[u] - row[v]
+		sum += d * d
+	}
+	return sum, nil
+}
+
+// ResistancesFrom returns the sketched r(src, t) for every t, in O(kn).
+func (s *Sketch) ResistancesFrom(src int) ([]float64, error) {
+	if err := s.g.ValidateVertex(src); err != nil {
+		return nil, err
+	}
+	out := make([]float64, s.g.N())
+	for _, row := range s.rows {
+		rs := row[src]
+		for t, rt := range row {
+			d := rs - rt
+			out[t] += d * d
+		}
+	}
+	return out, nil
+}
+
+// MemoryBytes reports the approximate storage of the sketch.
+func (s *Sketch) MemoryBytes() int64 {
+	return int64(s.k) * int64(s.g.N()) * 8
+}

@@ -1,0 +1,129 @@
+// Package walk provides the random-walk machinery the landmark framework
+// is built on: v-absorbed walk sampling (with visit counting), hitting-time
+// estimation, and Wilson's loop-erased-walk algorithm for sampling uniform
+// spanning trees.
+package walk
+
+import (
+	"fmt"
+	"sort"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/randx"
+)
+
+// Sampler draws random-walk steps on a graph. For weighted graphs it uses
+// binary search over per-vertex cumulative weights; for unweighted graphs a
+// uniform neighbor pick.
+type Sampler struct {
+	g *graph.Graph
+}
+
+// NewSampler returns a sampler for g, building the weighted-sampling index
+// eagerly so concurrent use is read-only.
+func NewSampler(g *graph.Graph) *Sampler {
+	g.EnsureSamplingIndex()
+	return &Sampler{g: g}
+}
+
+// Graph returns the underlying graph.
+func (s *Sampler) Graph() *graph.Graph { return s.g }
+
+// Step returns a random neighbor of u, chosen proportionally to edge
+// weight. u must have at least one neighbor.
+func (s *Sampler) Step(u int, rng *randx.RNG) int {
+	g := s.g
+	deg := g.Degree(u)
+	if deg == 0 {
+		panic(fmt.Sprintf("walk: step from isolated vertex %d", u))
+	}
+	if !g.Weighted() {
+		return int(g.Neighbors(u)[rng.Intn(deg)])
+	}
+	nb := g.Neighbors(u)
+	wts := g.NeighborWeights(u)
+	target := rng.Float64() * g.WeightedDegree(u)
+	// Cumulative scan; degrees in benchmark graphs are small enough that a
+	// linear scan beats maintaining prefix arrays for most vertices, but
+	// fall back to binary search over the precomputed prefix sums for
+	// high-degree hubs.
+	if deg <= 16 {
+		acc := 0.0
+		for i, w := range wts {
+			acc += w
+			if target < acc {
+				return int(nb[i])
+			}
+		}
+		return int(nb[deg-1])
+	}
+	cum := s.cumRange(u)
+	i := sort.SearchFloat64s(cum, target)
+	if i >= deg {
+		i = deg - 1
+	}
+	// sort.SearchFloat64s finds the first cum[i] >= target; when
+	// target == cum[i] exactly we still land in a valid slot.
+	return int(nb[i])
+}
+
+// cumRange returns the cumulative weight slice aligned with Neighbors(u).
+func (s *Sampler) cumRange(u int) []float64 {
+	// EnsureSamplingIndex was called in NewSampler, so the prefix sums
+	// exist whenever the graph is weighted.
+	return s.g.CumWeights(u)
+}
+
+// AbsorbedVisits runs a single random walk from src until it hits the
+// absorbing vertex v, invoking visit(u) for every vertex occupancy
+// *before* absorption (src itself counts as the first visit). maxSteps
+// bounds the walk; the return value reports the number of steps taken and
+// whether the walk was absorbed within the budget.
+func (s *Sampler) AbsorbedVisits(src, v int, maxSteps int, rng *randx.RNG, visit func(u int)) (steps int, absorbed bool) {
+	u := src
+	if u == v {
+		return 0, true
+	}
+	for steps = 0; steps < maxSteps; steps++ {
+		visit(u)
+		u = s.Step(u, rng)
+		if u == v {
+			return steps + 1, true
+		}
+	}
+	return steps, false
+}
+
+// HittingTime runs a single walk from src and returns the number of steps
+// needed to reach v (or maxSteps if not absorbed).
+func (s *Sampler) HittingTime(src, v int, maxSteps int, rng *randx.RNG) (steps int, absorbed bool) {
+	return s.AbsorbedVisits(src, v, maxSteps, rng, func(int) {})
+}
+
+// EstimateHitting estimates the mean hitting time h(src, v) from nWalks
+// samples, truncating each at maxSteps. Truncated walks contribute
+// maxSteps, so the estimate is a lower bound when truncation occurs; the
+// truncation fraction is returned so callers can tell.
+func (s *Sampler) EstimateHitting(src, v, nWalks, maxSteps int, rng *randx.RNG) (mean float64, truncatedFrac float64) {
+	if nWalks <= 0 {
+		return 0, 0
+	}
+	total, truncated := 0, 0
+	for i := 0; i < nWalks; i++ {
+		steps, absorbed := s.HittingTime(src, v, maxSteps, rng)
+		total += steps
+		if !absorbed {
+			truncated++
+		}
+	}
+	return float64(total) / float64(nWalks), float64(truncated) / float64(nWalks)
+}
+
+// LazyStep performs one step of the 1/2-lazy walk: with probability 1/2
+// stay at u, otherwise move to a random neighbor.
+func (s *Sampler) LazyStep(u int, rng *randx.RNG) int {
+	if rng.Uint64()&1 == 0 {
+		return u
+	}
+	return s.Step(u, rng)
+}

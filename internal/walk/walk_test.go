@@ -1,0 +1,265 @@
+package walk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/lap"
+	"landmarkrd/internal/randx"
+)
+
+func TestStepUniformOnUnweighted(t *testing.T) {
+	g, _ := graph.Star(5) // center 0 with leaves 1..4
+	s := NewSampler(g)
+	rng := randx.New(1)
+	counts := make(map[int]int)
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		counts[s.Step(0, rng)]++
+	}
+	for leaf := 1; leaf <= 4; leaf++ {
+		frac := float64(counts[leaf]) / draws
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Errorf("leaf %d frequency %v, want 0.25", leaf, frac)
+		}
+	}
+	// From a leaf the only move is back to the center.
+	if s.Step(2, rng) != 0 {
+		t.Error("leaf stepped somewhere other than the center")
+	}
+}
+
+func TestStepProportionalToWeight(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 1)
+	b.AddWeightedEdge(0, 2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(g)
+	rng := randx.New(2)
+	count2 := 0
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		if s.Step(0, rng) == 2 {
+			count2++
+		}
+	}
+	if frac := float64(count2) / draws; math.Abs(frac-0.75) > 0.02 {
+		t.Errorf("weight-3 neighbor frequency %v, want 0.75", frac)
+	}
+}
+
+func TestStepWeightedHighDegreeUsesBinarySearch(t *testing.T) {
+	// A weighted star with 40 leaves exercises the binary-search path
+	// (degree > 16). Leaf i+1 has weight i+1.
+	n := 41
+	b := graph.NewBuilder(n)
+	total := 0.0
+	for i := 1; i < n; i++ {
+		b.AddWeightedEdge(0, i, float64(i))
+		total += float64(i)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(g)
+	rng := randx.New(3)
+	const draws = 120000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Step(0, rng)]++
+	}
+	for _, leaf := range []int{1, 20, 40} {
+		want := float64(leaf) / total
+		got := float64(counts[leaf]) / draws
+		if math.Abs(got-want) > 0.2*want+0.002 {
+			t.Errorf("leaf %d frequency %v, want %v", leaf, got, want)
+		}
+	}
+}
+
+func TestAbsorbedVisitsMatchGroundedInverse(t *testing.T) {
+	rng := randx.New(4)
+	g, err := graph.BarabasiAlbert(30, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := 0
+	inv, err := lap.DenseGroundedInverse(g, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(g)
+	src, target := 7, 12
+	wantVisits := inv.At(src, target) * g.WeightedDegree(target) // τ(src,target)
+	const walks = 60000
+	var visits float64
+	for i := 0; i < walks; i++ {
+		_, absorbed := s.AbsorbedVisits(src, v, 1<<20, rng, func(u int) {
+			if u == target {
+				visits++
+			}
+		})
+		if !absorbed {
+			t.Fatal("walk not absorbed within budget")
+		}
+	}
+	got := visits / walks
+	if math.Abs(got-wantVisits) > 0.05*wantVisits+0.02 {
+		t.Errorf("E[visits] = %v, want %v", got, wantVisits)
+	}
+}
+
+func TestHittingTimeMatchesGroundedRowSum(t *testing.T) {
+	// h(s,v) + 1 = Σ_t τ(s,t) = Σ_t L_v⁻¹[s,t]·d_t counts total visits
+	// including the start; the walk length equals total visits (each visit
+	// except absorption takes one step... each visited state emits one
+	// step), so E[steps] = Σ_t τ(s,t).
+	rng := randx.New(5)
+	g, err := graph.ErdosRenyiGNM(25, 70, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, src := 0, g.N()-1
+	inv, err := lap.DenseGroundedInverse(g, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for u := 0; u < g.N(); u++ {
+		want += inv.At(src, u) * g.WeightedDegree(u)
+	}
+	s := NewSampler(g)
+	mean, trunc := s.EstimateHitting(src, v, 40000, 1<<20, rng)
+	if trunc > 0 {
+		t.Fatalf("walks truncated: %v", trunc)
+	}
+	if math.Abs(mean-want) > 0.05*want+0.05 {
+		t.Errorf("mean hitting %v, want %v", mean, want)
+	}
+}
+
+func TestLazyStepStaysHalfTheTime(t *testing.T) {
+	g, _ := graph.Cycle(10)
+	s := NewSampler(g)
+	rng := randx.New(6)
+	stay := 0
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		if s.LazyStep(3, rng) == 3 {
+			stay++
+		}
+	}
+	if frac := float64(stay) / draws; math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("lazy stay fraction %v, want 0.5", frac)
+	}
+}
+
+func TestWilsonProducesSpanningTrees(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		rng := randx.New(uint64(seed) + 9)
+		g, err := graph.ErdosRenyiGNM(30, 80, rng)
+		if err != nil || g.N() < 3 {
+			return true
+		}
+		s := NewSampler(g)
+		root := rng.Intn(g.N())
+		tree, err := WilsonUST(s, root, rng)
+		if err != nil {
+			return false
+		}
+		return ValidateSpanningTree(g, tree) == nil
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWilsonEdgeMarginalsMatchResistance(t *testing.T) {
+	// On an unweighted graph, Pr[e ∈ UST] = r(e). Use a cycle with a
+	// chord for non-trivial marginals.
+	b := graph.NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		b.AddEdge(i, (i+1)%6)
+	}
+	b.AddEdge(0, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(10)
+	s := NewSampler(g)
+	marg, err := EdgeMarginals(s, 0, 30000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checked int
+	g.ForEachEdge(func(u, v int32, _ float64) {
+		want, err := lap.ResistanceCG(g, int(u), int(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := marg[PackEdge(int(u), int(v))]
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("edge (%d,%d) marginal %v, want r=%v", u, v, got, want)
+		}
+		checked++
+	})
+	if checked != 7 {
+		t.Errorf("checked %d edges, want 7", checked)
+	}
+	// Foster: total tree edges is exactly n-1 per sample.
+	var total float64
+	for _, p := range marg {
+		total += p
+	}
+	if math.Abs(total-float64(g.N()-1)) > 1e-9 {
+		t.Errorf("sum of marginals %v, want %d exactly", total, g.N()-1)
+	}
+}
+
+func TestWilsonPathToRoot(t *testing.T) {
+	g, _ := graph.Path(6)
+	s := NewSampler(g)
+	tree, err := WilsonUST(s, 0, randx.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The path graph has a unique spanning tree.
+	path := tree.PathToRoot(5)
+	if len(path) != 6 || path[0] != 5 || path[5] != 0 {
+		t.Errorf("PathToRoot = %v", path)
+	}
+}
+
+func TestEdgeMarginalsValidation(t *testing.T) {
+	g, _ := graph.Cycle(5)
+	s := NewSampler(g)
+	if _, err := EdgeMarginals(s, 0, 0, randx.New(1)); err == nil {
+		t.Error("nTrees=0 accepted")
+	}
+	if _, err := WilsonUST(s, 9, randx.New(1)); err == nil {
+		t.Error("invalid root accepted")
+	}
+}
+
+func TestValidateSpanningTreeCatchesBadTrees(t *testing.T) {
+	g, _ := graph.Cycle(4)
+	bad := &SpanningTree{Root: 0, Parent: []int32{-1, 0, 3, 2}} // 2<->3 cycle
+	if err := ValidateSpanningTree(g, bad); err == nil {
+		t.Error("cyclic parent structure accepted")
+	}
+	nonEdge := &SpanningTree{Root: 0, Parent: []int32{-1, 0, 0, 0}} // (2,0) is an edge? cycle4: 0-1,1-2,2-3,3-0; (2,0) is NOT an edge
+	if err := ValidateSpanningTree(g, nonEdge); err == nil {
+		t.Error("non-graph edge accepted")
+	}
+	short := &SpanningTree{Root: 0, Parent: []int32{-1, 0}}
+	if err := ValidateSpanningTree(g, short); err == nil {
+		t.Error("wrong-length parent array accepted")
+	}
+}

@@ -1,0 +1,150 @@
+package walk
+
+import (
+	"fmt"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/randx"
+)
+
+// SpanningTree is a rooted spanning tree given by a parent array:
+// Parent[Root] == -1 and Parent[u] is u's neighbor on the path to the root.
+type SpanningTree struct {
+	Root   int
+	Parent []int32
+}
+
+// Edges invokes fn once per tree edge (child, parent).
+func (t *SpanningTree) Edges(fn func(u, v int)) {
+	for u, p := range t.Parent {
+		if p >= 0 {
+			fn(u, int(p))
+		}
+	}
+}
+
+// PathToRoot returns the vertex sequence from u to the root (inclusive).
+func (t *SpanningTree) PathToRoot(u int) []int {
+	var path []int
+	for u >= 0 {
+		path = append(path, u)
+		if u == t.Root {
+			break
+		}
+		u = int(t.Parent[u])
+	}
+	return path
+}
+
+// WilsonUST samples a uniform (weight-proportional, for weighted graphs)
+// spanning tree rooted at root using Wilson's loop-erased random walk
+// algorithm. The marginal probability that an edge e appears in the tree
+// equals w_e · r(e) — the property the sparsification example and the
+// Foster-theorem tests exploit.
+func WilsonUST(s *Sampler, root int, rng *randx.RNG) (*SpanningTree, error) {
+	g := s.Graph()
+	n := g.N()
+	if err := g.ValidateVertex(root); err != nil {
+		return nil, err
+	}
+	inTree := make([]bool, n)
+	next := make([]int32, n)
+	for i := range next {
+		next[i] = -1
+	}
+	inTree[root] = true
+	for start := 0; start < n; start++ {
+		if inTree[start] {
+			continue
+		}
+		// Random walk from start until the tree is hit, recording the
+		// successor of each visited vertex; cycles are implicitly erased
+		// because revisiting overwrites the successor.
+		u := start
+		for !inTree[u] {
+			v := s.Step(u, rng)
+			next[u] = int32(v)
+			u = v
+		}
+		// Freeze the loop-erased path.
+		u = start
+		for !inTree[u] {
+			inTree[u] = true
+			u = int(next[u])
+		}
+	}
+	t := &SpanningTree{Root: root, Parent: next}
+	t.Parent[root] = -1
+	return t, nil
+}
+
+// EdgeMarginals estimates Pr[e ∈ UST] for every edge by sampling nTrees
+// spanning trees. It returns a map keyed by packed (min,max) endpoint pairs
+// and the packing helper for lookups.
+func EdgeMarginals(s *Sampler, root, nTrees int, rng *randx.RNG) (map[int64]float64, error) {
+	if nTrees <= 0 {
+		return nil, fmt.Errorf("walk: EdgeMarginals needs nTrees > 0, got %d", nTrees)
+	}
+	counts := make(map[int64]float64)
+	for i := 0; i < nTrees; i++ {
+		t, err := WilsonUST(s, root, rng)
+		if err != nil {
+			return nil, err
+		}
+		t.Edges(func(u, v int) {
+			counts[PackEdge(u, v)]++
+		})
+	}
+	for k := range counts {
+		counts[k] /= float64(nTrees)
+	}
+	return counts, nil
+}
+
+// PackEdge packs an undirected edge into a single comparable key.
+func PackEdge(u, v int) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return int64(u)<<32 | int64(v)
+}
+
+// ValidateSpanningTree checks that t is a spanning tree of g: n-1 parent
+// edges, all of which are graph edges, and every vertex reaches the root.
+func ValidateSpanningTree(g *graph.Graph, t *SpanningTree) error {
+	n := g.N()
+	if len(t.Parent) != n {
+		return fmt.Errorf("walk: parent array length %d != n %d", len(t.Parent), n)
+	}
+	edgeCount := 0
+	for u, p := range t.Parent {
+		if u == t.Root {
+			if p != -1 {
+				return fmt.Errorf("walk: root %d has parent %d", u, p)
+			}
+			continue
+		}
+		if p < 0 || int(p) >= n {
+			return fmt.Errorf("walk: vertex %d has invalid parent %d", u, p)
+		}
+		if !g.HasEdge(u, int(p)) {
+			return fmt.Errorf("walk: tree edge (%d,%d) is not a graph edge", u, p)
+		}
+		edgeCount++
+	}
+	if edgeCount != n-1 {
+		return fmt.Errorf("walk: tree has %d edges, want %d", edgeCount, n-1)
+	}
+	// Reachability: follow parents with a step budget of n.
+	for u := 0; u < n; u++ {
+		x, steps := u, 0
+		for x != t.Root {
+			x = int(t.Parent[x])
+			steps++
+			if steps > n {
+				return fmt.Errorf("walk: vertex %d does not reach the root (cycle?)", u)
+			}
+		}
+	}
+	return nil
+}

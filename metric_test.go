@@ -1,0 +1,178 @@
+package landmarkrd_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	landmarkrd "landmarkrd"
+)
+
+// Property-based tests of the mathematical structure of resistance
+// distance, run through the public API against random graphs.
+
+func randomGraph(seed uint64) (*landmarkrd.Graph, error) {
+	switch seed % 3 {
+	case 0:
+		return landmarkrd.BarabasiAlbert(60, 3, seed)
+	case 1:
+		return landmarkrd.ErdosRenyi(60, 200, seed)
+	default:
+		return landmarkrd.WattsStrogatz(60, 2, 0.3, seed)
+	}
+}
+
+func TestResistanceIsAMetric(t *testing.T) {
+	err := quick.Check(func(seedRaw uint16, a, b, c uint8) bool {
+		g, err := randomGraph(uint64(seedRaw))
+		if err != nil {
+			return false
+		}
+		n := g.N()
+		x, y, z := int(a)%n, int(b)%n, int(c)%n
+
+		rxy, err := landmarkrd.Exact(g, x, y)
+		if err != nil {
+			return false
+		}
+		ryx, err := landmarkrd.Exact(g, y, x)
+		if err != nil {
+			return false
+		}
+		// Symmetry.
+		if math.Abs(rxy-ryx) > 1e-7 {
+			return false
+		}
+		// Non-negativity and identity of indiscernibles.
+		if x == y {
+			if math.Abs(rxy) > 1e-9 {
+				return false
+			}
+		} else if rxy <= 0 {
+			return false
+		}
+		// Triangle inequality (resistance distance is a metric).
+		rxz, err := landmarkrd.Exact(g, x, z)
+		if err != nil {
+			return false
+		}
+		rzy, err := landmarkrd.Exact(g, z, y)
+		if err != nil {
+			return false
+		}
+		return rxy <= rxz+rzy+1e-7
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResistanceBounds(t *testing.T) {
+	// 1/w(u,v) >= r(u,v) for edges; r <= hop distance (series bound).
+	err := quick.Check(func(seedRaw uint16) bool {
+		g, err := randomGraph(uint64(seedRaw) + 7)
+		if err != nil {
+			return false
+		}
+		ok := true
+		count := 0
+		g.ForEachEdge(func(u, v int32, w float64) {
+			if !ok || count > 5 {
+				return
+			}
+			count++
+			r, err := landmarkrd.Exact(g, int(u), int(v))
+			if err != nil || r > 1/w+1e-7 {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+		// Hop-distance upper bound from vertex 0.
+		dist := g.BFS(0)
+		for _, u := range []int{g.N() / 2, g.N() - 1} {
+			if u == 0 {
+				continue
+			}
+			r, err := landmarkrd.Exact(g, 0, u)
+			if err != nil || r > float64(dist[u])+1e-7 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 15})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRayleighMonotonicity(t *testing.T) {
+	// Adding an edge can only decrease resistance distances.
+	err := quick.Check(func(seedRaw uint16, aRaw, bRaw uint8) bool {
+		seed := uint64(seedRaw) + 31
+		g, err := landmarkrd.ErdosRenyi(40, 100, seed)
+		if err != nil {
+			return false
+		}
+		n := g.N()
+		a, b := int(aRaw)%n, int(bRaw)%n
+		if a == b || g.HasEdge(a, b) {
+			return true
+		}
+		before, err := landmarkrd.Exact(g, 0, n-1)
+		if err != nil {
+			return false
+		}
+		// Rebuild with the extra edge.
+		nb := landmarkrd.NewBuilder(n)
+		g.ForEachEdge(func(u, v int32, w float64) { nb.AddWeightedEdge(int(u), int(v), w) })
+		nb.AddEdge(a, b)
+		g2, err := nb.Build()
+		if err != nil {
+			return false
+		}
+		after, err := landmarkrd.Exact(g2, 0, n-1)
+		if err != nil {
+			return false
+		}
+		return after <= before+1e-7
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimatorsAgreeWithExactProperty(t *testing.T) {
+	// For random graphs and pairs, Push at tight theta must match Exact.
+	err := quick.Check(func(seedRaw uint16, aRaw, bRaw uint8) bool {
+		g, err := randomGraph(uint64(seedRaw) + 101)
+		if err != nil {
+			return false
+		}
+		n := g.N()
+		a, b := int(aRaw)%n, int(bRaw)%n
+		if a == b {
+			return true
+		}
+		est, err := landmarkrd.NewEstimator(g, landmarkrd.Push, landmarkrd.Options{Seed: 3, Theta: 1e-9})
+		if err != nil {
+			return false
+		}
+		if est.Landmark() == a || est.Landmark() == b {
+			return true
+		}
+		got, err := est.Pair(a, b)
+		if err != nil {
+			return false
+		}
+		want, err := landmarkrd.Exact(g, a, b)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.Value-want) < 1e-4
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}
