@@ -37,6 +37,7 @@ import (
 	"landmarkrd/internal/dynamic"
 	"landmarkrd/internal/graph"
 	"landmarkrd/internal/lap"
+	"landmarkrd/internal/obs"
 	"landmarkrd/internal/randx"
 	"landmarkrd/internal/sketch"
 )
@@ -258,6 +259,79 @@ func (e *Estimator) Pair(s, t int) (Estimate, error) {
 
 // ErrLandmarkConflict is returned when a query endpoint equals the landmark.
 var ErrLandmarkConflict = core.ErrLandmarkConflict
+
+// Metrics is the estimator observability sink: lock-free counters and
+// log-scale histograms recording push operations, walk steps, residual L1
+// mass, landmark hits, and per-query wall time. All recording is atomic, so
+// one Metrics may be shared by many estimators across goroutines (the batch
+// engine does exactly that).
+type Metrics = obs.Metrics
+
+// Stats is a point-in-time snapshot of a Metrics; it marshals to JSON and
+// its String method renders it indented.
+type Stats = obs.Snapshot
+
+// Metrics returns the estimator's metrics sink (always non-nil).
+func (e *Estimator) Metrics() *Metrics {
+	switch e.method {
+	case AbWalk:
+		return e.ab.Metrics()
+	case Push:
+		return e.push.Metrics()
+	default:
+		return e.bipush.Metrics()
+	}
+}
+
+// SetMetrics redirects the estimator's recording to m, e.g. one sink shared
+// by a pool of estimators. Call before issuing queries, not concurrently
+// with them.
+func (e *Estimator) SetMetrics(m *Metrics) {
+	switch e.method {
+	case AbWalk:
+		e.ab.SetMetrics(m)
+	case Push:
+		e.push.SetMetrics(m)
+	default:
+		e.bipush.SetMetrics(m)
+	}
+}
+
+// Stats snapshots the estimator's counters: queries answered, push
+// operations, walk steps, landmark hits, residual mass, and latency/work
+// histograms. Safe to call while queries run on other estimators sharing
+// the same sink.
+func (e *Estimator) Stats() Stats { return e.Metrics().Snapshot() }
+
+// Reseed resets the estimator's random stream to a deterministic function
+// of seed, exactly as NewEstimatorAt would with Options.Seed = seed. Push
+// has no randomness, so Reseed is a no-op there. The batch engine reseeds
+// pooled estimators per call to keep batches reproducible.
+func (e *Estimator) Reseed(seed uint64) {
+	if seed == 0 {
+		seed = 1
+	}
+	rng := randx.New(seed ^ 0xabcdef)
+	switch e.method {
+	case AbWalk:
+		e.ab.Reseed(rng)
+	case BiPush:
+		e.bipush.Reseed(rng)
+	}
+}
+
+// PublishMetrics exposes m's snapshots under name on the process expvar
+// registry, served at /debug/vars by the cmd tools' -debug-addr endpoint.
+// Re-publishing a name swaps the underlying Metrics.
+func PublishMetrics(name string, m *Metrics) { obs.Publish(name, m) }
+
+// SolverMetrics returns the process-wide metrics sink of the exact grounded
+// CG solver (every Exact / index / hitting-time solve records here).
+func SolverMetrics() *Metrics { return lap.SolverMetrics() }
+
+// SolverStats snapshots the process-wide exact-solver counters (CGSolves,
+// CGIterations, per-solve latency under QueryTime).
+func SolverStats() Stats { return lap.SolverStats() }
 
 // SelectLandmark picks a landmark vertex by strategy.
 func SelectLandmark(g *Graph, s Strategy, seed uint64) (int, error) {

@@ -21,36 +21,85 @@ type PairResult struct {
 	Err      error
 }
 
-// BatchOptions configures Pairs.
+// ConflictPolicy selects how batch queries touching the landmark are
+// answered.
+type ConflictPolicy int
+
+const (
+	// ConflictExact answers landmark-touching queries with the exact CG
+	// solver. This is the zero value: a zero BatchOptions never fails a
+	// query just because it happened to hit the landmark.
+	ConflictExact ConflictPolicy = iota
+	// ConflictError fails the individual query with ErrLandmarkConflict
+	// (reported in its PairResult.Err; the batch itself still succeeds).
+	ConflictError
+)
+
+// String implements fmt.Stringer.
+func (p ConflictPolicy) String() string {
+	switch p {
+	case ConflictExact:
+		return "exact"
+	case ConflictError:
+		return "error"
+	default:
+		return fmt.Sprintf("conflictpolicy(%d)", int(p))
+	}
+}
+
+// BatchOptions configures Pairs and NewBatchEngine. The zero value is
+// usable: landmark selected by strategy, GOMAXPROCS workers, and
+// landmark-touching queries answered exactly.
 type BatchOptions struct {
 	// Options configures each worker's estimator.
 	Options Options
 	// Workers is the number of parallel workers (default GOMAXPROCS).
+	// Batches are deterministic for a fixed worker count: worker w always
+	// handles queries w, w+Workers, w+2·Workers, ... with its own seeded
+	// random stream.
 	Workers int
-	// Landmark pins the landmark; < 0 (default with the zero value being
-	// 0, so use -1 explicitly) or PinLandmark false selects by strategy.
+	// Landmark pins the landmark vertex when PinLandmark is true (0 is a
+	// valid vertex, hence the explicit flag). Setting Landmark to a
+	// nonzero vertex while leaving PinLandmark false is rejected with an
+	// error rather than silently ignored.
 	Landmark    int
 	PinLandmark bool
-	// ExactOnConflict answers queries that touch the landmark with the
-	// exact CG solver instead of failing them (default true behaviour is
-	// opt-in via this flag to keep the zero value predictable).
-	ExactOnConflict bool
+	// OnConflict selects how queries touching the landmark are answered.
+	// The zero value, ConflictExact, falls back to the exact solver.
+	OnConflict ConflictPolicy
+	// Metrics, when non-nil, is the shared observability sink for the
+	// batch: every worker estimator records into it, and the engine
+	// counts estimator builds and exact fallbacks there. When nil the
+	// engine allocates its own (readable via BatchEngine.Stats).
+	Metrics *Metrics
 }
 
-// Pairs answers a batch of resistance queries in parallel. Each worker owns
-// an independent estimator (estimators are not goroutine-safe), seeded
-// deterministically from Options.Seed, so the batch is reproducible for a
-// fixed worker count.
-func Pairs(g *Graph, m Method, queries []PairQuery, opts BatchOptions) ([]PairResult, error) {
-	if len(queries) == 0 {
-		return nil, nil
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(queries) {
-		workers = len(queries)
+// BatchEngine answers repeated batches of resistance queries over one
+// graph. Construction does the per-graph work once — landmark selection
+// (which may rank vertices by an expensive strategy), the weighted-sampling
+// index, validation — and a sync.Pool recycles per-worker estimators with
+// their O(n) scratch buffers across Pairs calls, so a steady stream of
+// batches pays for estimator construction only on pool misses. The shared
+// Metrics sink proves the amortization: Stats().EstimatorBuilds stays flat
+// across repeated calls while Queries grows.
+//
+// The engine is safe for concurrent use; individual pooled estimators are
+// not shared between in-flight workers.
+type BatchEngine struct {
+	g        *Graph
+	method   Method
+	opts     BatchOptions
+	landmark int
+	seed     uint64
+	pool     sync.Pool
+	metrics  *Metrics
+}
+
+// NewBatchEngine validates opts, selects the landmark, and prepares the
+// shared immutable state every pooled estimator reads.
+func NewBatchEngine(g *Graph, m Method, opts BatchOptions) (*BatchEngine, error) {
+	if opts.Landmark != 0 && !opts.PinLandmark {
+		return nil, fmt.Errorf("landmarkrd: BatchOptions.Landmark = %d without PinLandmark; set PinLandmark (or leave Landmark zero to select by strategy)", opts.Landmark)
 	}
 	seed := opts.Options.Seed
 	if seed == 0 {
@@ -69,37 +118,87 @@ func Pairs(g *Graph, m Method, queries []PairQuery, opts BatchOptions) ([]PairRe
 		}
 		landmark = v
 	}
-	// Weighted sampling index must be built before concurrent reads.
+	// The weighted-sampling index must exist before concurrent reads.
 	g.EnsureSamplingIndex()
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = &Metrics{}
+	}
+	return &BatchEngine{
+		g:        g,
+		method:   m,
+		opts:     opts,
+		landmark: landmark,
+		seed:     seed,
+		metrics:  metrics,
+	}, nil
+}
+
+// Landmark returns the landmark vertex every batch query uses.
+func (e *BatchEngine) Landmark() int { return e.landmark }
+
+// Stats snapshots the engine's shared metrics: queries, push ops, walk
+// steps, estimator builds (pool misses), exact fallbacks, and latency/work
+// histograms aggregated over every worker.
+func (e *BatchEngine) Stats() Stats { return e.metrics.Snapshot() }
+
+// acquire returns a pooled estimator or builds one on a pool miss.
+func (e *BatchEngine) acquire() (*Estimator, error) {
+	if v := e.pool.Get(); v != nil {
+		return v.(*Estimator), nil
+	}
+	est, err := NewEstimatorAt(e.g, e.method, e.landmark, e.opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	est.SetMetrics(e.metrics)
+	e.metrics.EstimatorBuilds.Inc()
+	return est, nil
+}
+
+// release returns an estimator to the pool.
+func (e *BatchEngine) release(est *Estimator) { e.pool.Put(est) }
+
+// Pairs answers a batch of queries in parallel. Worker w deterministically
+// handles queries w, w+workers, ... with a random stream reseeded per call
+// from Options.Seed and w, so for a fixed worker count the results are
+// byte-identical across calls, across engines, and identical to the
+// one-shot Pairs function — whether or not the pool had warm estimators.
+func (e *BatchEngine) Pairs(queries []PairQuery) ([]PairResult, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	workers := e.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
 
 	results := make([]PairResult, len(queries))
-	next := make(chan int, len(queries))
-	for i := range queries {
-		next <- i
-	}
-	close(next)
-
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			wOpts := opts.Options
-			wOpts.Seed = seed + uint64(worker)*0x9e3779b97f4a7c15
-			est, err := NewEstimatorAt(g, m, landmark, wOpts)
+			est, err := e.acquire()
 			if err != nil {
 				errs[worker] = err
 				return
 			}
-			for i := range next {
+			defer e.release(est)
+			est.Reseed(e.seed + uint64(worker)*0x9e3779b97f4a7c15)
+			for i := worker; i < len(queries); i += workers {
 				q := queries[i]
 				results[i].PairQuery = q
 				res, err := est.Pair(q.S, q.T)
-				if err == ErrLandmarkConflict && opts.ExactOnConflict {
+				if err == ErrLandmarkConflict && e.opts.OnConflict == ConflictExact {
 					var v float64
-					v, err = Exact(g, q.S, q.T)
+					v, err = Exact(e.g, q.S, q.T)
 					res = Estimate{Value: v, Converged: true}
+					e.metrics.ExactFallbacks.Inc()
 				}
 				results[i].Estimate = res
 				results[i].Err = err
@@ -113,4 +212,19 @@ func Pairs(g *Graph, m Method, queries []PairQuery, opts BatchOptions) ([]PairRe
 		}
 	}
 	return results, nil
+}
+
+// Pairs answers one batch of resistance queries in parallel. It is the
+// one-shot form of BatchEngine.Pairs: workloads issuing repeated batches
+// over the same graph should build a BatchEngine once and reuse it, which
+// amortizes landmark selection and estimator scratch buffers.
+func Pairs(g *Graph, m Method, queries []PairQuery, opts BatchOptions) ([]PairResult, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	engine, err := NewBatchEngine(g, m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Pairs(queries)
 }

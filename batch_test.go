@@ -17,9 +17,8 @@ func TestPairsBatchMatchesExact(t *testing.T) {
 		{S: 5, T: 250}, {S: 6, T: 150}, {S: 7, T: 50}, {S: 8, T: 399},
 	}
 	results, err := landmarkrd.Pairs(g, landmarkrd.Push, queries, landmarkrd.BatchOptions{
-		Options:         landmarkrd.Options{Seed: 3, Theta: 1e-8},
-		Workers:         4,
-		ExactOnConflict: true,
+		Options: landmarkrd.Options{Seed: 3, Theta: 1e-8},
+		Workers: 4,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -49,9 +48,10 @@ func TestPairsBatchLandmarkConflict(t *testing.T) {
 	v, _ := landmarkrd.SelectLandmark(g, landmarkrd.MaxDegree, 1)
 	queries := []landmarkrd.PairQuery{{S: v, T: (v + 1) % g.N()}}
 
-	// Without ExactOnConflict the query fails.
+	// ConflictError fails the individual query.
 	results, err := landmarkrd.Pairs(g, landmarkrd.BiPush, queries, landmarkrd.BatchOptions{
-		Options: landmarkrd.Options{Seed: 1},
+		Options:    landmarkrd.Options{Seed: 1},
+		OnConflict: landmarkrd.ConflictError,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -60,10 +60,9 @@ func TestPairsBatchLandmarkConflict(t *testing.T) {
 		t.Errorf("conflict error = %v", results[0].Err)
 	}
 
-	// With it, the exact value is returned.
+	// The zero value, ConflictExact, answers it exactly instead.
 	results, err = landmarkrd.Pairs(g, landmarkrd.BiPush, queries, landmarkrd.BatchOptions{
-		Options:         landmarkrd.Options{Seed: 1},
-		ExactOnConflict: true,
+		Options: landmarkrd.Options{Seed: 1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -79,9 +78,8 @@ func TestPairsBatchLandmarkConflict(t *testing.T) {
 
 func TestPairsBatchPinnedLandmark(t *testing.T) {
 	g, _ := landmarkrd.BarabasiAlbert(100, 3, 13)
-	_, err := landmarkrd.Pairs(g, landmarkrd.Push, []landmarkrd.PairQuery{{S: 1, T: 2}},
-		landmarkrd.BatchOptions{PinLandmark: true, Landmark: 999})
-	if err == nil {
+	if _, err := landmarkrd.Pairs(g, landmarkrd.Push, []landmarkrd.PairQuery{{S: 1, T: 2}},
+		landmarkrd.BatchOptions{PinLandmark: true, Landmark: 999}); err == nil {
 		t.Error("invalid pinned landmark accepted")
 	}
 	res, err := landmarkrd.Pairs(g, landmarkrd.Push, []landmarkrd.PairQuery{{S: 1, T: 2}},
@@ -91,17 +89,61 @@ func TestPairsBatchPinnedLandmark(t *testing.T) {
 	}
 }
 
+// TestPairsBatchLandmarkZeroValueSemantics covers the two edges of the old
+// footgun: vertex 0 is pinnable, and a nonzero Landmark without PinLandmark
+// is rejected instead of silently ignored.
+func TestPairsBatchLandmarkZeroValueSemantics(t *testing.T) {
+	g, err := landmarkrd.BarabasiAlbert(100, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pinning vertex 0 works: PinLandmark disambiguates 0 from "unset".
+	engine, err := landmarkrd.NewBatchEngine(g, landmarkrd.Push, landmarkrd.BatchOptions{
+		PinLandmark: true, Landmark: 0, Options: landmarkrd.Options{Theta: 1e-8},
+	})
+	if err != nil {
+		t.Fatalf("pinning landmark 0: %v", err)
+	}
+	if engine.Landmark() != 0 {
+		t.Errorf("pinned landmark = %d, want 0", engine.Landmark())
+	}
+	res, err := engine.Pairs([]landmarkrd.PairQuery{{S: 1, T: 2}})
+	if err != nil || res[0].Err != nil {
+		t.Fatalf("pinned-0 batch failed: %v %v", err, res[0].Err)
+	}
+	want, _ := landmarkrd.Exact(g, 1, 2)
+	if math.Abs(res[0].Estimate.Value-want) > 1e-4 {
+		t.Errorf("pinned-0 value %v, want %v", res[0].Estimate.Value, want)
+	}
+
+	// A set-but-unpinned landmark is an error, not a silent strategy pick.
+	if _, err := landmarkrd.Pairs(g, landmarkrd.Push, []landmarkrd.PairQuery{{S: 1, T: 2}},
+		landmarkrd.BatchOptions{Landmark: 50}); err == nil {
+		t.Error("Landmark without PinLandmark accepted silently")
+	}
+}
+
 func TestPairsBatchEmpty(t *testing.T) {
 	g, _ := landmarkrd.BarabasiAlbert(50, 3, 14)
 	res, err := landmarkrd.Pairs(g, landmarkrd.Push, nil, landmarkrd.BatchOptions{})
 	if err != nil || res != nil {
 		t.Errorf("empty batch: %v, %v", res, err)
 	}
+	engine, err := landmarkrd.NewBatchEngine(g, landmarkrd.Push, landmarkrd.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = engine.Pairs(nil)
+	if err != nil || res != nil {
+		t.Errorf("empty engine batch: %v, %v", res, err)
+	}
 }
 
 func TestPairsBatchManyWorkersRace(t *testing.T) {
 	// More workers than queries plus the race detector (when enabled via
-	// `go test -race`) exercises concurrent access to the shared graph.
+	// `go test -race`) exercises concurrent access to the shared graph and
+	// the shared metrics sink.
 	g, err := landmarkrd.WattsStrogatz(300, 3, 0.2, 15)
 	if err != nil {
 		t.Fatal(err)
@@ -111,9 +153,8 @@ func TestPairsBatchManyWorkersRace(t *testing.T) {
 		queries = append(queries, landmarkrd.PairQuery{S: i, T: 150 + i})
 	}
 	results, err := landmarkrd.Pairs(g, landmarkrd.AbWalk, queries, landmarkrd.BatchOptions{
-		Options:         landmarkrd.Options{Seed: 2, Walks: 200},
-		Workers:         64,
-		ExactOnConflict: true,
+		Options: landmarkrd.Options{Seed: 2, Walks: 200},
+		Workers: 64,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -122,5 +163,146 @@ func TestPairsBatchManyWorkersRace(t *testing.T) {
 		if r.Err != nil {
 			t.Errorf("query %d failed: %v", i, r.Err)
 		}
+	}
+}
+
+// TestBatchEngineConcurrentBatchesRace submits several batches to one
+// engine from concurrent goroutines: the pool hands every in-flight worker
+// a private estimator while all of them record into one shared Metrics.
+func TestBatchEngineConcurrentBatchesRace(t *testing.T) {
+	g, err := landmarkrd.BarabasiAlbert(300, 3, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := landmarkrd.NewBatchEngine(g, landmarkrd.BiPush, landmarkrd.BatchOptions{
+		Options: landmarkrd.Options{Seed: 5, Walks: 64},
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]landmarkrd.PairQuery, 16)
+	for i := range queries {
+		queries[i] = landmarkrd.PairQuery{S: i, T: 100 + i}
+	}
+	done := make(chan error, 4)
+	for b := 0; b < 4; b++ {
+		go func() {
+			for rep := 0; rep < 3; rep++ {
+				if _, err := engine.Pairs(queries); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for b := 0; b < 4; b++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := engine.Stats()
+	if want := int64(4 * 3 * len(queries)); stats.Queries != want {
+		t.Errorf("queries = %d, want %d", stats.Queries, want)
+	}
+}
+
+// TestBatchEnginePoolingDeterminism is the pooled-vs-unpooled acceptance
+// check: for a fixed seed and worker count, a warm engine, a cold engine,
+// and the one-shot Pairs function must return byte-identical results for a
+// Monte Carlo method.
+func TestBatchEnginePoolingDeterminism(t *testing.T) {
+	g, err := landmarkrd.BarabasiAlbert(500, 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := landmarkrd.BatchOptions{
+		Options: landmarkrd.Options{Seed: 9, Walks: 128},
+		Workers: 3,
+	}
+	queries := make([]landmarkrd.PairQuery, 20)
+	for i := range queries {
+		queries[i] = landmarkrd.PairQuery{S: i + 1, T: 400 - i}
+	}
+
+	oneShot, err := landmarkrd.Pairs(g, landmarkrd.BiPush, queries, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := landmarkrd.NewBatchEngine(g, landmarkrd.BiPush, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := engine.Pairs(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := engine.Pairs(queries) // pool now reuses estimators
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if cold[i].Estimate.Value != oneShot[i].Estimate.Value {
+			t.Errorf("query %d: engine %v != one-shot %v", i, cold[i].Estimate.Value, oneShot[i].Estimate.Value)
+		}
+		if warm[i].Estimate.Value != cold[i].Estimate.Value {
+			t.Errorf("query %d: warm pool %v != cold pool %v", i, warm[i].Estimate.Value, cold[i].Estimate.Value)
+		}
+	}
+}
+
+// TestBatchEngineAmortizesBuilds asserts the pooling win the tentpole
+// promises: repeated batches on one engine construct estimators only on
+// pool misses, while repeated one-shot Pairs calls rebuild every time.
+func TestBatchEngineAmortizesBuilds(t *testing.T) {
+	g, err := landmarkrd.BarabasiAlbert(400, 4, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]landmarkrd.PairQuery, 12)
+	for i := range queries {
+		queries[i] = landmarkrd.PairQuery{S: i + 1, T: 300 + i}
+	}
+	const workers, reps = 4, 5
+
+	pooled, err := landmarkrd.NewBatchEngine(g, landmarkrd.Push, landmarkrd.BatchOptions{
+		Options: landmarkrd.Options{Seed: 1, Theta: 1e-6},
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < reps; r++ {
+		if _, err := pooled.Pairs(queries); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pooledBuilds := pooled.Stats().EstimatorBuilds
+
+	unpooled := &landmarkrd.Metrics{}
+	for r := 0; r < reps; r++ {
+		if _, err := landmarkrd.Pairs(g, landmarkrd.Push, queries, landmarkrd.BatchOptions{
+			Options: landmarkrd.Options{Seed: 1, Theta: 1e-6},
+			Workers: workers,
+			Metrics: unpooled,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	unpooledBuilds := unpooled.Snapshot().EstimatorBuilds
+
+	if unpooledBuilds != workers*reps {
+		t.Errorf("unpooled builds = %d, want %d", unpooledBuilds, workers*reps)
+	}
+	if pooledBuilds >= unpooledBuilds {
+		t.Errorf("pooling did not amortize builds: pooled %d >= unpooled %d", pooledBuilds, unpooledBuilds)
+	}
+	// Sequential batches keep the pool warm, so the engine should never
+	// need more estimators than one batch's worker fleet. The race
+	// detector deliberately drops a fraction of sync.Pool puts to shake
+	// out schedules, so only the amortization bound above holds there.
+	if !raceEnabled && pooledBuilds > workers {
+		t.Errorf("pooled builds = %d, want <= %d", pooledBuilds, workers)
 	}
 }

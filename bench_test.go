@@ -323,14 +323,48 @@ func BenchmarkPairsBatchParallel(b *testing.B) {
 			queries[i].T = rng.Intn(g.N())
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := landmarkrd.Pairs(g, landmarkrd.Push, queries, landmarkrd.BatchOptions{
-			Options: landmarkrd.Options{Seed: 1, Theta: 1e-4}, ExactOnConflict: true,
+			Options: landmarkrd.Options{Seed: 1, Theta: 1e-4},
 		}); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPairsBatchPooled is the pooled counterpart of
+// BenchmarkPairsBatchParallel: one BatchEngine serves every iteration, so
+// estimator scratch buffers and landmark selection are amortized. Compare
+// allocs/op and the reported builds/op against the unpooled benchmark.
+func BenchmarkPairsBatchPooled(b *testing.B) {
+	g, err := landmarkrd.BarabasiAlbert(3000, 4, 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(32)
+	queries := make([]landmarkrd.PairQuery, 32)
+	for i := range queries {
+		queries[i] = landmarkrd.PairQuery{S: rng.Intn(g.N()), T: rng.Intn(g.N())}
+		for queries[i].S == queries[i].T {
+			queries[i].T = rng.Intn(g.N())
+		}
+	}
+	engine, err := landmarkrd.NewBatchEngine(g, landmarkrd.Push, landmarkrd.BatchOptions{
+		Options: landmarkrd.Options{Seed: 1, Theta: 1e-4},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Pairs(queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(engine.Stats().EstimatorBuilds)/float64(b.N), "builds/op")
 }
 
 func BenchmarkClusterGraph(b *testing.B) {

@@ -16,6 +16,8 @@ import (
 	"strings"
 	"time"
 
+	landmarkrd "landmarkrd"
+	"landmarkrd/internal/debugsrv"
 	"landmarkrd/internal/eval"
 )
 
@@ -26,8 +28,16 @@ func main() {
 		seedFlag    = flag.Uint64("seed", 2023, "random seed")
 		queriesFlag = flag.Int("queries", 20, "query pairs per dataset")
 		csvFlag     = flag.String("csv", "", "directory to also write every table as CSV")
+		debugFlag   = flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	landmarkrd.PublishMetrics("landmarkrd.solver", landmarkrd.SolverMetrics())
+	if addr, err := debugsrv.Start(*debugFlag); err != nil {
+		fatal(err)
+	} else if addr != "" {
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars\n", addr)
+	}
 
 	scale, err := eval.ParseScale(*scaleFlag)
 	if err != nil {

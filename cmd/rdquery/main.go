@@ -17,6 +17,7 @@ import (
 	"time"
 
 	landmarkrd "landmarkrd"
+	"landmarkrd/internal/debugsrv"
 )
 
 type config struct {
@@ -28,6 +29,8 @@ type config struct {
 	theta     float64
 	source    int
 	topk      int
+	stats     bool
+	debugAddr string
 }
 
 func main() {
@@ -41,6 +44,8 @@ func main() {
 	flag.Float64Var(&cfg.theta, "theta", 0, "push residual threshold")
 	flag.IntVar(&cfg.source, "source", -1, "single-source mode: source vertex")
 	flag.IntVar(&cfg.topk, "topk", 10, "single-source mode: closest vertices to print")
+	flag.BoolVar(&cfg.stats, "stats", false, "print estimator/solver metrics after the query")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if err := run(cfg, os.Stdout); err != nil {
@@ -52,6 +57,12 @@ func main() {
 func run(cfg config, out io.Writer) error {
 	if cfg.graphPath == "" {
 		return fmt.Errorf("-graph is required")
+	}
+	landmarkrd.PublishMetrics("landmarkrd.solver", landmarkrd.SolverMetrics())
+	if addr, err := debugsrv.Start(cfg.debugAddr); err != nil {
+		return err
+	} else if addr != "" {
+		fmt.Fprintf(out, "debug endpoint on http://%s/debug/vars\n", addr)
 	}
 	g, _, err := landmarkrd.LoadEdgeList(cfg.graphPath)
 	if err != nil {
@@ -72,6 +83,9 @@ func run(cfg config, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "r(%d,%d) = %.8f   [%s, %s]\n",
 		cfg.s, cfg.t, value, cfg.method, time.Since(start).Round(time.Microsecond))
+	if cfg.stats {
+		fmt.Fprintf(out, "solver stats:\n%s\n", landmarkrd.SolverStats())
+	}
 	return nil
 }
 
@@ -104,6 +118,10 @@ func runPair(g *landmarkrd.Graph, cfg config, out io.Writer) (float64, error) {
 		}
 		fmt.Fprintf(out, "landmark=%d walks=%d pushOps=%d converged=%v\n",
 			est.Landmark(), res.Walks, res.PushOps, res.Converged)
+		landmarkrd.PublishMetrics("landmarkrd.estimator", est.Metrics())
+		if cfg.stats {
+			fmt.Fprintf(out, "estimator stats:\n%s\n", est.Stats())
+		}
 		return res.Value, nil
 	default:
 		return 0, fmt.Errorf("unknown method %q", cfg.method)

@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -58,6 +61,44 @@ func TestRunSingleSourceMode(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "closest 3 vertices") {
 		t.Errorf("output missing ranking: %s", out.String())
+	}
+}
+
+func TestRunStatsFlag(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	err := run(config{graphPath: path, s: 3, t: 250, method: "bipush", seed: 1, topk: 5, source: -1, stats: true}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"estimator stats:", "solver stats:", "push_ops", "cg_solves"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-stats output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunDebugEndpoint(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	err := run(config{graphPath: path, s: 3, t: 250, method: "push", seed: 1, topk: 5, source: -1, debugAddr: "127.0.0.1:0"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`debug endpoint on http://(\S+)/debug/vars`).FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no debug endpoint line in output:\n%s", out.String())
+	}
+	resp, err := http.Get("http://" + m[1] + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{"landmarkrd.solver", "landmarkrd.estimator", "push_ops"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/debug/vars missing %q", want)
+		}
 	}
 }
 

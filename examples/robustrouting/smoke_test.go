@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+// TestBuilds exists so `go test ./examples/...` compiles this example in
+// CI; the program itself is meant to be run by hand.
+func TestBuilds(t *testing.T) {
+	_ = main
+}

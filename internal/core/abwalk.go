@@ -2,8 +2,10 @@ package core
 
 import (
 	"math"
+	"time"
 
 	"landmarkrd/internal/graph"
+	"landmarkrd/internal/obs"
 	"landmarkrd/internal/randx"
 	"landmarkrd/internal/walk"
 )
@@ -42,6 +44,7 @@ type AbWalkEstimator struct {
 	sampler  *walk.Sampler
 	opts     AbWalkOptions
 	rng      *randx.RNG
+	metrics  *obs.Metrics
 }
 
 // NewAbWalkEstimator builds an absorbed-walk estimator with landmark v.
@@ -55,15 +58,29 @@ func NewAbWalkEstimator(g *graph.Graph, landmark int, opts AbWalkOptions, rng *r
 		sampler:  walk.NewSampler(g),
 		opts:     opts,
 		rng:      rng,
+		metrics:  &obs.Metrics{},
 	}, nil
 }
 
 // Landmark returns the landmark vertex.
 func (e *AbWalkEstimator) Landmark() int { return e.landmark }
 
+// Metrics returns the estimator's metrics sink.
+func (e *AbWalkEstimator) Metrics() *obs.Metrics { return e.metrics }
+
+// SetMetrics redirects recording to m (e.g. a sink shared across a pool of
+// estimators). Call before issuing queries, not concurrently with them.
+func (e *AbWalkEstimator) SetMetrics(m *obs.Metrics) { e.metrics = m }
+
+// Reseed resets the estimator's random stream, making subsequent queries a
+// deterministic function of rng regardless of prior use.
+func (e *AbWalkEstimator) Reseed(rng *randx.RNG) { e.rng = rng }
+
 // Pair estimates r(s,t) from 2·Walks absorbed walks.
 func (e *AbWalkEstimator) Pair(s, t int) (Estimate, error) {
+	start := time.Now()
 	if err := validateQuery(e.g, e.landmark, s, t); err != nil {
+		e.metrics.ObserveQuery(obs.QueryObservation{Err: true})
 		return Estimate{}, err
 	}
 	if s == t {
@@ -73,7 +90,7 @@ func (e *AbWalkEstimator) Pair(s, t int) (Estimate, error) {
 
 	var visitSS, visitST, visitTT, visitTS float64
 	var steps int64
-	truncated := false
+	hits := 0
 	for i := 0; i < o.Walks; i++ {
 		st, abs := e.sampler.AbsorbedVisits(s, e.landmark, o.MaxSteps, e.rng, func(u int) {
 			switch u {
@@ -84,7 +101,9 @@ func (e *AbWalkEstimator) Pair(s, t int) (Estimate, error) {
 			}
 		})
 		steps += int64(st)
-		truncated = truncated || !abs
+		if abs {
+			hits++
+		}
 		st, abs = e.sampler.AbsorbedVisits(t, e.landmark, o.MaxSteps, e.rng, func(u int) {
 			switch u {
 			case t:
@@ -94,24 +113,32 @@ func (e *AbWalkEstimator) Pair(s, t int) (Estimate, error) {
 			}
 		})
 		steps += int64(st)
-		truncated = truncated || !abs
+		if abs {
+			hits++
+		}
 	}
 	nr := float64(o.Walks)
 	ds, dt := e.g.WeightedDegree(s), e.g.WeightedDegree(t)
 	val := visitSS/(nr*ds) + visitTT/(nr*dt) - visitST/(nr*dt) - visitTS/(nr*ds)
-	return Estimate{
-		Value:     val,
-		Walks:     2 * o.Walks,
-		WalkSteps: steps,
-		Converged: !truncated,
-	}, nil
+	est := Estimate{
+		Value:        val,
+		Walks:        2 * o.Walks,
+		WalkSteps:    steps,
+		LandmarkHits: hits,
+		Duration:     time.Since(start),
+		Converged:    hits == 2*o.Walks,
+	}
+	e.metrics.ObserveQuery(est.observation())
+	return est, nil
 }
 
 // PairWithCI additionally returns a normal-approximation half-width for a
 // 95% confidence interval on the estimate, from the per-walk sample
 // variance of the combined statistic.
 func (e *AbWalkEstimator) PairWithCI(s, t int) (Estimate, float64, error) {
+	start := time.Now()
 	if err := validateQuery(e.g, e.landmark, s, t); err != nil {
+		e.metrics.ObserveQuery(obs.QueryObservation{Err: true})
 		return Estimate{}, 0, err
 	}
 	if s == t {
@@ -122,7 +149,7 @@ func (e *AbWalkEstimator) PairWithCI(s, t int) (Estimate, float64, error) {
 
 	var sum, sumSq float64
 	var steps int64
-	truncated := false
+	hits := 0
 	for i := 0; i < o.Walks; i++ {
 		var vSS, vST, vTT, vTS float64
 		st, abs := e.sampler.AbsorbedVisits(s, e.landmark, o.MaxSteps, e.rng, func(u int) {
@@ -134,7 +161,9 @@ func (e *AbWalkEstimator) PairWithCI(s, t int) (Estimate, float64, error) {
 			}
 		})
 		steps += int64(st)
-		truncated = truncated || !abs
+		if abs {
+			hits++
+		}
 		st, abs = e.sampler.AbsorbedVisits(t, e.landmark, o.MaxSteps, e.rng, func(u int) {
 			switch u {
 			case t:
@@ -144,7 +173,9 @@ func (e *AbWalkEstimator) PairWithCI(s, t int) (Estimate, float64, error) {
 			}
 		})
 		steps += int64(st)
-		truncated = truncated || !abs
+		if abs {
+			hits++
+		}
 		x := vSS/ds + vTT/dt - vST/dt - vTS/ds
 		sum += x
 		sumSq += x * x
@@ -153,10 +184,14 @@ func (e *AbWalkEstimator) PairWithCI(s, t int) (Estimate, float64, error) {
 	mean := sum / nr
 	variance := math.Max(0, sumSq/nr-mean*mean)
 	half := 1.96 * math.Sqrt(variance/nr)
-	return Estimate{
-		Value:     mean,
-		Walks:     2 * o.Walks,
-		WalkSteps: steps,
-		Converged: !truncated,
-	}, half, nil
+	est := Estimate{
+		Value:        mean,
+		Walks:        2 * o.Walks,
+		WalkSteps:    steps,
+		LandmarkHits: hits,
+		Duration:     time.Since(start),
+		Converged:    hits == 2*o.Walks,
+	}
+	e.metrics.ObserveQuery(est.observation())
+	return est, half, nil
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"landmarkrd/internal/graph"
+	"landmarkrd/internal/obs"
 	"landmarkrd/internal/randx"
 	"landmarkrd/internal/walk"
 )
@@ -56,6 +58,7 @@ type BiPushEstimator struct {
 	sampler *walk.Sampler
 	opts    BiPushOptions
 	rng     *randx.RNG
+	metrics *obs.Metrics
 }
 
 // NewBiPushEstimator builds a bidirectional estimator with landmark v.
@@ -69,11 +72,23 @@ func NewBiPushEstimator(g *graph.Graph, landmark int, opts BiPushOptions, rng *r
 		sampler: walk.NewSampler(g),
 		opts:    opts,
 		rng:     rng,
+		metrics: &obs.Metrics{},
 	}, nil
 }
 
 // Landmark returns the landmark vertex.
 func (e *BiPushEstimator) Landmark() int { return e.pusher.landmark }
+
+// Metrics returns the estimator's metrics sink.
+func (e *BiPushEstimator) Metrics() *obs.Metrics { return e.metrics }
+
+// SetMetrics redirects recording to m (e.g. a sink shared across a pool of
+// estimators). Call before issuing queries, not concurrently with them.
+func (e *BiPushEstimator) SetMetrics(m *obs.Metrics) { e.metrics = m }
+
+// Reseed resets the estimator's random stream, making subsequent queries a
+// deterministic function of rng regardless of prior use.
+func (e *BiPushEstimator) Reseed(rng *randx.RNG) { e.rng = rng }
 
 // sideResult carries one endpoint's push + correction outcome.
 type sideResult struct {
@@ -81,6 +96,7 @@ type sideResult struct {
 	stats          PushStats
 	walks          int
 	steps          int64
+	hits           int // correction walks absorbed at the landmark
 	truncated      bool
 }
 
@@ -127,7 +143,11 @@ func (e *BiPushEstimator) runSide(src, s, t int, o BiPushOptions) (sideResult, e
 			}
 		})
 		res.steps += int64(st)
-		res.truncated = res.truncated || !abs
+		if abs {
+			res.hits++
+		} else {
+			res.truncated = true
+		}
 	}
 	res.walks = o.Walks
 	scale := total / float64(o.Walks)
@@ -138,8 +158,10 @@ func (e *BiPushEstimator) runSide(src, s, t int, o BiPushOptions) (sideResult, e
 
 // Pair estimates r(s,t) bidirectionally.
 func (e *BiPushEstimator) Pair(s, t int) (Estimate, error) {
+	start := time.Now()
 	g := e.pusher.g
 	if err := validateQuery(g, e.pusher.landmark, s, t); err != nil {
+		e.metrics.ObserveQuery(obs.QueryObservation{Err: true})
 		return Estimate{}, err
 	}
 	if s == t {
@@ -149,19 +171,28 @@ func (e *BiPushEstimator) Pair(s, t int) (Estimate, error) {
 
 	fromS, err := e.runSide(s, s, t, o)
 	if err != nil {
+		e.metrics.ObserveQuery(obs.QueryObservation{Err: true})
 		return Estimate{}, err
 	}
 	fromT, err := e.runSide(t, s, t, o)
 	if err != nil {
+		e.metrics.ObserveQuery(obs.QueryObservation{Err: true})
 		return Estimate{}, err
 	}
 	ds, dt := g.WeightedDegree(s), g.WeightedDegree(t)
 	val := fromS.tauToS/ds + fromT.tauToT/dt - fromS.tauToT/dt - fromT.tauToS/ds
-	return Estimate{
-		Value:     val,
-		Walks:     fromS.walks + fromT.walks,
-		WalkSteps: fromS.steps + fromT.steps,
-		PushOps:   fromS.stats.Ops + fromT.stats.Ops,
-		Converged: fromS.stats.Converged && fromT.stats.Converged && !fromS.truncated && !fromT.truncated,
-	}, nil
+	est := Estimate{
+		Value:        val,
+		Walks:        fromS.walks + fromT.walks,
+		WalkSteps:    fromS.steps + fromT.steps,
+		PushOps:      fromS.stats.Ops + fromT.stats.Ops,
+		LandmarkHits: fromS.hits + fromT.hits,
+		ResidualL1:   fromS.stats.ResidualL1 + fromT.stats.ResidualL1,
+		Duration:     time.Since(start),
+		Converged:    fromS.stats.Converged && fromT.stats.Converged && !fromS.truncated && !fromT.truncated,
+	}
+	ob := est.observation()
+	ob.Pushes = fromS.stats.Pushes + fromT.stats.Pushes
+	e.metrics.ObserveQuery(ob)
+	return est, nil
 }

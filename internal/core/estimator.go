@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"landmarkrd/internal/graph"
+	"landmarkrd/internal/obs"
 )
 
 // Estimate is the result of a pairwise resistance query.
@@ -20,10 +22,31 @@ type Estimate struct {
 	WalkSteps int64
 	// PushOps is the number of push edge-relaxations performed.
 	PushOps int64
+	// LandmarkHits is the number of walks absorbed at the landmark (the
+	// rest were truncated by MaxSteps).
+	LandmarkHits int
+	// ResidualL1 is the total ‖res‖₁ left by the push phase(s) at
+	// termination; 0 for pure Monte Carlo estimators.
+	ResidualL1 float64
+	// Duration is the query wall time.
+	Duration time.Duration
 	// Converged is false when a budget (MaxOps / MaxSteps) was exhausted
 	// before the accuracy target was met; Value is still the best
 	// available estimate.
 	Converged bool
+}
+
+// observation converts the estimate into a metrics record.
+func (e Estimate) observation() obs.QueryObservation {
+	return obs.QueryObservation{
+		Duration:       e.Duration,
+		PushOps:        e.PushOps,
+		Walks:          int64(e.Walks),
+		WalkSteps:      e.WalkSteps,
+		LandmarkHits:   int64(e.LandmarkHits),
+		TruncatedWalks: int64(e.Walks - e.LandmarkHits),
+		ResidualL1:     e.ResidualL1,
+	}
 }
 
 // Common errors returned by query validation.

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"landmarkrd/internal/graph"
 	"landmarkrd/internal/lap"
+	"landmarkrd/internal/obs"
 	"landmarkrd/internal/randx"
 	"landmarkrd/internal/sketch"
 	"landmarkrd/internal/walk"
@@ -51,6 +53,9 @@ type IndexOptions struct {
 	SketchEpsilon float64
 	// Tol is the DiagExactCG solver tolerance (default lap.ExactTol).
 	Tol float64
+	// Metrics, when non-nil, receives an IndexBuilds increment and the
+	// build wall time (QueryTime histogram) for every BuildIndex call.
+	Metrics *obs.Metrics
 }
 
 // Index is the landmark index: the grounded diagonal r(t,v) for all t.
@@ -64,6 +69,8 @@ type Index struct {
 	// Diag[t] ≈ r(t, v); Diag[v] = 0.
 	Diag []float64
 	Mode DiagMode
+	// BuildTime is the wall time BuildIndex took (not persisted).
+	BuildTime time.Duration
 }
 
 // BuildIndex constructs the diagonal index for landmark v.
@@ -71,6 +78,7 @@ func BuildIndex(g *graph.Graph, landmark int, opts IndexOptions, rng *randx.RNG)
 	if err := g.ValidateVertex(landmark); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	n := g.N()
 	idx := &Index{G: g, Landmark: landmark, Diag: make([]float64, n), Mode: opts.Mode}
 	switch opts.Mode {
@@ -136,6 +144,11 @@ func BuildIndex(g *graph.Graph, landmark int, opts IndexOptions, rng *randx.RNG)
 		idx.Diag[landmark] = 0
 	default:
 		return nil, fmt.Errorf("core: unknown diag mode %d", int(opts.Mode))
+	}
+	idx.BuildTime = time.Since(start)
+	if opts.Metrics != nil {
+		opts.Metrics.IndexBuilds.Inc()
+		opts.Metrics.QueryTime.Observe(idx.BuildTime.Nanoseconds())
 	}
 	return idx, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"landmarkrd/internal/graph"
+	"landmarkrd/internal/obs"
 	"landmarkrd/internal/randx"
 )
 
@@ -88,6 +89,14 @@ func NewMultiLandmarkEstimator(g *graph.Graph, opts MultiLandmarkOptions, rng *r
 		m.estimators = append(m.estimators, e)
 	}
 	return m, nil
+}
+
+// SetMetrics redirects recording of every underlying BiPush estimator to
+// one shared sink. Call before issuing queries, not concurrently with them.
+func (m *MultiLandmarkEstimator) SetMetrics(sink *obs.Metrics) {
+	for _, e := range m.estimators {
+		e.SetMetrics(sink)
+	}
 }
 
 // Landmarks returns the landmark set in use.

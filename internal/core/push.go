@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"landmarkrd/internal/graph"
 	"landmarkrd/internal/lap"
+	"landmarkrd/internal/obs"
 )
 
 // PushOptions controls the grounded forward-push computation.
@@ -203,9 +205,10 @@ func (p *Pusher) TouchedVertices() []int32 { return p.touched }
 
 // PushEstimator answers pairwise queries with two grounded pushes.
 type PushEstimator struct {
-	pusher *Pusher
-	opts   PushOptions
-	hit    []float64 // cached exact hitting times h(·, landmark)
+	pusher  *Pusher
+	opts    PushOptions
+	hit     []float64 // cached exact hitting times h(·, landmark)
+	metrics *obs.Metrics
 }
 
 // NewPushEstimator builds a push-based pair estimator with landmark v.
@@ -214,16 +217,25 @@ func NewPushEstimator(g *graph.Graph, landmark int, opts PushOptions) (*PushEsti
 	if err != nil {
 		return nil, err
 	}
-	return &PushEstimator{pusher: p, opts: opts}, nil
+	return &PushEstimator{pusher: p, opts: opts, metrics: &obs.Metrics{}}, nil
 }
+
+// Metrics returns the estimator's metrics sink.
+func (e *PushEstimator) Metrics() *obs.Metrics { return e.metrics }
+
+// SetMetrics redirects recording to m (e.g. a sink shared across a pool of
+// estimators). Call before issuing queries, not concurrently with them.
+func (e *PushEstimator) SetMetrics(m *obs.Metrics) { e.metrics = m }
 
 // Pair estimates r(s,t). The deterministic error bound follows from the
 // push invariant: each τ(x,·) estimate is off by at most ‖res‖₁·τ(x,x),
 // i.e. ‖res‖₁·d_x·r(x,v).
 func (e *PushEstimator) Pair(s, t int) (Estimate, error) {
+	start := time.Now()
 	g := e.pusher.g
 	v := e.pusher.landmark
 	if err := validateQuery(g, v, s, t); err != nil {
+		e.metrics.ObserveQuery(obs.QueryObservation{Err: true})
 		return Estimate{}, err
 	}
 	if s == t {
@@ -254,6 +266,11 @@ func (e *PushEstimator) Pair(s, t int) (Estimate, error) {
 	// A-posteriori bound. r(x,v) ≥ est_x(x)/d_x and, when ‖res‖₁ < 1,
 	// r(x,v) ≤ (est_x(x)/d_x)/(1 − ‖res‖₁).
 	resTotal := statsS.ResidualL1 + statsT.ResidualL1
+	est.ResidualL1 = resTotal
+	est.Duration = time.Since(start)
+	o := est.observation()
+	o.Pushes = statsS.Pushes + statsT.Pushes
+	e.metrics.ObserveQuery(o)
 	rsv := tauSS / ds
 	rtv := tauTT / dt
 	if statsS.ResidualL1 < 1 {

@@ -1,0 +1,29 @@
+// Package debugsrv starts the diagnostic HTTP endpoint the cmd tools
+// expose behind their -debug-addr flag: expvar counters at /debug/vars
+// (including every metrics sink published with obs.Publish) and
+// net/http/pprof profiles at /debug/pprof/. It lives in its own package —
+// rather than the obs library — so that importing the estimators never
+// registers profiling handlers on an application's DefaultServeMux.
+package debugsrv
+
+import (
+	_ "expvar" // register /debug/vars on DefaultServeMux
+	"net"
+	"net/http"
+	_ "net/http/pprof" // register /debug/pprof/* on DefaultServeMux
+)
+
+// Start listens on addr (":0" picks a free port) and serves the process
+// DefaultServeMux in a background goroutine, returning the bound address.
+// An empty addr disables the endpoint and returns "".
+func Start(addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	return ln.Addr().String(), nil
+}

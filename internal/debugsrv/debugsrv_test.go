@@ -1,0 +1,48 @@
+package debugsrv
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestStartDisabled(t *testing.T) {
+	addr, err := Start("")
+	if err != nil || addr != "" {
+		t.Errorf("Start(\"\") = %q, %v", addr, err)
+	}
+}
+
+func TestStartServesExpvarAndPprof(t *testing.T) {
+	addr, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		t.Fatal("no bound address")
+	}
+	for path, want := range map[string]string{
+		"/debug/vars":   "memstats",
+		"/debug/pprof/": "profile",
+	} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("GET %s: body missing %q", path, want)
+		}
+	}
+}
+
+func TestStartBadAddr(t *testing.T) {
+	if _, err := Start("256.0.0.1:bad"); err == nil {
+		t.Error("bad address accepted")
+	}
+}

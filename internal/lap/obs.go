@@ -1,0 +1,19 @@
+package lap
+
+import (
+	"landmarkrd/internal/obs"
+)
+
+// solverMetrics is the process-wide sink for the exact grounded-CG solver:
+// every GroundedSolve (the kernel under ResistanceCG, index builds, hitting
+// times, electric flows) records one solve and its iteration count here.
+// Package-level because the solver entry points are free functions.
+var solverMetrics obs.Metrics
+
+// SolverMetrics returns the process-wide exact-solver metrics sink, e.g.
+// for publishing via obs.Publish.
+func SolverMetrics() *obs.Metrics { return &solverMetrics }
+
+// SolverStats snapshots the process-wide exact-solver counters: CGSolves,
+// CGIterations, and the per-solve latency histogram under QueryTime.
+func SolverStats() obs.Snapshot { return solverMetrics.Snapshot() }

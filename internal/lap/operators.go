@@ -6,9 +6,11 @@
 package lap
 
 import (
+	"math"
+	"time"
+
 	"landmarkrd/internal/graph"
 	"landmarkrd/internal/linalg"
-	"math"
 )
 
 // Laplacian is the linalg.Operator view of L = D - A.
@@ -137,14 +139,17 @@ func (a *NormalizedAdjacency) TopEigenvector() []float64 {
 }
 
 // GroundedSolve solves L_v x = b (with b[v] ignored) by preconditioned CG
-// and returns the solution with x[v] = 0.
+// and returns the solution with x[v] = 0. Every solve records its
+// iteration count and wall time in the package SolverMetrics.
 func GroundedSolve(g *graph.Graph, landmark int, b []float64, tol float64) ([]float64, linalg.CGResult, error) {
+	start := time.Now()
 	op := &Grounded{G: g, Landmark: landmark}
 	rhs := make([]float64, g.N())
 	copy(rhs, b)
 	rhs[landmark] = 0
 	x := make([]float64, g.N())
 	res, err := linalg.CG(op, x, rhs, linalg.CGOptions{Tol: tol})
+	solverMetrics.ObserveSolve(res.Iterations, time.Since(start))
 	if err != nil {
 		return nil, res, err
 	}

@@ -1,0 +1,297 @@
+// Package obs provides the cheap, always-on observability layer the
+// landmark estimators are instrumented with: lock-free atomic counters and
+// log-scale work/latency histograms, aggregated in a Metrics struct whose
+// Snapshot is safe to read while queries are in flight.
+//
+// Every estimator owns a *Metrics and records one QueryObservation per pair
+// query (push operations, walk steps, residual L1 mass at termination,
+// landmark hits, wall time). Several estimators may share one Metrics —
+// all recording paths are plain atomic operations, which is what makes the
+// pooled batch engine race-detector clean. Metrics snapshots are published
+// to the process expvar registry with Publish, from which the cmd tools'
+// -debug-addr HTTP endpoint serves them alongside net/http/pprof.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// FloatCounter accumulates a float64 sum with compare-and-swap updates.
+// The zero value is ready to use.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add accumulates x into the counter.
+func (c *FloatCounter) Add(x float64) {
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Load returns the accumulated sum.
+func (c *FloatCounter) Load() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Histogram is a lock-free histogram with power-of-two buckets: an observed
+// value v > 0 lands in bucket bits.Len64(v), i.e. bucket i covers
+// [2^(i-1), 2^i). Quantiles read from a Snapshot are therefore exact to
+// within a factor of two — plenty for latency and work-count distributions,
+// and recording is two atomic adds. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [65]atomic.Int64
+}
+
+// Observe records one value (negative values are clamped to zero).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time view of a Histogram.
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Max   int64   `json:"max"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot returns the current histogram state. Because the individual
+// atomics are read independently the snapshot can be slightly torn under
+// concurrent writes; counts never decrease, so it is always a valid recent
+// state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	s.P50 = h.quantile(s.Count, 0.50)
+	s.P90 = h.quantile(s.Count, 0.90)
+	s.P99 = h.quantile(s.Count, 0.99)
+	return s
+}
+
+// quantile returns the upper bound of the bucket containing the q-quantile.
+func (h *Histogram) quantile(total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum > rank {
+			if i == 0 {
+				return 0
+			}
+			return 1 << uint(i) // upper edge of [2^(i-1), 2^i)
+		}
+	}
+	return h.max.Load()
+}
+
+// Metrics aggregates every counter the instrumented query paths record.
+// All fields are safe for concurrent use; the struct must not be copied
+// after first use. A nil *Metrics is a valid no-op sink for every recording
+// method, so instrumented code never needs nil checks of its own.
+type Metrics struct {
+	Queries        Counter // pair queries answered
+	Errors         Counter // queries that returned an error
+	ExactFallbacks Counter // landmark-conflict queries answered by the exact solver
+
+	PushOps        Counter // push edge relaxations
+	Pushes         Counter // vertex pushes
+	Walks          Counter // absorbed walks sampled
+	WalkSteps      Counter // random-walk steps taken
+	LandmarkHits   Counter // walks absorbed at the landmark
+	TruncatedWalks Counter // walks cut off by the MaxSteps budget
+
+	ResidualL1 FloatCounter // accumulated final ‖res‖₁ at push termination
+
+	EstimatorBuilds Counter // estimator constructions (pool misses)
+	IndexBuilds     Counter // landmark index constructions
+
+	CGSolves     Counter // grounded CG solves
+	CGIterations Counter // total CG iterations across solves
+
+	QueryTime Histogram // per-query wall time, nanoseconds
+	PushWork  Histogram // per-query push edge relaxations
+	WalkWork  Histogram // per-query walk steps
+}
+
+// QueryObservation carries everything one pair query contributes to the
+// metrics.
+type QueryObservation struct {
+	Duration       time.Duration
+	PushOps        int64
+	Pushes         int64
+	Walks          int64
+	WalkSteps      int64
+	LandmarkHits   int64
+	TruncatedWalks int64
+	ResidualL1     float64
+	Err            bool
+}
+
+// ObserveQuery records one pair query. Safe on a nil receiver.
+func (m *Metrics) ObserveQuery(o QueryObservation) {
+	if m == nil {
+		return
+	}
+	m.Queries.Inc()
+	if o.Err {
+		m.Errors.Inc()
+		return
+	}
+	m.PushOps.Add(o.PushOps)
+	m.Pushes.Add(o.Pushes)
+	m.Walks.Add(o.Walks)
+	m.WalkSteps.Add(o.WalkSteps)
+	m.LandmarkHits.Add(o.LandmarkHits)
+	m.TruncatedWalks.Add(o.TruncatedWalks)
+	m.ResidualL1.Add(o.ResidualL1)
+	m.QueryTime.Observe(o.Duration.Nanoseconds())
+	m.PushWork.Observe(o.PushOps)
+	m.WalkWork.Observe(o.WalkSteps)
+}
+
+// ObserveSolve records one grounded CG solve. Safe on a nil receiver.
+func (m *Metrics) ObserveSolve(iterations int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.CGSolves.Inc()
+	m.CGIterations.Add(int64(iterations))
+	m.QueryTime.Observe(d.Nanoseconds())
+}
+
+// Snapshot is a point-in-time copy of a Metrics, with JSON tags so it can
+// be served over expvar or printed directly.
+type Snapshot struct {
+	Queries        int64 `json:"queries"`
+	Errors         int64 `json:"errors"`
+	ExactFallbacks int64 `json:"exact_fallbacks"`
+
+	PushOps        int64 `json:"push_ops"`
+	Pushes         int64 `json:"pushes"`
+	Walks          int64 `json:"walks"`
+	WalkSteps      int64 `json:"walk_steps"`
+	LandmarkHits   int64 `json:"landmark_hits"`
+	TruncatedWalks int64 `json:"truncated_walks"`
+
+	ResidualL1 float64 `json:"residual_l1"`
+
+	EstimatorBuilds int64 `json:"estimator_builds"`
+	IndexBuilds     int64 `json:"index_builds"`
+
+	CGSolves     int64 `json:"cg_solves"`
+	CGIterations int64 `json:"cg_iterations"`
+
+	QueryTime HistSnapshot `json:"query_time_ns"`
+	PushWork  HistSnapshot `json:"push_work"`
+	WalkWork  HistSnapshot `json:"walk_work"`
+}
+
+// Snapshot returns the current state. Safe on a nil receiver (zero
+// Snapshot) and safe to call while queries record concurrently.
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Queries:        m.Queries.Load(),
+		Errors:         m.Errors.Load(),
+		ExactFallbacks: m.ExactFallbacks.Load(),
+
+		PushOps:        m.PushOps.Load(),
+		Pushes:         m.Pushes.Load(),
+		Walks:          m.Walks.Load(),
+		WalkSteps:      m.WalkSteps.Load(),
+		LandmarkHits:   m.LandmarkHits.Load(),
+		TruncatedWalks: m.TruncatedWalks.Load(),
+
+		ResidualL1: m.ResidualL1.Load(),
+
+		EstimatorBuilds: m.EstimatorBuilds.Load(),
+		IndexBuilds:     m.IndexBuilds.Load(),
+
+		CGSolves:     m.CGSolves.Load(),
+		CGIterations: m.CGIterations.Load(),
+
+		QueryTime: m.QueryTime.Snapshot(),
+		PushWork:  m.PushWork.Snapshot(),
+		WalkWork:  m.WalkWork.Snapshot(),
+	}
+}
+
+// String renders the snapshot as indented JSON.
+func (s Snapshot) String() string {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+var (
+	publishMu sync.Mutex
+	published = map[string]*Metrics{}
+)
+
+// Publish exposes m's snapshots under name on the process expvar registry
+// (served at /debug/vars by the cmd tools' -debug-addr endpoint).
+// Publishing an already-used name atomically swaps the underlying Metrics,
+// so short-lived estimators can re-publish under a stable name.
+func Publish(name string, m *Metrics) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if _, ok := published[name]; !ok {
+		n := name
+		expvar.Publish(n, expvar.Func(func() any {
+			publishMu.Lock()
+			cur := published[n]
+			publishMu.Unlock()
+			return cur.Snapshot()
+		}))
+	}
+	published[name] = m
+}

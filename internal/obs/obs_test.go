@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounters(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Errorf("Counter = %d, want 42", got)
+	}
+	var f FloatCounter
+	f.Add(0.5)
+	f.Add(1.75)
+	if got := f.Load(); got != 2.25 {
+		t.Errorf("FloatCounter = %v, want 2.25", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Sum != 5050 || s.Max != 100 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Mean != 50.5 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	// Power-of-two buckets: quantiles are exact to within a factor of two.
+	if s.P50 < 50 || s.P50 > 128 {
+		t.Errorf("p50 = %d outside [50, 128]", s.P50)
+	}
+	if s.P99 < 99 || s.P99 > 256 {
+		t.Errorf("p99 = %d outside [99, 256]", s.P99)
+	}
+	// Negative observations clamp to zero instead of corrupting buckets.
+	h.Observe(-7)
+	if got := h.Snapshot().Count; got != 101 {
+		t.Errorf("count after negative observe = %d", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 || s.Max != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+}
+
+func TestNilMetricsIsNoOp(t *testing.T) {
+	var m *Metrics
+	m.ObserveQuery(QueryObservation{PushOps: 5}) // must not panic
+	m.ObserveSolve(3, time.Millisecond)
+	if s := m.Snapshot(); s.Queries != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+}
+
+func TestObserveQueryAggregates(t *testing.T) {
+	m := &Metrics{}
+	m.ObserveQuery(QueryObservation{
+		Duration: 2 * time.Microsecond, PushOps: 10, Pushes: 3,
+		Walks: 4, WalkSteps: 100, LandmarkHits: 4, ResidualL1: 0.25,
+	})
+	m.ObserveQuery(QueryObservation{Err: true})
+	s := m.Snapshot()
+	if s.Queries != 2 || s.Errors != 1 {
+		t.Errorf("queries/errors = %d/%d", s.Queries, s.Errors)
+	}
+	if s.PushOps != 10 || s.WalkSteps != 100 || s.LandmarkHits != 4 {
+		t.Errorf("work counters = %+v", s)
+	}
+	if s.ResidualL1 != 0.25 {
+		t.Errorf("residual = %v", s.ResidualL1)
+	}
+	if s.QueryTime.Count != 1 || s.QueryTime.Sum != 2000 {
+		t.Errorf("query time hist = %+v", s.QueryTime)
+	}
+}
+
+// TestConcurrentRecording exercises every atomic path under the race
+// detector: many goroutines share one Metrics while another snapshots it.
+func TestConcurrentRecording(t *testing.T) {
+	m := &Metrics{}
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.ObserveQuery(QueryObservation{
+					Duration: time.Duration(i), PushOps: 2, Walks: 1,
+					WalkSteps: 5, ResidualL1: 0.001,
+				})
+				m.ObserveSolve(i%7, time.Duration(i))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = m.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	s := m.Snapshot()
+	if s.Queries != workers*per {
+		t.Errorf("queries = %d, want %d", s.Queries, workers*per)
+	}
+	if s.PushOps != workers*per*2 {
+		t.Errorf("push ops = %d", s.PushOps)
+	}
+	if s.CGSolves != workers*per {
+		t.Errorf("cg solves = %d", s.CGSolves)
+	}
+}
+
+func TestSnapshotJSONAndString(t *testing.T) {
+	m := &Metrics{}
+	m.ObserveQuery(QueryObservation{PushOps: 7, Duration: time.Millisecond})
+	out := m.Snapshot().String()
+	var round Snapshot
+	if err := json.Unmarshal([]byte(out), &round); err != nil {
+		t.Fatalf("snapshot string is not JSON: %v\n%s", err, out)
+	}
+	if round.PushOps != 7 {
+		t.Errorf("round-tripped push ops = %d", round.PushOps)
+	}
+	if !strings.Contains(out, "push_ops") {
+		t.Errorf("missing json tag in %s", out)
+	}
+}
+
+func TestPublishSwapsTarget(t *testing.T) {
+	a, b := &Metrics{}, &Metrics{}
+	a.Queries.Add(1)
+	b.Queries.Add(2)
+	Publish("obs_test_metrics", a)
+	v := expvar.Get("obs_test_metrics")
+	if v == nil {
+		t.Fatal("metrics not published")
+	}
+	got := v.(expvar.Func)().(Snapshot)
+	if got.Queries != 1 {
+		t.Errorf("first publish queries = %d", got.Queries)
+	}
+	// Re-publishing the same name swaps the underlying Metrics.
+	Publish("obs_test_metrics", b)
+	got = v.(expvar.Func)().(Snapshot)
+	if got.Queries != 2 {
+		t.Errorf("swapped publish queries = %d", got.Queries)
+	}
+}

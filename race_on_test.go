@@ -1,0 +1,7 @@
+//go:build race
+
+package landmarkrd_test
+
+// raceEnabled reports whether the test binary was built with -race, which
+// changes sync.Pool behaviour (a fraction of puts are dropped on purpose).
+const raceEnabled = true
