@@ -352,9 +352,43 @@ const (
 )
 
 // BuildLandmarkIndex precomputes r(t, landmark) for all t so that
-// single-source queries need only one grounded column computation.
+// single-source queries need only one grounded column computation. The
+// build parallelizes across GOMAXPROCS workers; use BuildLandmarkIndexOpts
+// to control the worker count or collect build metrics.
 func BuildLandmarkIndex(g *Graph, landmark int, mode DiagMode, seed uint64) (*LandmarkIndex, error) {
-	return core.BuildIndex(g, landmark, core.IndexOptions{Mode: mode}, randx.New(seed))
+	return BuildLandmarkIndexOpts(g, landmark, IndexBuildOptions{Mode: mode, Seed: seed})
+}
+
+// IndexBuildOptions configures BuildLandmarkIndexOpts. The zero value
+// builds a DiagExactCG index with seed 1 and GOMAXPROCS workers.
+type IndexBuildOptions struct {
+	// Mode selects the diagonal builder (DiagExactCG, DiagMC, DiagSketch).
+	Mode DiagMode
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Workers shards the per-vertex build work across a worker pool
+	// (default GOMAXPROCS; 1 forces a sequential build). For a fixed seed
+	// the resulting index is byte-identical regardless of worker count.
+	Workers int
+	// Metrics, when non-nil, receives the build observability: an
+	// IndexBuilds increment, the build wall time in the IndexBuildTime
+	// histogram, and (for DiagMC) walk-work counters merged from the
+	// worker pool.
+	Metrics *Metrics
+}
+
+// BuildLandmarkIndexOpts is BuildLandmarkIndex with explicit control over
+// the parallel build.
+func BuildLandmarkIndexOpts(g *Graph, landmark int, opts IndexBuildOptions) (*LandmarkIndex, error) {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return core.BuildIndex(g, landmark, core.IndexOptions{
+		Mode:    opts.Mode,
+		Workers: opts.Workers,
+		Metrics: opts.Metrics,
+	}, randx.New(seed))
 }
 
 // SingleSource returns r(s, t) for every t using the index.

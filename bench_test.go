@@ -271,6 +271,35 @@ func BenchmarkLandmarkIndexBuildMC(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildIndex measures full-index construction in each DiagMode.
+// Workers is left at 0 (= GOMAXPROCS), so running with -cpu 1,4 compares
+// the sequential build against the four-worker build directly; for a fixed
+// seed both produce bit-identical Diag arrays.
+func BenchmarkBuildIndex(b *testing.B) {
+	g, err := graph.BarabasiAlbert(2000, 4, randx.New(20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := g.MaxDegreeVertex()
+	for _, bc := range []struct {
+		name string
+		opts core.IndexOptions
+	}{
+		{"exact", core.IndexOptions{Mode: core.DiagExactCG}},
+		{"mc", core.IndexOptions{Mode: core.DiagMC, WalksPerVertex: 64}},
+		{"sketch", core.IndexOptions{Mode: core.DiagSketch, SketchEpsilon: 0.3}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildIndex(g, v, bc.opts, randx.New(21)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSingleSourceQuery(b *testing.B) {
 	g, err := graph.BarabasiAlbert(2000, 4, randx.New(17))
 	if err != nil {

@@ -27,6 +27,7 @@ func main() {
 		scaleFlag   = flag.String("scale", "small", "dataset scale: tiny|small|medium|large")
 		seedFlag    = flag.Uint64("seed", 2023, "random seed")
 		queriesFlag = flag.Int("queries", 20, "query pairs per dataset")
+		workersFlag = flag.Int("workers", 0, "index-build worker count (0 = GOMAXPROCS, 1 = sequential; results are seed-deterministic either way)")
 		csvFlag     = flag.String("csv", "", "directory to also write every table as CSV")
 		debugFlag   = flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	)
@@ -47,6 +48,7 @@ func main() {
 		Scale:   scale,
 		Seed:    *seedFlag,
 		Queries: *queriesFlag,
+		Workers: *workersFlag,
 		Out:     os.Stdout,
 		CSVDir:  *csvFlag,
 	}

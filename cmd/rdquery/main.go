@@ -29,6 +29,7 @@ type config struct {
 	theta     float64
 	source    int
 	topk      int
+	workers   int
 	stats     bool
 	debugAddr string
 }
@@ -44,6 +45,7 @@ func main() {
 	flag.Float64Var(&cfg.theta, "theta", 0, "push residual threshold")
 	flag.IntVar(&cfg.source, "source", -1, "single-source mode: source vertex")
 	flag.IntVar(&cfg.topk, "topk", 10, "single-source mode: closest vertices to print")
+	flag.IntVar(&cfg.workers, "workers", 0, "index-build worker count (0 = GOMAXPROCS, 1 = sequential; results are seed-deterministic either way)")
 	flag.BoolVar(&cfg.stats, "stats", false, "print estimator/solver metrics after the query")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -137,7 +139,9 @@ func runSingleSource(g *landmarkrd.Graph, cfg config, out io.Writer) error {
 		v = (v + 1) % g.N()
 	}
 	start := time.Now()
-	idx, err := landmarkrd.BuildLandmarkIndex(g, v, landmarkrd.DiagSketch, cfg.seed)
+	idx, err := landmarkrd.BuildLandmarkIndexOpts(g, v, landmarkrd.IndexBuildOptions{
+		Mode: landmarkrd.DiagSketch, Seed: cfg.seed, Workers: cfg.workers,
+	})
 	if err != nil {
 		return err
 	}

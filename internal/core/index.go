@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"landmarkrd/internal/graph"
@@ -53,8 +55,16 @@ type IndexOptions struct {
 	SketchEpsilon float64
 	// Tol is the DiagExactCG solver tolerance (default lap.ExactTol).
 	Tol float64
-	// Metrics, when non-nil, receives an IndexBuilds increment and the
-	// build wall time (QueryTime histogram) for every BuildIndex call.
+	// Workers shards the per-vertex diagonal work across a worker pool
+	// (default GOMAXPROCS; 1 forces a sequential build). The Diag array is
+	// byte-identical for a fixed seed regardless of the worker count:
+	// every vertex draws from its own random stream derived from the root
+	// seed, and the CG solves are deterministic per vertex.
+	Workers int
+	// Metrics, when non-nil, receives an IndexBuilds increment, the build
+	// wall time (IndexBuildTime histogram), and — for DiagMC — the walk
+	// work counters, merged from the worker-local sinks when the pool
+	// joins.
 	Metrics *obs.Metrics
 }
 
@@ -63,6 +73,9 @@ type IndexOptions struct {
 // computation:
 //
 //	r(s,t) = L_v⁻¹[s,s] − 2·L_v⁻¹[s,t] + Diag[t].
+//
+// An Index is safe for concurrent SingleSource queries and must not be
+// copied after first use (it recycles solver scratch through a pool).
 type Index struct {
 	G        *graph.Graph
 	Landmark int
@@ -71,9 +84,65 @@ type Index struct {
 	Mode DiagMode
 	// BuildTime is the wall time BuildIndex took (not persisted).
 	BuildTime time.Duration
+
+	// solvers recycles GroundedSolvers (rhs/x/CG scratch vectors) across
+	// SingleSource calls so repeated queries do not allocate per solve.
+	solvers sync.Pool
 }
 
-// BuildIndex constructs the diagonal index for landmark v.
+// indexWorkers resolves the worker count for an n-vertex build.
+func indexWorkers(opts IndexOptions, n int) int {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runIndexWorkers fans build out over workers goroutines. Each worker gets
+// a private obs.Metrics sink so the hot loops record without contention;
+// the sinks are merged into mergeInto (which may be nil) after the pool
+// joins. The first worker error wins.
+func runIndexWorkers(workers int, mergeInto *obs.Metrics, build func(worker int, local *obs.Metrics) error) error {
+	if workers == 1 {
+		local := &obs.Metrics{}
+		err := build(0, local)
+		mergeInto.Merge(local)
+		return err
+	}
+	locals := make([]*obs.Metrics, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		locals[w] = &obs.Metrics{}
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			errs[worker] = build(worker, locals[worker])
+		}(w)
+	}
+	wg.Wait()
+	for _, local := range locals {
+		mergeInto.Merge(local)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildIndex constructs the diagonal index for landmark v. All three diag
+// modes shard their per-vertex work across opts.Workers goroutines; see
+// IndexOptions.Workers for the determinism guarantee. rng drives the
+// randomized modes (DiagMC, DiagSketch) and may be nil for DiagExactCG.
 func BuildIndex(g *graph.Graph, landmark int, opts IndexOptions, rng *randx.RNG) (*Index, error) {
 	if err := g.ValidateVertex(landmark); err != nil {
 		return nil, err
@@ -81,66 +150,28 @@ func BuildIndex(g *graph.Graph, landmark int, opts IndexOptions, rng *randx.RNG)
 	start := time.Now()
 	n := g.N()
 	idx := &Index{G: g, Landmark: landmark, Diag: make([]float64, n), Mode: opts.Mode}
+	workers := indexWorkers(opts, n)
 	switch opts.Mode {
 	case DiagExactCG:
-		tol := opts.Tol
-		if tol <= 0 {
-			tol = lap.ExactTol
-		}
-		b := make([]float64, n)
-		for t := 0; t < n; t++ {
-			if t == landmark {
-				continue
-			}
-			b[t] = 1
-			x, _, err := lap.GroundedSolve(g, landmark, b, tol)
-			b[t] = 0
-			if err != nil {
-				return nil, fmt.Errorf("core: index diag solve at %d: %w", t, err)
-			}
-			idx.Diag[t] = x[t]
+		if err := buildDiagExact(g, landmark, idx.Diag, opts, workers); err != nil {
+			return nil, err
 		}
 	case DiagMC:
-		walks := opts.WalksPerVertex
-		if walks <= 0 {
-			walks = 64
-		}
-		maxSteps := opts.MaxSteps
-		if maxSteps <= 0 {
-			maxSteps = 100 * n
-			if maxSteps < 100000 {
-				maxSteps = 100000
-			}
-		}
-		sampler := walk.NewSampler(g)
-		for t := 0; t < n; t++ {
-			if t == landmark {
-				continue
-			}
-			var visits float64
-			for i := 0; i < walks; i++ {
-				sampler.AbsorbedVisits(t, landmark, maxSteps, rng, func(u int) {
-					if u == t {
-						visits++
-					}
-				})
-			}
-			idx.Diag[t] = visits / (float64(walks) * g.WeightedDegree(t))
+		if err := buildDiagMC(g, landmark, idx.Diag, opts, workers, rng); err != nil {
+			return nil, err
 		}
 	case DiagSketch:
 		eps := opts.SketchEpsilon
 		if eps <= 0 {
 			eps = 0.3
 		}
-		sk, err := sketch.Build(g, sketch.Options{Epsilon: eps}, rng)
+		sk, err := sketch.Build(g, sketch.Options{Epsilon: eps, Workers: workers}, rng)
 		if err != nil {
 			return nil, fmt.Errorf("core: index sketch: %w", err)
 		}
-		diag, err := sk.ResistancesFrom(landmark)
-		if err != nil {
+		if err := sk.ResistancesInto(idx.Diag, landmark); err != nil {
 			return nil, err
 		}
-		idx.Diag = diag
 		idx.Diag[landmark] = 0
 	default:
 		return nil, fmt.Errorf("core: unknown diag mode %d", int(opts.Mode))
@@ -148,13 +179,110 @@ func BuildIndex(g *graph.Graph, landmark int, opts IndexOptions, rng *randx.RNG)
 	idx.BuildTime = time.Since(start)
 	if opts.Metrics != nil {
 		opts.Metrics.IndexBuilds.Inc()
-		opts.Metrics.QueryTime.Observe(idx.BuildTime.Nanoseconds())
+		opts.Metrics.IndexBuildTime.Observe(idx.BuildTime.Nanoseconds())
 	}
 	return idx, nil
 }
 
+// buildDiagExact fills diag[t] = L_v⁻¹[t,t] with one grounded CG solve per
+// vertex, sharded across the worker pool in stride-workers order. Each
+// worker owns a GroundedSolver (rhs/x/CG scratch, Jacobi preconditioner)
+// recording into a worker-local sink; the sinks merge into the process-wide
+// lap.SolverMetrics when the pool joins, exactly as the sequential build
+// recorded there solve by solve.
+func buildDiagExact(g *graph.Graph, landmark int, diag []float64, opts IndexOptions, workers int) error {
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = lap.ExactTol
+	}
+	n := g.N()
+	return runIndexWorkers(workers, lap.SolverMetrics(), func(worker int, local *obs.Metrics) error {
+		solver := lap.NewGroundedSolver(g, landmark)
+		solver.Metrics = local
+		// A pool of solvers already saturates the cores; with a single
+		// worker, let the solve's applies row-parallelize instead (the
+		// result is bit-identical either way).
+		solver.Op.NoParallel = workers > 1
+		for t := worker; t < n; t += workers {
+			if t == landmark {
+				continue
+			}
+			x, _, err := solver.SolveUnit(t, tol)
+			if err != nil {
+				return fmt.Errorf("core: index diag solve at %d: %w", t, err)
+			}
+			diag[t] = x[t]
+		}
+		return nil
+	})
+}
+
+// buildDiagMC fills diag[t] with the absorbed-walk visit estimator,
+// sharded across the worker pool. Every vertex gets its own random stream
+// derived from a root seed drawn once from rng — the same reseeding scheme
+// the pooled batch engine uses per worker — so the estimate for t is
+// independent of which worker samples it and of the worker count. Walk
+// work counters accumulate in worker-local sinks and merge into
+// opts.Metrics at the end.
+func buildDiagMC(g *graph.Graph, landmark int, diag []float64, opts IndexOptions, workers int, rng *randx.RNG) error {
+	if rng == nil {
+		return fmt.Errorf("core: DiagMC index build requires an RNG")
+	}
+	walks := opts.WalksPerVertex
+	if walks <= 0 {
+		walks = 64
+	}
+	n := g.N()
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 100 * n
+		if maxSteps < 100000 {
+			maxSteps = 100000
+		}
+	}
+	// The weighted-sampling prefix sums must exist before concurrent reads.
+	g.EnsureSamplingIndex()
+	root := rng.Uint64()
+	return runIndexWorkers(workers, opts.Metrics, func(worker int, local *obs.Metrics) error {
+		sampler := walk.NewSampler(g)
+		for t := worker; t < n; t += workers {
+			if t == landmark {
+				continue
+			}
+			vertexRNG := randx.New(root + uint64(t)*0x9e3779b97f4a7c15)
+			var visits float64
+			var steps, truncated int64
+			for i := 0; i < walks; i++ {
+				s, absorbed := sampler.AbsorbedVisits(t, landmark, maxSteps, vertexRNG, func(u int) {
+					if u == t {
+						visits++
+					}
+				})
+				steps += int64(s)
+				if !absorbed {
+					truncated++
+				}
+			}
+			local.Walks.Add(int64(walks))
+			local.WalkSteps.Add(steps)
+			local.TruncatedWalks.Add(truncated)
+			diag[t] = visits / (float64(walks) * g.WeightedDegree(t))
+		}
+		return nil
+	})
+}
+
 // MemoryBytes reports the index footprint.
 func (idx *Index) MemoryBytes() int64 { return int64(len(idx.Diag)) * 8 }
+
+// acquireSolver returns a pooled grounded solver bound to the index
+// landmark, creating one on a pool miss.
+func (idx *Index) acquireSolver() *lap.GroundedSolver {
+	if v := idx.solvers.Get(); v != nil {
+		return v.(*lap.GroundedSolver)
+	}
+	return lap.NewGroundedSolver(idx.G, idx.Landmark)
+}
 
 // SingleSourceOptions configures single-source queries against an index.
 type SingleSourceOptions struct {
@@ -186,7 +314,7 @@ func (idx *Index) SingleSource(s int, opts SingleSourceOptions) ([]float64, erro
 		return out, nil
 	}
 	// col[t] = L_v⁻¹[s,t].
-	col := make([]float64, g.N())
+	var col []float64
 	if opts.UsePush {
 		theta := opts.PushTheta
 		if theta <= 0 {
@@ -199,6 +327,7 @@ func (idx *Index) SingleSource(s int, opts SingleSourceOptions) ([]float64, erro
 		if _, err := p.Run(s, PushOptions{Theta: theta, MaxOps: opts.MaxOps}); err != nil {
 			return nil, err
 		}
+		col = make([]float64, g.N())
 		for _, u := range p.TouchedVertices() {
 			col[u] = p.GroundedEntry(int(u))
 		}
@@ -207,13 +336,13 @@ func (idx *Index) SingleSource(s int, opts SingleSourceOptions) ([]float64, erro
 		if tol <= 0 {
 			tol = 1e-8
 		}
-		b := make([]float64, g.N())
-		b[s] = 1
-		x, _, err := lap.GroundedSolve(g, v, b, tol)
+		solver := idx.acquireSolver()
+		defer idx.solvers.Put(solver)
+		x, _, err := solver.SolveUnit(s, tol)
 		if err != nil {
 			return nil, fmt.Errorf("core: single-source column solve: %w", err)
 		}
-		col = x
+		col = x // solver-owned; read only until the deferred Put
 	}
 	out := make([]float64, g.N())
 	lss := col[s]

@@ -30,6 +30,10 @@ type ExpConfig struct {
 	// CSVDir, when set, additionally writes every emitted table as a CSV
 	// file (named from a slug of the table title) into that directory.
 	CSVDir string
+	// Workers shards landmark-index builds across a worker pool
+	// (default GOMAXPROCS; 1 forces sequential builds). Results are
+	// byte-identical for a fixed seed regardless of the worker count.
+	Workers int
 }
 
 // emit writes a table to the text output and, when configured, as CSV.
@@ -748,7 +752,7 @@ func ExpSingleSource(cfg ExpConfig) error {
 			"diag-mode", "build-time", "index-bytes", "query-time", "mean-abs-err", "max-abs-err")
 		for _, mode := range []core.DiagMode{core.DiagExactCG, core.DiagMC, core.DiagSketch} {
 			start := time.Now()
-			idx, err := core.BuildIndex(g, v, core.IndexOptions{Mode: mode, WalksPerVertex: 96, SketchEpsilon: 0.25}, rng.Split())
+			idx, err := core.BuildIndex(g, v, core.IndexOptions{Mode: mode, WalksPerVertex: 96, SketchEpsilon: 0.25, Workers: cfg.Workers}, rng.Split())
 			if err != nil {
 				return err
 			}

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"landmarkrd/internal/randx"
 )
@@ -107,16 +108,20 @@ func BarabasiAlbert(n, k int, rng *randx.RNG) (*Graph, error) {
 			targets = append(targets, int32(u), int32(v))
 		}
 	}
-	chosen := make(map[int32]struct{}, k)
+	// Dedup with a slice, not a map: iterating a map here would append to
+	// targets in randomized map order, making the generated graph depend on
+	// map iteration and not just the seed. k is small, so the linear scan
+	// also beats the map.
+	chosen := make([]int32, 0, k)
 	for u := k + 1; u < n; u++ {
-		clear(chosen)
+		chosen = chosen[:0]
 		for len(chosen) < k {
 			t := targets[rng.Intn(len(targets))]
-			if _, dup := chosen[t]; !dup {
-				chosen[t] = struct{}{}
+			if !slices.Contains(chosen, t) {
+				chosen = append(chosen, t)
 			}
 		}
-		for t := range chosen {
+		for _, t := range chosen {
 			b.AddEdge(u, int(t))
 			targets = append(targets, int32(u), t)
 		}

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"slices"
 	"testing"
 
 	"landmarkrd/internal/randx"
@@ -38,6 +39,14 @@ func TestGeneratorsConnectedAndDeterministic(t *testing.T) {
 			if g1.N() != g2.N() || g1.M() != g2.M() {
 				t.Errorf("same seed produced different graphs: (%d,%d) vs (%d,%d)",
 					g1.N(), g1.M(), g2.N(), g2.M())
+			}
+			// Counts matching is not enough: the BA generator once produced
+			// seed-independent edge sets via map-iteration order. Compare
+			// the full CSR structure.
+			off1, adj1, w1 := g1.RawCSR()
+			off2, adj2, w2 := g2.RawCSR()
+			if !slices.Equal(off1, off2) || !slices.Equal(adj1, adj2) || !slices.Equal(w1, w2) {
+				t.Error("same seed produced different edge structure")
 			}
 		})
 	}

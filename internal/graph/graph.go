@@ -77,6 +77,20 @@ func (g *Graph) EdgeWeight(u int, i int) float64 {
 	return g.w[g.offsets[u]+int64(i)]
 }
 
+// RawCSR exposes the raw CSR arrays for flat kernel loops: offsets has
+// length N()+1, adj holds the neighbor lists back to back, and w the
+// matching weights (nil for unweighted graphs). The slices alias internal
+// storage and must be treated as read-only; this accessor exists so the
+// module's hot sparse kernels (Laplacian applies, solvers) can iterate
+// directly instead of paying a closure call per edge.
+func (g *Graph) RawCSR() (offsets []int64, adj []int32, w []float64) {
+	return g.offsets, g.adj, g.w
+}
+
+// WeightedDegrees returns the per-vertex weighted degree slice (the
+// Laplacian diagonal). Aliases internal storage; read-only.
+func (g *Graph) WeightedDegrees() []float64 { return g.deg }
+
 // ForEachNeighbor calls fn(v, w) for every edge (u, v) with weight w.
 func (g *Graph) ForEachNeighbor(u int, fn func(v int32, w float64)) {
 	lo, hi := g.offsets[u], g.offsets[u+1]

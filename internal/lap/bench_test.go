@@ -1,0 +1,91 @@
+package lap
+
+import (
+	"testing"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/randx"
+)
+
+// benchApplyGraph builds a BA graph sized so n + nnz lands on the requested
+// side of the parallel-apply threshold.
+func benchApplyGraph(b *testing.B, n int) *graph.Graph {
+	b.Helper()
+	g, err := graph.BarabasiAlbert(n, 4, randx.New(51))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkGroundedApply measures one grounded-Laplacian matvec, the inner
+// kernel of every CG iteration in the index build and single-source path.
+//
+//   - small (n=5000): below the parallel threshold — pure flat-CSR kernel,
+//     sequential regardless of -cpu.
+//   - large (n=60000): above the threshold — row-blocked parallel sweep when
+//     run with -cpu > 1, flat sequential sweep at -cpu 1.
+//
+// Compare against BenchmarkGroundedApplyClosure for the speedup of the flat
+// kernel over the pre-refactor closure iteration.
+func BenchmarkGroundedApply(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		n    int
+	}{
+		{"small", 5000},
+		{"large", 60000},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			g := benchApplyGraph(b, bc.n)
+			op := &Grounded{G: g, Landmark: g.MaxDegreeVertex()}
+			x := randVec(g.N(), randx.New(52))
+			dst := make([]float64, g.N())
+			b.SetBytes(int64(8 * (g.N() + 2*int(g.M()))))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op.Apply(dst, x)
+			}
+		})
+	}
+}
+
+// BenchmarkGroundedApplyClosure is the pre-refactor reference: closure-based
+// neighbor iteration with a per-edge landmark test. Kept as the baseline the
+// flat kernel is measured against.
+func BenchmarkGroundedApplyClosure(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		n    int
+	}{
+		{"small", 5000},
+		{"large", 60000},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			g := benchApplyGraph(b, bc.n)
+			landmark := g.MaxDegreeVertex()
+			x := randVec(g.N(), randx.New(52))
+			dst := make([]float64, g.N())
+			b.SetBytes(int64(8 * (g.N() + 2*int(g.M()))))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				closureGroundedApply(g, landmark, dst, x)
+			}
+		})
+	}
+}
+
+// BenchmarkGroundedSolve measures a full grounded CG solve through the
+// reusable solver (zero allocations after construction).
+func BenchmarkGroundedSolve(b *testing.B) {
+	g := benchApplyGraph(b, 5000)
+	solver := NewGroundedSolver(g, g.MaxDegreeVertex())
+	rhs := randVec(g.N(), randx.New(53))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := solver.Solve(rhs, 1e-8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package lap
+
+import (
+	"math"
+	"testing"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/randx"
+)
+
+// closureGroundedApply is the pre-flattening reference kernel: closure
+// iteration with a per-edge landmark test. The flat kernels must match it
+// bit for bit.
+func closureGroundedApply(g *graph.Graph, landmark int, dst, x []float64) {
+	for u := 0; u < g.N(); u++ {
+		if u == landmark {
+			dst[u] = 0
+			continue
+		}
+		s := g.WeightedDegree(u) * x[u]
+		g.ForEachNeighbor(u, func(w int32, wt float64) {
+			if int(w) != landmark {
+				s -= wt * x[w]
+			}
+		})
+		dst[u] = s
+	}
+}
+
+func randVec(n int, rng *randx.RNG) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func testGraphs(t *testing.T) []*graph.Graph {
+	t.Helper()
+	ba, err := graph.BarabasiAlbert(500, 3, randx.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A weighted graph exercises the w != nil kernel path.
+	ws, err := graph.WattsStrogatz(300, 4, 0.1, randx.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := graph.NewBuilder(ws.N())
+	wrng := randx.New(43)
+	for u := 0; u < ws.N(); u++ {
+		ws.ForEachNeighbor(u, func(v int32, _ float64) {
+			if int(v) > u {
+				wb.AddWeightedEdge(u, int(v), 0.5+1.5*wrng.Float64())
+			}
+		})
+	}
+	wted, err := wb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*graph.Graph{ba, wted}
+}
+
+// TestGroundedApplyMatchesClosureKernel pins the flat branch-free kernel
+// (landmark column zeroed for the sweep) to the reference implementation.
+func TestGroundedApplyMatchesClosureKernel(t *testing.T) {
+	for _, g := range testGraphs(t) {
+		n := g.N()
+		rng := randx.New(44)
+		for _, landmark := range []int{0, g.MaxDegreeVertex(), n - 1} {
+			op := &Grounded{G: g, Landmark: landmark}
+			x := randVec(n, rng)
+			xBefore := append([]float64(nil), x...)
+			got := make([]float64, n)
+			want := make([]float64, n)
+			op.Apply(got, x)
+			closureGroundedApply(g, landmark, want, x)
+			for u := range got {
+				if math.Float64bits(got[u]) != math.Float64bits(want[u]) {
+					t.Fatalf("landmark %d: dst[%d] = %v, closure kernel %v", landmark, u, got[u], want[u])
+				}
+			}
+			// The temporary x[landmark] zeroing must be restored.
+			for u := range x {
+				if x[u] != xBefore[u] {
+					t.Fatalf("Apply mutated x[%d]: %v -> %v", u, xBefore[u], x[u])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelApplyMatchesSequential checks the row-blocked parallel sweep
+// is bit-identical to the sequential one on a graph above the threshold.
+func TestParallelApplyMatchesSequential(t *testing.T) {
+	// n + 2m must clear parallelApplyMinWork to engage the parallel path.
+	g, err := graph.BarabasiAlbert(40000, 3, randx.New(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	if n+2*int(g.M()) < parallelApplyMinWork {
+		t.Fatalf("test graph too small to engage the parallel path (work %d)", n+2*int(g.M()))
+	}
+	rng := randx.New(46)
+	x := randVec(n, rng)
+	seq := make([]float64, n)
+	par := make([]float64, n)
+
+	lop := &Laplacian{G: g, NoParallel: true}
+	lop.Apply(seq, x)
+	lop.NoParallel = false
+	lop.Apply(par, x)
+	for u := range seq {
+		if math.Float64bits(seq[u]) != math.Float64bits(par[u]) {
+			t.Fatalf("Laplacian: parallel apply differs at %d", u)
+		}
+	}
+
+	gop := &Grounded{G: g, Landmark: g.MaxDegreeVertex(), NoParallel: true}
+	gop.Apply(seq, x)
+	gop.NoParallel = false
+	gop.Apply(par, x)
+	for u := range seq {
+		if math.Float64bits(seq[u]) != math.Float64bits(par[u]) {
+			t.Fatalf("Grounded: parallel apply differs at %d", u)
+		}
+	}
+
+	aop := NewNormalizedAdjacency(g)
+	aop.NoParallel = true
+	aop.Apply(seq, x)
+	aop.NoParallel = false
+	aop.Apply(par, x)
+	for u := range seq {
+		if math.Float64bits(seq[u]) != math.Float64bits(par[u]) {
+			t.Fatalf("NormalizedAdjacency: parallel apply differs at %d", u)
+		}
+	}
+}
+
+// TestGroundedSolverReuse checks that a reused solver reproduces the
+// one-shot GroundedSolve answers across solves (scratch reuse must not leak
+// state between solves).
+func TestGroundedSolverReuse(t *testing.T) {
+	g := testGraphs(t)[0]
+	v := g.MaxDegreeVertex()
+	solver := NewGroundedSolver(g, v)
+	rng := randx.New(47)
+	for trial := 0; trial < 5; trial++ {
+		b := randVec(g.N(), rng)
+		want, _, err := GroundedSolve(g, v, b, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := solver.Solve(b, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := range want {
+			if math.Float64bits(got[u]) != math.Float64bits(want[u]) {
+				t.Fatalf("trial %d: reused solver differs at %d: %v vs %v", trial, u, got[u], want[u])
+			}
+		}
+	}
+	// SolveUnit must equal Solve with an explicit unit vector.
+	tgt := (v + 7) % g.N()
+	b := make([]float64, g.N())
+	b[tgt] = 1
+	want, _, err := solver.Solve(b, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCopy := append([]float64(nil), want...)
+	got, _, err := solver.SolveUnit(tgt, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range wantCopy {
+		if math.Float64bits(got[u]) != math.Float64bits(wantCopy[u]) {
+			t.Fatalf("SolveUnit differs at %d", u)
+		}
+	}
+}

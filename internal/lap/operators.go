@@ -7,7 +7,6 @@ package lap
 
 import (
 	"math"
-	"time"
 
 	"landmarkrd/internal/graph"
 	"landmarkrd/internal/linalg"
@@ -18,19 +17,54 @@ import (
 // connected graph.
 type Laplacian struct {
 	G *graph.Graph
+	// NoParallel disables the automatic row-blocked parallel sweep that
+	// kicks in above a size threshold. Set it when many solves already run
+	// side by side (worker pools) so the applies do not oversubscribe.
+	NoParallel bool
 }
 
 // Dim implements linalg.Operator.
 func (l *Laplacian) Dim() int { return l.G.N() }
 
-// Apply computes dst = L x.
+// Apply computes dst = L x. dst and x must not alias.
 func (l *Laplacian) Apply(dst, x []float64) {
 	g := l.G
-	for u := 0; u < g.N(); u++ {
-		s := g.WeightedDegree(u) * x[u]
-		g.ForEachNeighbor(u, func(v int32, w float64) {
-			s -= w * x[v]
+	n := g.N()
+	offsets, adj, w := g.RawCSR()
+	deg := g.WeightedDegrees()
+	if !l.NoParallel && parallelApplyWorthwhile(n, len(adj)) {
+		parallelRows(n, offsets, func(lo, hi int) {
+			laplacianSweep(dst, x, offsets, adj, w, deg, lo, hi)
 		})
+		return
+	}
+	laplacianSweep(dst, x, offsets, adj, w, deg, 0, n)
+}
+
+// laplacianSweep computes dst[u] = deg[u]·x[u] − Σ_{(u,v)} w·x[v] for rows
+// in [lo, hi) by direct CSR index iteration — the flat form of the
+// ForEachNeighbor loop, with the unweighted case split out so the inner
+// loop carries no per-edge branch.
+func laplacianSweep(dst, x []float64, offsets []int64, adj []int32, w, deg []float64, lo, hi int) {
+	if w == nil {
+		for u := lo; u < hi; u++ {
+			s := deg[u] * x[u]
+			row := adj[offsets[u]:offsets[u+1]]
+			for _, v := range row {
+				s -= x[v]
+			}
+			dst[u] = s
+		}
+		return
+	}
+	for u := lo; u < hi; u++ {
+		s := deg[u] * x[u]
+		b, e := offsets[u], offsets[u+1]
+		row := adj[b:e]
+		wts := w[b:e:e]
+		for j, v := range row {
+			s -= wts[j] * x[v]
+		}
 		dst[u] = s
 	}
 }
@@ -52,6 +86,9 @@ func (l *Laplacian) Diagonal() []float64 {
 type Grounded struct {
 	G        *graph.Graph
 	Landmark int
+	// NoParallel disables the automatic row-blocked parallel sweep above
+	// the size threshold (see Laplacian.NoParallel).
+	NoParallel bool
 }
 
 // Dim implements linalg.Operator. The operator acts on full-length vectors
@@ -59,23 +96,29 @@ type Grounded struct {
 func (l *Grounded) Dim() int { return l.G.N() }
 
 // Apply computes dst = L_v x, treating x[Landmark] as 0 and forcing
-// dst[Landmark] = 0.
+// dst[Landmark] = 0. dst and x must not alias.
+//
+// The per-edge "is this neighbor the landmark" test of the naive kernel is
+// hoisted out of the sweep: x[Landmark] is zeroed for the duration of the
+// plain Laplacian sweep (making the excluded column vanish algebraically)
+// and restored afterwards, so the inner loop is branch-free.
 func (l *Grounded) Apply(dst, x []float64) {
 	g := l.G
+	n := g.N()
 	v := l.Landmark
-	for u := 0; u < g.N(); u++ {
-		if u == v {
-			dst[u] = 0
-			continue
-		}
-		s := g.WeightedDegree(u) * x[u]
-		g.ForEachNeighbor(u, func(w int32, wt float64) {
-			if int(w) != v {
-				s -= wt * x[w]
-			}
+	offsets, adj, w := g.RawCSR()
+	deg := g.WeightedDegrees()
+	xv := x[v]
+	x[v] = 0
+	if !l.NoParallel && parallelApplyWorthwhile(n, len(adj)) {
+		parallelRows(n, offsets, func(lo, hi int) {
+			laplacianSweep(dst, x, offsets, adj, w, deg, lo, hi)
 		})
-		dst[u] = s
+	} else {
+		laplacianSweep(dst, x, offsets, adj, w, deg, 0, n)
 	}
+	x[v] = xv
+	dst[v] = 0
 }
 
 // Diagonal implements linalg.DiagonalProvider.
@@ -93,6 +136,9 @@ func (l *Grounded) Diagonal() []float64 {
 type NormalizedAdjacency struct {
 	G       *graph.Graph
 	invSqrt []float64
+	// NoParallel disables the automatic row-blocked parallel sweep above
+	// the size threshold (see Laplacian.NoParallel).
+	NoParallel bool
 }
 
 // NewNormalizedAdjacency precomputes D^{-1/2}.
@@ -110,17 +156,40 @@ func NewNormalizedAdjacency(g *graph.Graph) *NormalizedAdjacency {
 // Dim implements linalg.Operator.
 func (a *NormalizedAdjacency) Dim() int { return a.G.N() }
 
-// Apply computes dst = 𝒜 x.
+// Apply computes dst = 𝒜 x. dst and x must not alias.
 func (a *NormalizedAdjacency) Apply(dst, x []float64) {
 	g := a.G
-	for u := 0; u < g.N(); u++ {
-		var s float64
-		iu := a.invSqrt[u]
-		g.ForEachNeighbor(u, func(v int32, w float64) {
-			s += w * a.invSqrt[v] * x[v]
-		})
-		dst[u] = iu * s
+	n := g.N()
+	offsets, adj, w := g.RawCSR()
+	inv := a.invSqrt
+	sweep := func(lo, hi int) {
+		if w == nil {
+			for u := lo; u < hi; u++ {
+				var s float64
+				row := adj[offsets[u]:offsets[u+1]]
+				for _, v := range row {
+					s += inv[v] * x[v]
+				}
+				dst[u] = inv[u] * s
+			}
+			return
+		}
+		for u := lo; u < hi; u++ {
+			var s float64
+			b, e := offsets[u], offsets[u+1]
+			row := adj[b:e]
+			wts := w[b:e:e]
+			for j, v := range row {
+				s += wts[j] * inv[v] * x[v]
+			}
+			dst[u] = inv[u] * s
+		}
 	}
+	if !a.NoParallel && parallelApplyWorthwhile(n, len(adj)) {
+		parallelRows(n, offsets, sweep)
+		return
+	}
+	sweep(0, n)
 }
 
 // TopEigenvector returns the known top eigenvector of 𝒜, namely D^{1/2}·1
@@ -140,19 +209,9 @@ func (a *NormalizedAdjacency) TopEigenvector() []float64 {
 
 // GroundedSolve solves L_v x = b (with b[v] ignored) by preconditioned CG
 // and returns the solution with x[v] = 0. Every solve records its
-// iteration count and wall time in the package SolverMetrics.
+// iteration count and wall time in the package SolverMetrics. It is the
+// one-shot form of GroundedSolver; repeated solves against one landmark
+// should build a solver once and reuse its buffers.
 func GroundedSolve(g *graph.Graph, landmark int, b []float64, tol float64) ([]float64, linalg.CGResult, error) {
-	start := time.Now()
-	op := &Grounded{G: g, Landmark: landmark}
-	rhs := make([]float64, g.N())
-	copy(rhs, b)
-	rhs[landmark] = 0
-	x := make([]float64, g.N())
-	res, err := linalg.CG(op, x, rhs, linalg.CGOptions{Tol: tol})
-	solverMetrics.ObserveSolve(res.Iterations, time.Since(start))
-	if err != nil {
-		return nil, res, err
-	}
-	x[landmark] = 0
-	return x, res, nil
+	return NewGroundedSolver(g, landmark).Solve(b, tol)
 }

@@ -1,0 +1,57 @@
+package lap
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// parallelApplyMinWork is the n + nnz threshold below which a row-blocked
+// parallel sweep is not worth the goroutine fan-out. One SpMV row costs a
+// handful of ns; spawning and joining GOMAXPROCS goroutines costs a few µs,
+// so the sweep must carry at least ~100k row/edge visits to amortize it.
+const parallelApplyMinWork = 1 << 17
+
+// parallelApplyWorthwhile reports whether a sweep over n rows with nnz
+// stored directed edges should be row-blocked across cores.
+func parallelApplyWorthwhile(n, nnz int) bool {
+	return n+nnz >= parallelApplyMinWork && runtime.GOMAXPROCS(0) > 1
+}
+
+// parallelRows splits [0, n) into one contiguous block per worker, balanced
+// by edge count via the CSR offsets (hub-heavy rows would skew an even row
+// split), and runs sweep(lo, hi) on each block concurrently. Every dst row
+// is written by exactly one block, and each row's result is independent of
+// the blocking, so parallel sweeps are bit-identical to sequential ones.
+func parallelRows(n int, offsets []int64, sweep func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	total := offsets[n] + int64(n) // edges plus one unit per row
+	var wg sync.WaitGroup
+	lo := 0
+	for k := 1; k <= workers && lo < n; k++ {
+		hi := n
+		if k < workers {
+			targetWork := total * int64(k) / int64(workers)
+			// First row whose cumulative work passes this worker's share.
+			hi = sort.Search(n, func(u int) bool {
+				return offsets[u+1]+int64(u+1) >= targetWork
+			}) + 1
+			if hi <= lo {
+				continue
+			}
+			if hi > n {
+				hi = n
+			}
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			sweep(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}

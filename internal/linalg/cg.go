@@ -50,6 +50,29 @@ type CGOptions struct {
 	// the all-ones vector after every step. Required when solving with a
 	// singular graph Laplacian whose null space is span{1}.
 	ProjectConstant bool
+	// Work, when non-nil, supplies the four O(n) scratch vectors so
+	// repeated solves do not allocate. The workspace is fully overwritten
+	// by every solve; the solution is unaffected by its prior contents.
+	Work *CGWorkspace
+}
+
+// CGWorkspace holds the scratch vectors (r, z, p, Ap) one CG solve needs.
+// The zero value is ready to use; it grows on first use and is then reused
+// across solves. A workspace must not be shared by concurrent solves.
+type CGWorkspace struct {
+	r, z, p, ap []float64
+}
+
+// vectors returns the four scratch slices sized to n, reallocating only
+// when the dimension grows.
+func (w *CGWorkspace) vectors(n int) (r, z, p, ap []float64) {
+	if cap(w.r) < n {
+		w.r = make([]float64, n)
+		w.z = make([]float64, n)
+		w.p = make([]float64, n)
+		w.ap = make([]float64, n)
+	}
+	return w.r[:n], w.z[:n], w.p[:n], w.ap[:n]
 }
 
 // DiagonalProvider is implemented by operators that can expose their
@@ -99,10 +122,15 @@ func CG(a Operator, x, b []float64, opts CGOptions) (CGResult, error) {
 		}
 	}
 
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
+	var r, z, p, ap []float64
+	if opts.Work != nil {
+		r, z, p, ap = opts.Work.vectors(n)
+	} else {
+		r = make([]float64, n)
+		z = make([]float64, n)
+		p = make([]float64, n)
+		ap = make([]float64, n)
+	}
 
 	normB := Norm2(b)
 	if normB == 0 {

@@ -81,6 +81,30 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// Merge adds src's observations into h, bucket by bucket, so worker-local
+// histograms can be folded into a shared one when a worker pool joins.
+// Quantiles of the merged histogram are exactly what they would have been
+// had every value been observed on h directly.
+func (h *Histogram) Merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	h.count.Add(src.count.Load())
+	h.sum.Add(src.sum.Load())
+	for i := range h.buckets {
+		if n := src.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	v := src.max.Load()
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
 // HistSnapshot is a point-in-time view of a Histogram.
 type HistSnapshot struct {
 	Count int64   `json:"count"`
@@ -153,9 +177,43 @@ type Metrics struct {
 	CGSolves     Counter // grounded CG solves
 	CGIterations Counter // total CG iterations across solves
 
-	QueryTime Histogram // per-query wall time, nanoseconds
-	PushWork  Histogram // per-query push edge relaxations
-	WalkWork  Histogram // per-query walk steps
+	QueryTime      Histogram // per-query wall time, nanoseconds
+	PushWork       Histogram // per-query push edge relaxations
+	WalkWork       Histogram // per-query walk steps
+	IndexBuildTime Histogram // per-BuildIndex wall time, nanoseconds
+}
+
+// Merge folds src's counters and histograms into m. The index builder uses
+// it to combine worker-local sinks into the shared Metrics after a parallel
+// build, keeping the hot recording paths contention-free. Safe on a nil
+// receiver or source (no-op); src should be quiescent while merging.
+func (m *Metrics) Merge(src *Metrics) {
+	if m == nil || src == nil {
+		return
+	}
+	m.Queries.Add(src.Queries.Load())
+	m.Errors.Add(src.Errors.Load())
+	m.ExactFallbacks.Add(src.ExactFallbacks.Load())
+
+	m.PushOps.Add(src.PushOps.Load())
+	m.Pushes.Add(src.Pushes.Load())
+	m.Walks.Add(src.Walks.Load())
+	m.WalkSteps.Add(src.WalkSteps.Load())
+	m.LandmarkHits.Add(src.LandmarkHits.Load())
+	m.TruncatedWalks.Add(src.TruncatedWalks.Load())
+
+	m.ResidualL1.Add(src.ResidualL1.Load())
+
+	m.EstimatorBuilds.Add(src.EstimatorBuilds.Load())
+	m.IndexBuilds.Add(src.IndexBuilds.Load())
+
+	m.CGSolves.Add(src.CGSolves.Load())
+	m.CGIterations.Add(src.CGIterations.Load())
+
+	m.QueryTime.Merge(&src.QueryTime)
+	m.PushWork.Merge(&src.PushWork)
+	m.WalkWork.Merge(&src.WalkWork)
+	m.IndexBuildTime.Merge(&src.IndexBuildTime)
 }
 
 // QueryObservation carries everything one pair query contributes to the
@@ -226,9 +284,10 @@ type Snapshot struct {
 	CGSolves     int64 `json:"cg_solves"`
 	CGIterations int64 `json:"cg_iterations"`
 
-	QueryTime HistSnapshot `json:"query_time_ns"`
-	PushWork  HistSnapshot `json:"push_work"`
-	WalkWork  HistSnapshot `json:"walk_work"`
+	QueryTime      HistSnapshot `json:"query_time_ns"`
+	PushWork       HistSnapshot `json:"push_work"`
+	WalkWork       HistSnapshot `json:"walk_work"`
+	IndexBuildTime HistSnapshot `json:"index_build_time_ns"`
 }
 
 // Snapshot returns the current state. Safe on a nil receiver (zero
@@ -257,9 +316,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		CGSolves:     m.CGSolves.Load(),
 		CGIterations: m.CGIterations.Load(),
 
-		QueryTime: m.QueryTime.Snapshot(),
-		PushWork:  m.PushWork.Snapshot(),
-		WalkWork:  m.WalkWork.Snapshot(),
+		QueryTime:      m.QueryTime.Snapshot(),
+		PushWork:       m.PushWork.Snapshot(),
+		WalkWork:       m.WalkWork.Snapshot(),
+		IndexBuildTime: m.IndexBuildTime.Snapshot(),
 	}
 }
 

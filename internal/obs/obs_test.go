@@ -165,3 +165,72 @@ func TestPublishSwapsTarget(t *testing.T) {
 		t.Errorf("swapped publish queries = %d", got.Queries)
 	}
 }
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for v := int64(1); v <= 50; v++ {
+		a.Observe(v)
+	}
+	for v := int64(51); v <= 100; v++ {
+		b.Observe(v)
+	}
+	var direct Histogram
+	for v := int64(1); v <= 100; v++ {
+		direct.Observe(v)
+	}
+	a.Merge(&b)
+	got, want := a.Snapshot(), direct.Snapshot()
+	if got != want {
+		t.Errorf("merged snapshot = %+v, want %+v", got, want)
+	}
+	// Merging from a lower-max histogram must not lower the max.
+	var low Histogram
+	low.Observe(3)
+	a.Merge(&low)
+	if a.Snapshot().Max != want.Max {
+		t.Errorf("max regressed to %d after low merge", a.Snapshot().Max)
+	}
+	// Nil receiver and source are no-ops.
+	var nilH *Histogram
+	nilH.Merge(&a)
+	a.Merge(nil)
+}
+
+func TestMetricsMerge(t *testing.T) {
+	shared := &Metrics{}
+	shared.Queries.Add(1)
+	shared.QueryTime.Observe(10)
+
+	local := &Metrics{}
+	local.ObserveQuery(QueryObservation{
+		Duration:  time.Millisecond,
+		Walks:     5,
+		WalkSteps: 40,
+	})
+	local.ObserveSolve(12, 2*time.Millisecond)
+	local.IndexBuilds.Inc()
+	local.IndexBuildTime.Observe(int64(3 * time.Millisecond))
+
+	shared.Merge(local)
+	s := shared.Snapshot()
+	if s.Queries != 2 {
+		t.Errorf("Queries = %d, want 2", s.Queries)
+	}
+	if s.Walks != 5 || s.WalkSteps != 40 {
+		t.Errorf("walk counters not merged: %+v", s)
+	}
+	if s.CGSolves != 1 || s.CGIterations != 12 {
+		t.Errorf("cg counters not merged: %+v", s)
+	}
+	if s.IndexBuilds != 1 || s.IndexBuildTime.Count != 1 {
+		t.Errorf("index build metrics not merged: %+v", s)
+	}
+	if s.QueryTime.Count != 3 {
+		// One direct observation plus the query and solve durations.
+		t.Errorf("QueryTime.Count = %d, want 3", s.QueryTime.Count)
+	}
+	// Nil-safety.
+	var nilM *Metrics
+	nilM.Merge(shared)
+	shared.Merge(nil)
+}

@@ -93,6 +93,9 @@ func Build(g *graph.Graph, opts Options, rng *randx.RNG) (*Sketch, error) {
 	if workers > k {
 		workers = k
 	}
+	// With several row solves in flight the pool already saturates the
+	// cores; keep each solve's Laplacian applies on its own goroutine.
+	op.NoParallel = workers > 1
 	solveRow := func(i int) error {
 		// b = Bᵀ W^{1/2} q for a Rademacher edge vector q: each edge
 		// {u,v} contributes ±√w to u and ∓√w to v.
@@ -172,18 +175,35 @@ func (s *Sketch) Resistance(u, v int) (float64, error) {
 
 // ResistancesFrom returns the sketched r(src, t) for every t, in O(kn).
 func (s *Sketch) ResistancesFrom(src int) ([]float64, error) {
-	if err := s.g.ValidateVertex(src); err != nil {
+	out := make([]float64, s.g.N())
+	if err := s.ResistancesInto(out, src); err != nil {
 		return nil, err
 	}
-	out := make([]float64, s.g.N())
+	return out, nil
+}
+
+// ResistancesInto fills dst (length N) with the sketched r(src, t) for
+// every t, letting callers that already own a destination buffer — the
+// landmark index builder preallocates its Diag slice — avoid the extra
+// allocation ResistancesFrom pays.
+func (s *Sketch) ResistancesInto(dst []float64, src int) error {
+	if err := s.g.ValidateVertex(src); err != nil {
+		return err
+	}
+	if len(dst) != s.g.N() {
+		return fmt.Errorf("sketch: destination length %d, graph has n=%d", len(dst), s.g.N())
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	for _, row := range s.rows {
 		rs := row[src]
 		for t, rt := range row {
 			d := rs - rt
-			out[t] += d * d
+			dst[t] += d * d
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // MemoryBytes reports the approximate storage of the sketch.
