@@ -28,6 +28,7 @@
 package landmarkrd
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -42,6 +43,25 @@ import (
 	"landmarkrd/internal/sketch"
 )
 
+// ErrNilGraph is returned by every public entry point handed a nil *Graph.
+var ErrNilGraph = errors.New("landmarkrd: nil graph")
+
+// ErrDisconnected is returned (possibly wrapped — test with errors.Is) by
+// constructors and exact solvers when the graph is not connected. The
+// resistance between vertices in different components is infinite, and no
+// estimator in this module can answer it; the largest connected component
+// of a raw dataset is the usual remedy (the generators already return it).
+var ErrDisconnected = graph.ErrNotConnected
+
+// requireGraph guards public entry points against a nil graph, which would
+// otherwise panic deep inside a kernel.
+func requireGraph(g *Graph) error {
+	if g == nil {
+		return ErrNilGraph
+	}
+	return nil
+}
+
 // ElectricFlow is the unit s→t current flow (potentials, per-edge currents,
 // Kirchhoff divergence, energy = r(s,t)).
 type ElectricFlow = lap.ElectricFlow
@@ -49,11 +69,17 @@ type ElectricFlow = lap.ElectricFlow
 // ComputeElectricFlow solves for the unit-current electric flow from s to
 // t. The flow's Energy() equals r(s, t) (Thomson's principle).
 func ComputeElectricFlow(g *Graph, s, t int) (*ElectricFlow, error) {
+	if err := requireGraph(g); err != nil {
+		return nil, err
+	}
 	return lap.ComputeElectricFlow(g, s, t)
 }
 
 // Potential returns φ = L†(e_s − e_t), mean-centred; r(s,t) = φ(s) − φ(t).
 func Potential(g *Graph, s, t int) ([]float64, error) {
+	if err := requireGraph(g); err != nil {
+		return nil, err
+	}
 	return lap.PotentialCG(g, s, t)
 }
 
@@ -102,15 +128,28 @@ func WattsStrogatz(n, k int, beta float64, seed uint64) (*Graph, error) {
 // Exact computes r(s,t) to solver precision (~1e-10) by a grounded
 // conjugate-gradient solve. Cost is O(m·√κ)-ish per query; use it for
 // validation and ground truth.
-func Exact(g *Graph, s, t int) (float64, error) { return lap.ResistanceCG(g, s, t) }
+func Exact(g *Graph, s, t int) (float64, error) {
+	if err := requireGraph(g); err != nil {
+		return 0, err
+	}
+	return lap.ResistanceCG(g, s, t)
+}
 
 // CommuteTime returns the expected commute time Vol(G)·r(s,t).
-func CommuteTime(g *Graph, s, t int) (float64, error) { return lap.CommuteTime(g, s, t) }
+func CommuteTime(g *Graph, s, t int) (float64, error) {
+	if err := requireGraph(g); err != nil {
+		return 0, err
+	}
+	return lap.CommuteTime(g, s, t)
+}
 
 // ConditionNumber estimates the condition number κ = 2/λ₂(ℒ) of the
 // normalized Laplacian — the quantity that governs how hard a graph is for
 // every resistance algorithm.
 func ConditionNumber(g *Graph, seed uint64) (float64, error) {
+	if err := requireGraph(g); err != nil {
+		return 0, err
+	}
 	k := 120
 	if g.N() < 2*k {
 		k = g.N() / 2
@@ -196,6 +235,9 @@ type Estimator struct {
 // NewEstimator builds an estimator, selecting the landmark with
 // opts.Strategy (MaxDegree by default).
 func NewEstimator(g *Graph, m Method, opts Options) (*Estimator, error) {
+	if err := requireGraph(g); err != nil {
+		return nil, err
+	}
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 1
@@ -210,6 +252,9 @@ func NewEstimator(g *Graph, m Method, opts Options) (*Estimator, error) {
 
 // NewEstimatorAt builds an estimator with an explicit landmark vertex.
 func NewEstimatorAt(g *Graph, m Method, landmark int, opts Options) (*Estimator, error) {
+	if err := requireGraph(g); err != nil {
+		return nil, err
+	}
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 1
@@ -335,6 +380,9 @@ func SolverStats() Stats { return lap.SolverStats() }
 
 // SelectLandmark picks a landmark vertex by strategy.
 func SelectLandmark(g *Graph, s Strategy, seed uint64) (int, error) {
+	if err := requireGraph(g); err != nil {
+		return 0, err
+	}
 	return core.SelectLandmark(g, s, randx.New(seed))
 }
 
@@ -380,6 +428,9 @@ type IndexBuildOptions struct {
 // BuildLandmarkIndexOpts is BuildLandmarkIndex with explicit control over
 // the parallel build.
 func BuildLandmarkIndexOpts(g *Graph, landmark int, opts IndexBuildOptions) (*LandmarkIndex, error) {
+	if err := requireGraph(g); err != nil {
+		return nil, err
+	}
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 1
@@ -405,6 +456,9 @@ type LapSolver = chol.Solver
 // NewLapSolver builds the preconditioned solver grounded at a max-degree
 // landmark.
 func NewLapSolver(g *Graph, seed uint64) (*LapSolver, error) {
+	if err := requireGraph(g); err != nil {
+		return nil, err
+	}
 	v, err := core.SelectLandmark(g, core.MaxDegree, randx.New(seed))
 	if err != nil {
 		return nil, err
@@ -418,6 +472,9 @@ type Sketch = sketch.Sketch
 // BuildSketch constructs an ε-relative-error resistance sketch; any pair
 // can then be queried in O(log n / ε²) time.
 func BuildSketch(g *Graph, epsilon float64, seed uint64) (*Sketch, error) {
+	if err := requireGraph(g); err != nil {
+		return nil, err
+	}
 	return sketch.Build(g, sketch.Options{Epsilon: epsilon}, randx.New(seed))
 }
 
@@ -429,6 +486,9 @@ type MultiLandmarkEstimator = core.MultiLandmarkEstimator
 // NewMultiLandmark builds a multi-landmark BiPush estimator with the given
 // number of landmarks (0 = default 3).
 func NewMultiLandmark(g *Graph, landmarks int, opts Options) (*MultiLandmarkEstimator, error) {
+	if err := requireGraph(g); err != nil {
+		return nil, err
+	}
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 1
@@ -463,6 +523,9 @@ type Clustering = cluster.Result
 // its resistance distance to 2k pivot vertices and running k-means on the
 // embedding. Cluster quality (conductance) is reported per cluster.
 func ClusterGraph(g *Graph, k int, seed uint64) (*Clustering, error) {
+	if err := requireGraph(g); err != nil {
+		return nil, err
+	}
 	return cluster.Cluster(g, cluster.Options{K: k, Seed: seed}, randx.New(seed))
 }
 
@@ -473,5 +536,8 @@ type DynamicUpdater = dynamic.Updater
 
 // NewDynamic creates an updater over base graph g.
 func NewDynamic(g *Graph) (*DynamicUpdater, error) {
+	if err := requireGraph(g); err != nil {
+		return nil, err
+	}
 	return dynamic.New(g, 0)
 }

@@ -54,9 +54,10 @@ type BatchOptions struct {
 	// Options configures each worker's estimator.
 	Options Options
 	// Workers is the number of parallel workers (default GOMAXPROCS).
-	// Batches are deterministic for a fixed worker count: worker w always
-	// handles queries w, w+Workers, w+2·Workers, ... with its own seeded
-	// random stream.
+	// Worker w handles queries w, w+Workers, w+2·Workers, ..., but every
+	// query draws from its own random stream derived from Options.Seed
+	// and the query position, so batch results are byte-identical at any
+	// worker count.
 	Workers int
 	// Landmark pins the landmark vertex when PinLandmark is true (0 is a
 	// valid vertex, hence the explicit flag). Setting Landmark to a
@@ -98,6 +99,9 @@ type BatchEngine struct {
 // NewBatchEngine validates opts, selects the landmark, and prepares the
 // shared immutable state every pooled estimator reads.
 func NewBatchEngine(g *Graph, m Method, opts BatchOptions) (*BatchEngine, error) {
+	if err := requireGraph(g); err != nil {
+		return nil, err
+	}
 	if opts.Landmark != 0 && !opts.PinLandmark {
 		return nil, fmt.Errorf("landmarkrd: BatchOptions.Landmark = %d without PinLandmark; set PinLandmark (or leave Landmark zero to select by strategy)", opts.Landmark)
 	}
@@ -160,10 +164,11 @@ func (e *BatchEngine) acquire() (*Estimator, error) {
 func (e *BatchEngine) release(est *Estimator) { e.pool.Put(est) }
 
 // Pairs answers a batch of queries in parallel. Worker w deterministically
-// handles queries w, w+workers, ... with a random stream reseeded per call
-// from Options.Seed and w, so for a fixed worker count the results are
-// byte-identical across calls, across engines, and identical to the
-// one-shot Pairs function — whether or not the pool had warm estimators.
+// handles queries w, w+workers, ..., and each query i reseeds its
+// estimator to a stream derived from Options.Seed and i alone, so the
+// results are byte-identical across calls, across engines, across worker
+// counts, and identical to the one-shot Pairs function — whether or not
+// the pool had warm estimators.
 func (e *BatchEngine) Pairs(queries []PairQuery) ([]PairResult, error) {
 	if len(queries) == 0 {
 		return nil, nil
@@ -189,8 +194,11 @@ func (e *BatchEngine) Pairs(queries []PairQuery) ([]PairResult, error) {
 				return
 			}
 			defer e.release(est)
-			est.Reseed(e.seed + uint64(worker)*0x9e3779b97f4a7c15)
 			for i := worker; i < len(queries); i += workers {
+				// Per-query streams keep the answer to query i a pure
+				// function of (seed, i) — independent of which worker
+				// ran it and of the worker count.
+				est.Reseed(e.seed + uint64(i+1)*0x9e3779b97f4a7c15)
 				q := queries[i]
 				results[i].PairQuery = q
 				res, err := est.Pair(q.S, q.T)

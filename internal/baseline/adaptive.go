@@ -65,10 +65,7 @@ type AdaptiveResult struct {
 // endpoints, the d² factor in GEER's bound) it stops after a few batches;
 // on hard ones it keeps sampling up to MaxWalks.
 func AdaptiveLazyWalk(g *graph.Graph, s, t int, opts AdaptiveOptions, rng *randx.RNG) (AdaptiveResult, error) {
-	if err := g.ValidateVertex(s); err != nil {
-		return AdaptiveResult{}, err
-	}
-	if err := g.ValidateVertex(t); err != nil {
+	if err := validatePair(g, s, t); err != nil {
 		return AdaptiveResult{}, err
 	}
 	if s == t {

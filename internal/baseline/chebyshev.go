@@ -36,10 +36,7 @@ type ChebyshevResult struct {
 // Method": identical per-iteration cost (one matvec), √κ× fewer iterations,
 // at the price of needing a spectral lower bound up front.
 func ChebyshevRD(g *graph.Graph, s, t int, opts ChebyshevOptions) (ChebyshevResult, error) {
-	if err := g.ValidateVertex(s); err != nil {
-		return ChebyshevResult{}, err
-	}
-	if err := g.ValidateVertex(t); err != nil {
+	if err := validatePair(g, s, t); err != nil {
 		return ChebyshevResult{}, err
 	}
 	if s == t {

@@ -13,6 +13,23 @@ import (
 	"landmarkrd/internal/walk"
 )
 
+// validatePair validates a baseline query pair. All the baselines require
+// a connected graph: the walk estimators would silently truncate into a
+// finite value and the series methods diverge or go singular where the
+// true resistance across components is infinite.
+func validatePair(g *graph.Graph, s, t int) error {
+	if err := g.ValidateVertex(s); err != nil {
+		return err
+	}
+	if err := g.ValidateVertex(t); err != nil {
+		return err
+	}
+	if !g.IsConnected() {
+		return graph.ErrNotConnected
+	}
+	return nil
+}
+
 // PowerMethodOptions configures the truncated-series Power Method.
 type PowerMethodOptions struct {
 	// Steps is the truncation length l. With l = 2κ·log(κ/ε) the result is
@@ -38,10 +55,7 @@ type PowerMethodResult struct {
 // vector iterated by a full matrix-vector product per step, cost O(l·m).
 // It doubles as the ground-truth generator when Steps is large.
 func PowerMethod(g *graph.Graph, s, t int, opts PowerMethodOptions) (PowerMethodResult, error) {
-	if err := g.ValidateVertex(s); err != nil {
-		return PowerMethodResult{}, err
-	}
-	if err := g.ValidateVertex(t); err != nil {
+	if err := validatePair(g, s, t); err != nil {
 		return PowerMethodResult{}, err
 	}
 	if s == t {
@@ -128,10 +142,7 @@ type CommuteMCResult struct {
 // CommuteMC estimates r(s,t) from the commute-time identity
 // C(s,t) = h(s,t) + h(t,s) = Vol(G)·r(s,t) by simulating round trips.
 func CommuteMC(g *graph.Graph, s, t int, opts CommuteMCOptions, rng *randx.RNG) (CommuteMCResult, error) {
-	if err := g.ValidateVertex(s); err != nil {
-		return CommuteMCResult{}, err
-	}
-	if err := g.ValidateVertex(t); err != nil {
+	if err := validatePair(g, s, t); err != nil {
 		return CommuteMCResult{}, err
 	}
 	if s == t {

@@ -36,10 +36,7 @@ type LazyWalkResult struct {
 // where p_i(a,b) is the probability that a ½-lazy walk of length i from a
 // ends at b — the classic local algorithm for resistance distance.
 func LazyWalkRD(g *graph.Graph, s, t int, opts LazyWalkOptions, rng *randx.RNG) (LazyWalkResult, error) {
-	if err := g.ValidateVertex(s); err != nil {
-		return LazyWalkResult{}, err
-	}
-	if err := g.ValidateVertex(t); err != nil {
+	if err := validatePair(g, s, t); err != nil {
 		return LazyWalkResult{}, err
 	}
 	if s == t {

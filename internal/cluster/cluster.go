@@ -55,6 +55,11 @@ func Cluster(g *graph.Graph, opts Options, rng *randx.RNG) (*Result, error) {
 	if g.N() < opts.K {
 		return nil, fmt.Errorf("cluster: K=%d exceeds n=%d", opts.K, g.N())
 	}
+	// The resistance embedding is undefined across components; fail with
+	// the shared typed error instead of deep inside a pivot solve.
+	if !g.IsConnected() {
+		return nil, graph.ErrNotConnected
+	}
 	if rng == nil {
 		rng = randx.New(opts.Seed + 1)
 	}

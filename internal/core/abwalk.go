@@ -52,6 +52,9 @@ func NewAbWalkEstimator(g *graph.Graph, landmark int, opts AbWalkOptions, rng *r
 	if err := g.ValidateVertex(landmark); err != nil {
 		return nil, err
 	}
+	if err := requireConnected(g); err != nil {
+		return nil, err
+	}
 	return &AbWalkEstimator{
 		g:        g,
 		landmark: landmark,
@@ -120,6 +123,12 @@ func (e *AbWalkEstimator) Pair(s, t int) (Estimate, error) {
 	nr := float64(o.Walks)
 	ds, dt := e.g.WeightedDegree(s), e.g.WeightedDegree(t)
 	val := visitSS/(nr*ds) + visitTT/(nr*dt) - visitST/(nr*dt) - visitTS/(nr*ds)
+	// Resistance is non-negative; sampling noise on near pairs can push
+	// the raw combination slightly below zero, so clamp rather than hand
+	// the caller an impossible value.
+	if val < 0 {
+		val = 0
+	}
 	est := Estimate{
 		Value:        val,
 		Walks:        2 * o.Walks,
@@ -184,6 +193,9 @@ func (e *AbWalkEstimator) PairWithCI(s, t int) (Estimate, float64, error) {
 	mean := sum / nr
 	variance := math.Max(0, sumSq/nr-mean*mean)
 	half := 1.96 * math.Sqrt(variance/nr)
+	if mean < 0 {
+		mean = 0 // see Pair: resistance cannot be negative
+	}
 	est := Estimate{
 		Value:        mean,
 		Walks:        2 * o.Walks,

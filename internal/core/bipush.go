@@ -181,6 +181,11 @@ func (e *BiPushEstimator) Pair(s, t int) (Estimate, error) {
 	}
 	ds, dt := g.WeightedDegree(s), g.WeightedDegree(t)
 	val := fromS.tauToS/ds + fromT.tauToT/dt - fromS.tauToT/dt - fromT.tauToS/ds
+	// As in AbWalk: the Monte Carlo residual correction can push a
+	// near-zero resistance slightly negative; clamp to the feasible range.
+	if val < 0 {
+		val = 0
+	}
 	est := Estimate{
 		Value:        val,
 		Walks:        fromS.walks + fromT.walks,

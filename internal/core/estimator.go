@@ -55,6 +55,24 @@ var (
 	ErrLandmarkConflict = errors.New("core: landmark coincides with a query vertex")
 )
 
+// ErrDisconnected is returned by estimator and index constructors when the
+// graph is not connected. Resistance to an unreachable vertex is infinite,
+// and the landmark machinery would otherwise fail silently: absorbed walks
+// from a component without the landmark never absorb (they truncate into a
+// biased estimate), and grounded pushes there never drain their residual.
+// It aliases graph.ErrNotConnected so errors.Is matches across layers.
+var ErrDisconnected = graph.ErrNotConnected
+
+// requireConnected rejects graphs the landmark estimators cannot answer
+// on. The connectivity answer is memoized on the immutable graph, so the
+// check costs one BFS for the first constructor and nothing afterwards.
+func requireConnected(g *graph.Graph) error {
+	if !g.IsConnected() {
+		return ErrDisconnected
+	}
+	return nil
+}
+
 // validateQuery checks a pair query against graph and landmark.
 func validateQuery(g *graph.Graph, landmark, s, t int) error {
 	if err := g.ValidateVertex(s); err != nil {

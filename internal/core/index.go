@@ -147,6 +147,9 @@ func BuildIndex(g *graph.Graph, landmark int, opts IndexOptions, rng *randx.RNG)
 	if err := g.ValidateVertex(landmark); err != nil {
 		return nil, err
 	}
+	if err := requireConnected(g); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	n := g.N()
 	idx := &Index{G: g, Landmark: landmark, Diag: make([]float64, n), Mode: opts.Mode}

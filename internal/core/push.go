@@ -65,6 +65,9 @@ func NewPusher(g *graph.Graph, landmark int) (*Pusher, error) {
 	if err := g.ValidateVertex(landmark); err != nil {
 		return nil, fmt.Errorf("core: invalid landmark: %w", err)
 	}
+	if err := requireConnected(g); err != nil {
+		return nil, err
+	}
 	n := g.N()
 	return &Pusher{
 		g:        g,

@@ -153,8 +153,15 @@ func (u *Updater) applyRankOne(a, b int, w float64) error {
 func (u *Updater) Materialize() (*graph.Graph, error) {
 	type key struct{ a, b int }
 	weights := map[key]float64{}
+	// absSum tracks the total magnitude that contributed to each edge, so
+	// the cancellation cutoff below is RELATIVE: a legitimately tiny base
+	// conductance survives, while the float dust left by a full
+	// RemoveConductance (e.g. 1 − 1 → 1e-17 against absSum 2) is swept.
+	absSum := map[key]float64{}
 	u.g.ForEachEdge(func(a, b int32, w float64) {
-		weights[key{int(a), int(b)}] += w
+		k := key{int(a), int(b)}
+		weights[k] += w
+		absSum[k] += math.Abs(w)
 	})
 	for _, up := range u.updates {
 		a, b := up.a, up.b
@@ -162,12 +169,14 @@ func (u *Updater) Materialize() (*graph.Graph, error) {
 			a, b = b, a
 		}
 		weights[key{a, b}] += up.w
+		absSum[key{a, b}] += math.Abs(up.w)
 	}
 	bld := graph.NewBuilder(u.g.N())
 	for k, w := range weights {
-		if w > 1e-12 {
+		switch {
+		case w > 1e-12*absSum[k]:
 			bld.AddWeightedEdge(k.a, k.b, w)
-		} else if w < -1e-9 {
+		case w < -1e-9*absSum[k]:
 			return nil, fmt.Errorf("dynamic: negative accumulated weight %v on (%d,%d)", w, k.a, k.b)
 		}
 	}

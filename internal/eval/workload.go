@@ -5,6 +5,7 @@ import (
 
 	"landmarkrd/internal/graph"
 	"landmarkrd/internal/lap"
+	"landmarkrd/internal/oracle"
 	"landmarkrd/internal/randx"
 )
 
@@ -42,11 +43,28 @@ func (p PairStrategy) String() string {
 	}
 }
 
+// oracleTruthMaxN is the size up to which MakeQueries answers ground truth
+// from one dense oracle factorization instead of a grounded CG solve per
+// pair: below it the Θ(n³) build is cheaper than the per-pair solves and
+// carries no iteration/tolerance error at all.
+const oracleTruthMaxN = 1024
+
 // MakeQueries draws count distinct-endpoint query pairs and computes their
-// ground truth by grounded CG to lap.ExactTol.
+// ground truth — from the dense oracle on small graphs, by grounded CG to
+// lap.ExactTol otherwise.
 func MakeQueries(g *graph.Graph, count int, strat PairStrategy, rng *randx.RNG) ([]QueryPair, error) {
 	if g.N() < 3 {
 		return nil, fmt.Errorf("eval: graph too small for queries (n=%d)", g.N())
+	}
+	var truthFn func(s, t int) (float64, error)
+	if g.N() <= oracleTruthMaxN {
+		o, err := oracle.New(g)
+		if err != nil {
+			return nil, fmt.Errorf("eval: dense truth oracle: %w", err)
+		}
+		truthFn = o.Resistance
+	} else {
+		truthFn = func(s, t int) (float64, error) { return lap.ResistanceCG(g, s, t) }
 	}
 	pairs := make([]QueryPair, 0, count)
 	drawPair := func() (int, int) {
@@ -92,7 +110,7 @@ func MakeQueries(g *graph.Graph, count int, strat PairStrategy, rng *randx.RNG) 
 			continue
 		}
 		seen[key] = struct{}{}
-		truth, err := lap.ResistanceCG(g, s, t)
+		truth, err := truthFn(s, t)
 		if err != nil {
 			return nil, fmt.Errorf("eval: ground truth for (%d,%d): %w", s, t, err)
 		}

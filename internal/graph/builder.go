@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -38,8 +39,11 @@ func (b *Builder) AddWeightedEdge(u, v int, w float64) {
 	case u == v:
 		b.errors = append(b.errors, fmt.Errorf("graph: self loop at vertex %d", u))
 		return
-	case !(w > 0):
-		b.errors = append(b.errors, fmt.Errorf("graph: edge (%d,%d) has non-positive weight %v", u, v, w))
+	case !(w > 0) || math.IsInf(w, 1):
+		// !(w > 0) also catches NaN; +Inf needs its own check. Either way
+		// a non-finite conductance would poison every degree and
+		// transition probability downstream.
+		b.errors = append(b.errors, fmt.Errorf("graph: edge (%d,%d) has non-positive or non-finite weight %v", u, v, w))
 		return
 	}
 	if u > v {

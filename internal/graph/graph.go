@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Graph is an immutable undirected graph in CSR form.
@@ -27,6 +28,9 @@ type Graph struct {
 	deg     []float64 // weighted degree per vertex
 	cumw    []float64 // per-vertex cumulative weights, built lazily for weighted sampling
 	volume  float64   // sum of weighted degrees = 2 * total edge weight
+
+	connOnce  sync.Once // memoizes IsConnected (the graph is immutable)
+	connected bool
 }
 
 // ErrNotConnected is returned by operations that require a connected graph.

@@ -56,13 +56,19 @@ func (g *Graph) Components() (labels []int32, count int) {
 }
 
 // IsConnected reports whether g is connected (the empty graph counts as
-// connected; a single vertex does too).
+// connected; a single vertex does too). The answer is memoized — the graph
+// is immutable — so every check after the first is free, which lets
+// estimator constructors validate connectivity on every build.
 func (g *Graph) IsConnected() bool {
-	if g.n <= 1 {
-		return true
-	}
-	_, c := g.Components()
-	return c == 1
+	g.connOnce.Do(func() {
+		if g.n <= 1 {
+			g.connected = true
+			return
+		}
+		_, c := g.Components()
+		g.connected = c == 1
+	})
+	return g.connected
 }
 
 // LargestComponent returns the subgraph induced by the largest connected

@@ -50,6 +50,12 @@ func validatePair(g *graph.Graph, s, t int) error {
 	if err := g.ValidateVertex(t); err != nil {
 		return err
 	}
+	// On a disconnected graph I − T is (numerically) singular when s and t
+	// straddle components, producing garbage instead of the infinite true
+	// resistance; reject with the shared typed error.
+	if !g.IsConnected() {
+		return graph.ErrNotConnected
+	}
 	return nil
 }
 

@@ -24,6 +24,9 @@ func ResistanceCG(g *graph.Graph, s, t int) (float64, error) {
 	if s == t {
 		return 0, nil
 	}
+	if !g.IsConnected() {
+		return 0, graph.ErrNotConnected
+	}
 	v := pickGround(g, s, t)
 	b := make([]float64, g.N())
 	b[s] = 1
@@ -41,6 +44,9 @@ func ResistanceCG(g *graph.Graph, s, t int) (float64, error) {
 func PotentialCG(g *graph.Graph, s, t int) ([]float64, error) {
 	if err := validatePair(g, s, t); err != nil {
 		return nil, err
+	}
+	if !g.IsConnected() {
+		return nil, graph.ErrNotConnected
 	}
 	v := pickGround(g, s, t)
 	b := make([]float64, g.N())
@@ -81,6 +87,9 @@ func validatePair(g *graph.Graph, s, t int) error {
 // L + J/n is positive definite on a connected graph so plain Cholesky
 // applies. Intended for n up to a few thousand (tests and reference data).
 func DensePseudoInverse(g *graph.Graph) (*linalg.Dense, error) {
+	if !g.IsConnected() {
+		return nil, graph.ErrNotConnected
+	}
 	n := g.N()
 	a := linalg.NewDense(n, n)
 	for u := 0; u < n; u++ {
@@ -131,6 +140,9 @@ func DenseResistanceMatrix(g *graph.Graph) (*linalg.Dense, error) {
 func DenseGroundedInverse(g *graph.Graph, v int) (*linalg.Dense, error) {
 	if err := g.ValidateVertex(v); err != nil {
 		return nil, err
+	}
+	if !g.IsConnected() {
+		return nil, graph.ErrNotConnected
 	}
 	n := g.N()
 	// Build the reduced (n-1)x(n-1) matrix.

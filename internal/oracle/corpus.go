@@ -1,0 +1,62 @@
+package oracle
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"landmarkrd/internal/graph"
+)
+
+// CorpusGraph is one golden graph of the conformance corpus: a small,
+// connected, deterministic graph stored as an edge list under testdata.
+type CorpusGraph struct {
+	// Name is the file stem, e.g. "ba_200_4".
+	Name string
+	// Path is the edge-list file the graph was loaded from.
+	Path string
+	G    *graph.Graph
+}
+
+// LoadCorpus loads every *.edges file in dir, sorted by name so iteration
+// order — and therefore every derived test and fuzz seed — is stable. Each
+// graph must be connected and within the oracle size cap; a corpus file
+// that is not is a corpus bug and fails loudly here rather than as a
+// mystery downstream.
+func LoadCorpus(dir string) ([]CorpusGraph, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.edges"))
+	if err != nil {
+		return nil, fmt.Errorf("oracle: globbing corpus: %w", err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("oracle: no *.edges files in %s", dir)
+	}
+	sort.Strings(paths)
+	corpus := make([]CorpusGraph, 0, len(paths))
+	for _, p := range paths {
+		g, _, err := graph.LoadEdgeList(p)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: corpus file %s: %w", p, err)
+		}
+		if !g.IsConnected() {
+			return nil, fmt.Errorf("oracle: corpus graph %s is disconnected", p)
+		}
+		if g.N() > MaxN {
+			return nil, fmt.Errorf("oracle: corpus graph %s has n = %d > MaxN = %d", p, g.N(), MaxN)
+		}
+		name := strings.TrimSuffix(filepath.Base(p), ".edges")
+		corpus = append(corpus, CorpusGraph{Name: name, Path: p, G: g})
+	}
+	return corpus, nil
+}
+
+// WriteCorpusGraph saves g under dir as name.edges, creating dir if
+// needed. Used by the generator that (re)builds the golden corpus.
+func WriteCorpusGraph(dir, name string, g *graph.Graph) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("oracle: %w", err)
+	}
+	return g.SaveEdgeList(filepath.Join(dir, name+".edges"))
+}

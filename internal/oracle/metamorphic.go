@@ -1,0 +1,214 @@
+package oracle
+
+import (
+	"fmt"
+
+	"landmarkrd/internal/graph"
+)
+
+// This file holds the metamorphic transforms: graph rewrites whose effect
+// on resistance distance is known in closed form. Each transform returns a
+// new graph (inputs are immutable) and documents the law the conformance
+// suite asserts:
+//
+//	scaling     r_{c·G}(s,t)      = r_G(s,t)/c
+//	relabel     r_{πG}(π(s),π(t)) = r_G(s,t)
+//	add edge    Sherman–Morrison: see PredictAddEdge (and Rayleigh
+//	            monotonicity: r never increases)
+//	series      path of weights w₀..w_{k−1}: r(0,k) = Σ 1/wᵢ
+//	parallel    k disjoint s–t paths: 1/r(s,t) = Σ 1/rᵢ
+//	glue        cut vertex: r(a, b) = r₁(a, cut) + r₂(cut, b)
+
+// ScaleWeights returns g with every edge weight multiplied by c > 0.
+// Law: resistance scales by exactly 1/c.
+func ScaleWeights(g *graph.Graph, c float64) (*graph.Graph, error) {
+	if c <= 0 {
+		return nil, fmt.Errorf("oracle: scale factor must be positive, got %v", c)
+	}
+	b := graph.NewBuilder(g.N())
+	g.ForEachEdge(func(u, v int32, w float64) {
+		b.AddWeightedEdge(int(u), int(v), w*c)
+	})
+	return b.Build()
+}
+
+// Relabel returns g with vertex u renamed perm[u]. perm must be a
+// permutation of 0..n−1. Law: r'(perm[s], perm[t]) = r(s, t) for all pairs.
+func Relabel(g *graph.Graph, perm []int) (*graph.Graph, error) {
+	n := g.N()
+	if len(perm) != n {
+		return nil, fmt.Errorf("oracle: permutation length %d for %d vertices", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return nil, fmt.Errorf("oracle: perm is not a permutation of 0..%d", n-1)
+		}
+		seen[p] = true
+	}
+	b := graph.NewBuilder(n)
+	g.ForEachEdge(func(u, v int32, w float64) {
+		b.AddWeightedEdge(perm[u], perm[v], w)
+	})
+	return b.Build()
+}
+
+// AddEdge returns g with an extra conductance w between u and v (merged
+// in parallel if the edge already exists). Law: by Rayleigh monotonicity
+// no resistance increases, and PredictAddEdge gives the exact new values.
+func AddEdge(g *graph.Graph, u, v int, w float64) (*graph.Graph, error) {
+	if err := g.ValidateVertex(u); err != nil {
+		return nil, err
+	}
+	if err := g.ValidateVertex(v); err != nil {
+		return nil, err
+	}
+	if u == v {
+		return nil, fmt.Errorf("oracle: cannot add self-loop at %d", u)
+	}
+	if w <= 0 {
+		return nil, fmt.Errorf("oracle: edge weight must be positive, got %v", w)
+	}
+	b := graph.NewBuilder(g.N())
+	g.ForEachEdge(func(x, y int32, ew float64) {
+		b.AddWeightedEdge(int(x), int(y), ew)
+	})
+	b.AddWeightedEdge(u, v, w)
+	return b.Build()
+}
+
+// PredictAddEdge returns the exact resistance r'(s, t) after adding
+// conductance w between u and v, computed from the ORIGINAL graph's oracle
+// via the Sherman–Morrison rank-one update:
+//
+//	r'(s,t) = r(s,t) − w·(φ(s) − φ(t))² / (1 + w·r(u,v)),
+//
+// where φ = L†(e_u − e_v). This is the closed-form counterpart of the
+// Rayleigh law: the correction term is a square, so r' ≤ r always.
+func PredictAddEdge(o *Oracle, u, v int, w float64, s, t int) (float64, error) {
+	if u == v {
+		return 0, fmt.Errorf("oracle: degenerate update edge %d–%d", u, v)
+	}
+	r, err := o.Resistance(s, t)
+	if err != nil {
+		return 0, err
+	}
+	ruv, err := o.Resistance(u, v)
+	if err != nil {
+		return 0, err
+	}
+	phi, err := o.Potential(u, v)
+	if err != nil {
+		return 0, err
+	}
+	d := phi[s] - phi[t]
+	return r - w*d*d/(1+w*ruv), nil
+}
+
+// PathGraph builds the path 0–1–…–k with edge i of weight weights[i].
+// Law (series): r(0, k) = Σ 1/weights[i], and more generally
+// r(i, j) = Σ_{i ≤ e < j} 1/weights[e].
+func PathGraph(weights []float64) (*graph.Graph, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("oracle: path needs at least one edge")
+	}
+	b := graph.NewBuilder(len(weights) + 1)
+	for i, w := range weights {
+		b.AddWeightedEdge(i, i+1, w)
+	}
+	return b.Build()
+}
+
+// SeriesResistance is the closed-form r(0, k) of PathGraph(weights).
+func SeriesResistance(weights []float64) float64 {
+	var r float64
+	for _, w := range weights {
+		r += 1 / w
+	}
+	return r
+}
+
+// ParallelPaths builds k internally disjoint paths between terminals
+// s = 0 and t = 1, path i consisting of len(paths[i]) edges with the given
+// weights (a single-edge path is a direct s–t edge). Law (parallel):
+// 1/r(0, 1) = Σᵢ 1/rᵢ with rᵢ = Σⱼ 1/paths[i][j].
+func ParallelPaths(paths [][]float64) (*graph.Graph, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("oracle: need at least one path")
+	}
+	n := 2
+	for _, p := range paths {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("oracle: empty path")
+		}
+		n += len(p) - 1 // internal vertices
+	}
+	b := graph.NewBuilder(n)
+	next := 2
+	for _, p := range paths {
+		prev := 0
+		for j, w := range p {
+			var cur int
+			if j == len(p)-1 {
+				cur = 1
+			} else {
+				cur = next
+				next++
+			}
+			b.AddWeightedEdge(prev, cur, w)
+			prev = cur
+		}
+	}
+	return b.Build()
+}
+
+// ParallelResistance is the closed-form r(0, 1) of ParallelPaths(paths).
+func ParallelResistance(paths [][]float64) float64 {
+	var inv float64
+	for _, p := range paths {
+		inv += 1 / SeriesResistance(p)
+	}
+	return 1 / inv
+}
+
+// Glue joins g2 onto g1 by identifying g2's vertex cut2 with g1's vertex
+// cut1, producing a graph on n1 + n2 − 1 vertices in which g1 keeps its
+// labels and g2's vertex v becomes Glued2(g1, cut2, v). The identified
+// vertex is a cut vertex, so resistances compose in series across it:
+//
+//	r(a, b) = r₁(a, cut1) + r₂(cut2, b)
+//
+// for a in g1 and b in g2.
+func Glue(g1 *graph.Graph, cut1 int, g2 *graph.Graph, cut2 int) (*graph.Graph, error) {
+	if err := g1.ValidateVertex(cut1); err != nil {
+		return nil, err
+	}
+	if err := g2.ValidateVertex(cut2); err != nil {
+		return nil, err
+	}
+	n1 := g1.N()
+	b := graph.NewBuilder(n1 + g2.N() - 1)
+	g1.ForEachEdge(func(u, v int32, w float64) {
+		b.AddWeightedEdge(int(u), int(v), w)
+	})
+	g2.ForEachEdge(func(u, v int32, w float64) {
+		b.AddWeightedEdge(glued2(n1, cut1, cut2, int(u)), glued2(n1, cut1, cut2, int(v)), w)
+	})
+	return b.Build()
+}
+
+// Glued2 maps g2's vertex v to its label in Glue(g1, cut1, g2, cut2).
+func Glued2(g1 *graph.Graph, cut1, cut2, v int) int {
+	return glued2(g1.N(), cut1, cut2, v)
+}
+
+func glued2(n1, cut1, cut2, v int) int {
+	switch {
+	case v == cut2:
+		return cut1
+	case v < cut2:
+		return n1 + v
+	default:
+		return n1 + v - 1
+	}
+}

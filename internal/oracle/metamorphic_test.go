@@ -1,0 +1,250 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/randx"
+)
+
+func TestScaleWeightsLaw(t *testing.T) {
+	g := mustBA(t, 60, 3, 17)
+	const c = 3.5
+	scaled, err := ScaleWeights(g, c)
+	if err != nil {
+		t.Fatalf("ScaleWeights: %v", err)
+	}
+	o1 := mustOracle(t, g)
+	o2 := mustOracle(t, scaled)
+	rng := randx.New(4)
+	for q := 0; q < 40; q++ {
+		s, u := rng.Intn(g.N()), rng.Intn(g.N())
+		r1, err := o1.Resistance(s, u)
+		if err != nil {
+			t.Fatalf("Resistance: %v", err)
+		}
+		r2, err := o2.Resistance(s, u)
+		if err != nil {
+			t.Fatalf("Resistance: %v", err)
+		}
+		if math.Abs(r2-r1/c) > exactTol {
+			t.Errorf("pair (%d,%d): scaled %v, want %v", s, u, r2, r1/c)
+		}
+	}
+}
+
+func TestScaleWeightsRejectsNonPositive(t *testing.T) {
+	g := mustBA(t, 10, 2, 1)
+	if _, err := ScaleWeights(g, 0); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := ScaleWeights(g, -2); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestRelabelLaw(t *testing.T) {
+	g := mustBA(t, 50, 3, 23)
+	n := g.N()
+	rng := randx.New(6)
+	perm := rng.Perm(n)
+	rg, err := Relabel(g, perm)
+	if err != nil {
+		t.Fatalf("Relabel: %v", err)
+	}
+	o1 := mustOracle(t, g)
+	o2 := mustOracle(t, rg)
+	for q := 0; q < 40; q++ {
+		s, u := rng.Intn(n), rng.Intn(n)
+		r1, err := o1.Resistance(s, u)
+		if err != nil {
+			t.Fatalf("Resistance: %v", err)
+		}
+		r2, err := o2.Resistance(perm[s], perm[u])
+		if err != nil {
+			t.Fatalf("Resistance: %v", err)
+		}
+		if math.Abs(r1-r2) > exactTol {
+			t.Errorf("pair (%d,%d): relabelled %v, want %v", s, u, r2, r1)
+		}
+	}
+}
+
+func TestRelabelRejectsBadPerm(t *testing.T) {
+	g := mustBA(t, 10, 2, 1)
+	if _, err := Relabel(g, []int{0, 1}); err == nil {
+		t.Error("short perm accepted")
+	}
+	if _, err := Relabel(g, []int{0, 0, 2, 3, 4, 5, 6, 7, 8, 9}); err == nil {
+		t.Error("non-bijective perm accepted")
+	}
+}
+
+func TestAddEdgeRayleighAndShermanMorrison(t *testing.T) {
+	g := mustBA(t, 60, 2, 31)
+	o1 := mustOracle(t, g)
+	rng := randx.New(8)
+	for trial := 0; trial < 5; trial++ {
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		if u == v {
+			continue
+		}
+		w := 0.5 + rng.Float64()
+		g2, err := AddEdge(g, u, v, w)
+		if err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+		o2 := mustOracle(t, g2)
+		for q := 0; q < 20; q++ {
+			s, tv := rng.Intn(g.N()), rng.Intn(g.N())
+			before, err := o1.Resistance(s, tv)
+			if err != nil {
+				t.Fatalf("Resistance: %v", err)
+			}
+			after, err := o2.Resistance(s, tv)
+			if err != nil {
+				t.Fatalf("Resistance: %v", err)
+			}
+			// Rayleigh monotonicity: adding conductance cannot raise r.
+			if after > before+exactTol {
+				t.Errorf("Rayleigh violated: r(%d,%d) %v → %v after adding %d–%d", s, tv, before, after, u, v)
+			}
+			// Sherman–Morrison closed form predicted from the OLD oracle.
+			pred, err := PredictAddEdge(o1, u, v, w, s, tv)
+			if err != nil {
+				t.Fatalf("PredictAddEdge: %v", err)
+			}
+			if math.Abs(pred-after) > 1e-8 {
+				t.Errorf("Sherman–Morrison: predicted %v, rebuilt oracle says %v", pred, after)
+			}
+		}
+	}
+}
+
+func TestSeriesLaw(t *testing.T) {
+	weights := []float64{1, 2, 0.5, 4, 1.25}
+	g, err := PathGraph(weights)
+	if err != nil {
+		t.Fatalf("PathGraph: %v", err)
+	}
+	o := mustOracle(t, g)
+	r, err := o.Resistance(0, len(weights))
+	if err != nil {
+		t.Fatalf("Resistance: %v", err)
+	}
+	if want := SeriesResistance(weights); math.Abs(r-want) > exactTol {
+		t.Errorf("series: r = %v, want %v", r, want)
+	}
+	// Sub-path form: r(i, j) sums only the edges between them.
+	r13, err := o.Resistance(1, 3)
+	if err != nil {
+		t.Fatalf("Resistance: %v", err)
+	}
+	if want := 1/weights[1] + 1/weights[2]; math.Abs(r13-want) > exactTol {
+		t.Errorf("sub-series: r(1,3) = %v, want %v", r13, want)
+	}
+}
+
+func TestParallelLaw(t *testing.T) {
+	paths := [][]float64{
+		{2},          // direct edge
+		{1, 1, 1},    // 3-hop path
+		{4, 0.5},     // 2-hop path
+		{1, 2, 3, 4}, // 4-hop path
+	}
+	g, err := ParallelPaths(paths)
+	if err != nil {
+		t.Fatalf("ParallelPaths: %v", err)
+	}
+	o := mustOracle(t, g)
+	r, err := o.Resistance(0, 1)
+	if err != nil {
+		t.Fatalf("Resistance: %v", err)
+	}
+	if want := ParallelResistance(paths); math.Abs(r-want) > exactTol {
+		t.Errorf("parallel: r = %v, want %v", r, want)
+	}
+}
+
+func TestGlueLaw(t *testing.T) {
+	g1 := mustBA(t, 40, 2, 41)
+	g2 := mustBA(t, 30, 3, 43)
+	cut1, cut2 := 7, 11
+	glued, err := Glue(g1, cut1, g2, cut2)
+	if err != nil {
+		t.Fatalf("Glue: %v", err)
+	}
+	if want := g1.N() + g2.N() - 1; glued.N() != want {
+		t.Fatalf("glued n = %d, want %d", glued.N(), want)
+	}
+	o1 := mustOracle(t, g1)
+	o2 := mustOracle(t, g2)
+	og := mustOracle(t, glued)
+	rng := randx.New(10)
+	for q := 0; q < 30; q++ {
+		a := rng.Intn(g1.N())
+		b := rng.Intn(g2.N())
+		ra, err := o1.Resistance(a, cut1)
+		if err != nil {
+			t.Fatalf("Resistance: %v", err)
+		}
+		rb, err := o2.Resistance(cut2, b)
+		if err != nil {
+			t.Fatalf("Resistance: %v", err)
+		}
+		rg, err := og.Resistance(a, Glued2(g1, cut1, cut2, b))
+		if err != nil {
+			t.Fatalf("Resistance: %v", err)
+		}
+		if math.Abs(rg-(ra+rb)) > exactTol {
+			t.Errorf("cut-vertex series: r = %v, want %v + %v = %v", rg, ra, rb, ra+rb)
+		}
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	// Resistance distance is a metric: r(s,t) ≤ r(s,u) + r(u,t).
+	g := mustBA(t, 50, 2, 47)
+	o := mustOracle(t, g)
+	m := o.ResistanceMatrix()
+	rng := randx.New(12)
+	for q := 0; q < 200; q++ {
+		s, u, v := rng.Intn(g.N()), rng.Intn(g.N()), rng.Intn(g.N())
+		if m.At(s, v) > m.At(s, u)+m.At(u, v)+exactTol {
+			t.Errorf("triangle violated: r(%d,%d)=%v > r(%d,%d)+r(%d,%d)=%v",
+				s, v, m.At(s, v), s, u, u, v, m.At(s, u)+m.At(u, v))
+		}
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := mustBA(t, 10, 2, 1)
+	if _, err := AddEdge(g, 0, 0, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := AddEdge(g, 0, 1, 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := AddEdge(g, 0, 99, 1); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+}
+
+func TestGlueMappingIsBijective(t *testing.T) {
+	g1 := mustBA(t, 12, 2, 3)
+	g2 := mustBA(t, 9, 2, 5)
+	cut1, cut2 := 4, 6
+	seen := map[int]bool{}
+	for v := 0; v < g2.N(); v++ {
+		lbl := Glued2(g1, cut1, cut2, v)
+		if seen[lbl] {
+			t.Fatalf("duplicate glued label %d", lbl)
+		}
+		seen[lbl] = true
+		if v == cut2 && lbl != cut1 {
+			t.Fatalf("cut vertex mapped to %d, want %d", lbl, cut1)
+		}
+	}
+	_ = graph.ErrNotConnected // keep the import honest if asserts change
+}

@@ -1,0 +1,228 @@
+// Package oracle provides exact dense ground truth for resistance-distance
+// computation on small graphs (up to a few thousand vertices), together
+// with a metamorphic-transform library whose effects on resistance are
+// known in closed form.
+//
+// The package exists for one purpose: conformance testing. Every estimator
+// in this module — the landmark methods of the paper (AbWalk, Push,
+// BiPush), the extended comparators (Lanczos, Chebyshev, power method,
+// approximate Cholesky), the single-source index, the dynamic updater —
+// claims to approximate the same quantity r(s,t) = (e_s−e_t)ᵀL†(e_s−e_t).
+// The oracle computes that quantity by direct dense Cholesky factorization
+// of the grounded Laplacian (see lap.DenseGroundedInverse), which involves
+// no iteration, no sampling, and no tolerance knobs, so it is the fixed
+// point the whole conformance matrix is anchored to. The metamorphic
+// transforms (ScaleWeights, Relabel, AddEdge, series/parallel
+// compositions) supply a second, independent axis of checking: laws that
+// must hold for any correct implementation regardless of the graph.
+//
+// The oracle deliberately trades speed for trustworthiness: construction
+// is Θ(n³) time and Θ(n²) memory. MaxN caps the size; the conformance
+// corpus stays far below it.
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/lap"
+	"landmarkrd/internal/linalg"
+)
+
+// MaxN is the largest graph New accepts: beyond a few thousand vertices
+// the dense factorization stops being a practical test anchor.
+const MaxN = 4096
+
+// ErrTooLarge is returned by New for graphs over MaxN vertices.
+var ErrTooLarge = errors.New("oracle: graph too large for dense ground truth")
+
+// Oracle answers exact resistance queries on a small connected graph from
+// a single dense factorization. It is safe for concurrent reads after
+// construction.
+type Oracle struct {
+	g      *graph.Graph
+	ground int
+	// inv is L_v⁻¹ for v = ground, in the full n×n index space with row
+	// and column v identically zero. Every landmark identity reads off it:
+	//
+	//	r(s,t) = inv[s,s] − 2·inv[s,t] + inv[t,t],
+	//
+	// valid for any pair, including pairs touching the ground itself
+	// (whose rows are zero, collapsing the identity to r(u,v)=inv[u,u]).
+	inv *linalg.Dense
+}
+
+// New builds the oracle for g, grounding the dense Cholesky factorization
+// at a maximum-degree vertex (the best-conditioned choice). It rejects nil,
+// empty, oversized, and disconnected graphs — resistance across components
+// is infinite and no finite answer would be truthful.
+func New(g *graph.Graph) (*Oracle, error) {
+	if g == nil {
+		return nil, errors.New("oracle: nil graph")
+	}
+	if g.N() == 0 {
+		return nil, errors.New("oracle: empty graph")
+	}
+	if g.N() > MaxN {
+		return nil, fmt.Errorf("%w: n = %d > %d", ErrTooLarge, g.N(), MaxN)
+	}
+	if !g.IsConnected() {
+		return nil, graph.ErrNotConnected
+	}
+	ground := g.MaxDegreeVertex()
+	inv, err := lap.DenseGroundedInverse(g, ground)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: grounded factorization: %w", err)
+	}
+	return &Oracle{g: g, ground: ground, inv: inv}, nil
+}
+
+// Graph returns the underlying graph.
+func (o *Oracle) Graph() *graph.Graph { return o.g }
+
+// Ground returns the grounding vertex of the factorization.
+func (o *Oracle) Ground() int { return o.ground }
+
+func (o *Oracle) validatePair(s, t int) error {
+	if err := o.g.ValidateVertex(s); err != nil {
+		return err
+	}
+	return o.g.ValidateVertex(t)
+}
+
+// Resistance returns the exact r(s, t).
+func (o *Oracle) Resistance(s, t int) (float64, error) {
+	if err := o.validatePair(s, t); err != nil {
+		return 0, err
+	}
+	if s == t {
+		return 0, nil
+	}
+	return o.inv.At(s, s) - 2*o.inv.At(s, t) + o.inv.At(t, t), nil
+}
+
+// CommuteTime returns the exact expected commute time Vol(G)·r(s, t).
+func (o *Oracle) CommuteTime(s, t int) (float64, error) {
+	r, err := o.Resistance(s, t)
+	if err != nil {
+		return 0, err
+	}
+	return o.g.Volume() * r, nil
+}
+
+// SingleSource returns r(s, t) for every t.
+func (o *Oracle) SingleSource(s int) ([]float64, error) {
+	if err := o.g.ValidateVertex(s); err != nil {
+		return nil, err
+	}
+	n := o.g.N()
+	out := make([]float64, n)
+	lss := o.inv.At(s, s)
+	for t := 0; t < n; t++ {
+		if t == s {
+			continue
+		}
+		out[t] = lss - 2*o.inv.At(s, t) + o.inv.At(t, t)
+	}
+	return out, nil
+}
+
+// ResistanceMatrix returns the full n×n matrix of pairwise resistances.
+func (o *Oracle) ResistanceMatrix() *linalg.Dense {
+	n := o.g.N()
+	r := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			r.Set(i, j, o.inv.At(i, i)-2*o.inv.At(i, j)+o.inv.At(j, j))
+		}
+	}
+	return r
+}
+
+// Potential returns the exact φ = L†(e_s − e_t), mean-centred, so that
+// r(s,t) = φ(s) − φ(t). The grounded column x = L_v⁻¹(e_s − e_t) differs
+// from the pseudo-inverse solution only by a multiple of the all-ones
+// vector, which the centring removes.
+func (o *Oracle) Potential(s, t int) ([]float64, error) {
+	if err := o.validatePair(s, t); err != nil {
+		return nil, err
+	}
+	n := o.g.N()
+	phi := make([]float64, n)
+	for u := 0; u < n; u++ {
+		phi[u] = o.inv.At(u, s) - o.inv.At(u, t)
+	}
+	linalg.ProjectOutConstant(phi)
+	return phi, nil
+}
+
+// FlowCurrent holds the exact unit s→t electric flow: per-edge currents
+// (oriented u→v with u < v) plus the potentials they derive from.
+type FlowCurrent struct {
+	S, T    int
+	Phi     []float64
+	U, V    []int32
+	Current []float64
+	// Energy is Σ_e current²/w_e, which equals r(s, t) by Thomson's
+	// principle — the cross-check the conformance suite runs.
+	Energy float64
+}
+
+// Flow computes the exact unit-current electric flow from s to t.
+func (o *Oracle) Flow(s, t int) (*FlowCurrent, error) {
+	if s == t {
+		return nil, fmt.Errorf("oracle: flow needs distinct endpoints, got %d", s)
+	}
+	phi, err := o.Potential(s, t)
+	if err != nil {
+		return nil, err
+	}
+	f := &FlowCurrent{S: s, T: t, Phi: phi}
+	o.g.ForEachEdge(func(u, v int32, w float64) {
+		c := w * (phi[u] - phi[v])
+		f.U = append(f.U, u)
+		f.V = append(f.V, v)
+		f.Current = append(f.Current, c)
+		f.Energy += c * c / w
+	})
+	return f, nil
+}
+
+// NetDivergence returns the Kirchhoff imbalance of the flow at vertex u:
+// +1 at the source, −1 at the sink, 0 elsewhere (up to rounding).
+func (f *FlowCurrent) NetDivergence(u int) float64 {
+	var div float64
+	for i := range f.Current {
+		switch {
+		case int(f.U[i]) == u:
+			div += f.Current[i]
+		case int(f.V[i]) == u:
+			div -= f.Current[i]
+		}
+	}
+	return div
+}
+
+// CheckFinite reports an error when any resistance entry of the oracle is
+// non-finite or negative beyond rounding — a self-diagnostic the tests run
+// once per corpus graph.
+func (o *Oracle) CheckFinite() error {
+	n := o.g.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			r := 0.0
+			if i != j {
+				r = o.inv.At(i, i) - 2*o.inv.At(i, j) + o.inv.At(j, j)
+			}
+			if math.IsNaN(r) || math.IsInf(r, 0) || r < -1e-9 {
+				return fmt.Errorf("oracle: r(%d,%d) = %v", i, j, r)
+			}
+		}
+	}
+	return nil
+}

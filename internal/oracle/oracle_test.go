@@ -1,0 +1,272 @@
+package oracle
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/lap"
+	"landmarkrd/internal/randx"
+)
+
+const exactTol = 1e-9
+
+func mustOracle(t *testing.T, g *graph.Graph) *Oracle {
+	t.Helper()
+	o, err := New(g)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return o
+}
+
+func mustBA(t *testing.T, n, k int, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := graph.BarabasiAlbert(n, k, randx.New(seed))
+	if err != nil {
+		t.Fatalf("BarabasiAlbert: %v", err)
+	}
+	return g
+}
+
+func TestOraclePathClosedForm(t *testing.T) {
+	// Unweighted path: r(i, j) = |i − j|.
+	g, err := graph.Path(9)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	o := mustOracle(t, g)
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			r, err := o.Resistance(i, j)
+			if err != nil {
+				t.Fatalf("Resistance(%d,%d): %v", i, j, err)
+			}
+			want := math.Abs(float64(i - j))
+			if math.Abs(r-want) > exactTol {
+				t.Errorf("r(%d,%d) = %v, want %v", i, j, r, want)
+			}
+		}
+	}
+}
+
+func TestOracleCycleClosedForm(t *testing.T) {
+	// Cycle C_n: r(s, t) = d·(n−d)/n with d the hop distance.
+	const n = 12
+	g, err := graph.Cycle(n)
+	if err != nil {
+		t.Fatalf("Cycle: %v", err)
+	}
+	o := mustOracle(t, g)
+	for s := 0; s < n; s++ {
+		for d := 1; d < n; d++ {
+			tv := (s + d) % n
+			r, err := o.Resistance(s, tv)
+			if err != nil {
+				t.Fatalf("Resistance: %v", err)
+			}
+			want := float64(d) * float64(n-d) / float64(n)
+			if math.Abs(r-want) > exactTol {
+				t.Errorf("r(%d,%d) = %v, want %v", s, tv, r, want)
+			}
+		}
+	}
+}
+
+func TestOracleMatchesCG(t *testing.T) {
+	g := mustBA(t, 150, 3, 7)
+	o := mustOracle(t, g)
+	rng := randx.New(99)
+	for q := 0; q < 50; q++ {
+		s := rng.Intn(g.N())
+		u := rng.Intn(g.N())
+		want, err := lap.ResistanceCG(g, s, u)
+		if err != nil {
+			t.Fatalf("ResistanceCG: %v", err)
+		}
+		got, err := o.Resistance(s, u)
+		if err != nil {
+			t.Fatalf("Resistance: %v", err)
+		}
+		if math.Abs(got-want) > 1e-7 {
+			t.Errorf("pair (%d,%d): oracle %v vs CG %v", s, u, got, want)
+		}
+	}
+}
+
+func TestOracleSingleSourceConsistent(t *testing.T) {
+	g := mustBA(t, 80, 3, 3)
+	o := mustOracle(t, g)
+	s := 5
+	ss, err := o.SingleSource(s)
+	if err != nil {
+		t.Fatalf("SingleSource: %v", err)
+	}
+	for tv := 0; tv < g.N(); tv++ {
+		r, err := o.Resistance(s, tv)
+		if err != nil {
+			t.Fatalf("Resistance: %v", err)
+		}
+		if math.Abs(ss[tv]-r) > exactTol {
+			t.Errorf("SingleSource[%d] = %v, Resistance = %v", tv, ss[tv], r)
+		}
+	}
+}
+
+func TestOracleResistanceMatrixSymmetric(t *testing.T) {
+	g := mustBA(t, 60, 2, 11)
+	o := mustOracle(t, g)
+	m := o.ResistanceMatrix()
+	for i := 0; i < g.N(); i++ {
+		if m.At(i, i) != 0 {
+			t.Errorf("diag r(%d,%d) = %v", i, i, m.At(i, i))
+		}
+		for j := i + 1; j < g.N(); j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > exactTol {
+				t.Errorf("asymmetric: r(%d,%d)=%v r(%d,%d)=%v", i, j, m.At(i, j), j, i, m.At(j, i))
+			}
+			if m.At(i, j) <= 0 {
+				t.Errorf("nonpositive off-diagonal r(%d,%d) = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestOraclePotentialAndFlow(t *testing.T) {
+	g := mustBA(t, 90, 3, 5)
+	o := mustOracle(t, g)
+	s, tv := 2, 71
+	r, err := o.Resistance(s, tv)
+	if err != nil {
+		t.Fatalf("Resistance: %v", err)
+	}
+	phi, err := o.Potential(s, tv)
+	if err != nil {
+		t.Fatalf("Potential: %v", err)
+	}
+	if math.Abs((phi[s]-phi[tv])-r) > exactTol {
+		t.Errorf("phi(s)−phi(t) = %v, want r = %v", phi[s]-phi[tv], r)
+	}
+	var mean float64
+	for _, p := range phi {
+		mean += p
+	}
+	if math.Abs(mean/float64(len(phi))) > exactTol {
+		t.Errorf("potential not mean-centred: mean %v", mean/float64(len(phi)))
+	}
+
+	f, err := o.Flow(s, tv)
+	if err != nil {
+		t.Fatalf("Flow: %v", err)
+	}
+	// Thomson's principle: the energy of the unit electric flow is r(s,t).
+	if math.Abs(f.Energy-r) > exactTol {
+		t.Errorf("flow energy %v, want %v", f.Energy, r)
+	}
+	// Kirchhoff: unit divergence at the terminals, zero elsewhere.
+	for u := 0; u < g.N(); u++ {
+		div := f.NetDivergence(u)
+		want := 0.0
+		switch u {
+		case s:
+			want = 1
+		case tv:
+			want = -1
+		}
+		if math.Abs(div-want) > 1e-8 {
+			t.Errorf("divergence at %d = %v, want %v", u, div, want)
+		}
+	}
+}
+
+func TestOracleFlowRejectsSameVertex(t *testing.T) {
+	g := mustBA(t, 20, 2, 1)
+	o := mustOracle(t, g)
+	if _, err := o.Flow(3, 3); err == nil {
+		t.Fatal("Flow(3,3) should fail")
+	}
+}
+
+func TestOracleCommuteTime(t *testing.T) {
+	g := mustBA(t, 70, 3, 9)
+	o := mustOracle(t, g)
+	r, err := o.Resistance(1, 42)
+	if err != nil {
+		t.Fatalf("Resistance: %v", err)
+	}
+	c, err := o.CommuteTime(1, 42)
+	if err != nil {
+		t.Fatalf("CommuteTime: %v", err)
+	}
+	if math.Abs(c-g.Volume()*r) > exactTol {
+		t.Errorf("commute %v, want Vol·r = %v", c, g.Volume()*r)
+	}
+}
+
+func TestOracleFoster(t *testing.T) {
+	// Foster's theorem: Σ_{(u,v)∈E} w_uv·r(u,v) = n − 1.
+	g := mustBA(t, 100, 3, 13)
+	o := mustOracle(t, g)
+	var sum float64
+	var ferr error
+	g.ForEachEdge(func(u, v int32, w float64) {
+		r, err := o.Resistance(int(u), int(v))
+		if err != nil {
+			ferr = err
+			return
+		}
+		sum += w * r
+	})
+	if ferr != nil {
+		t.Fatalf("Resistance: %v", ferr)
+	}
+	if want := float64(g.N() - 1); math.Abs(sum-want) > 1e-7 {
+		t.Errorf("Foster sum = %v, want %v", sum, want)
+	}
+}
+
+func TestOracleCheckFinite(t *testing.T) {
+	o := mustOracle(t, mustBA(t, 64, 2, 21))
+	if err := o.CheckFinite(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleRejectsBadInputs(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+
+	// Disconnected: two components.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := New(g); !errors.Is(err, graph.ErrNotConnected) {
+		t.Errorf("disconnected graph: got %v, want ErrNotConnected", err)
+	}
+
+	// Oversized: the size gate fires before any factorization work.
+	big, err := graph.Path(MaxN + 2)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	if _, err := New(big); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized graph: got %v, want ErrTooLarge", err)
+	}
+
+	o := mustOracle(t, mustBA(t, 30, 2, 2))
+	if _, err := o.Resistance(-1, 3); err == nil {
+		t.Error("negative vertex accepted")
+	}
+	if _, err := o.Resistance(3, 30); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if _, err := o.SingleSource(99); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
