@@ -1,10 +1,13 @@
 package landmarkrd
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"landmarkrd/internal/cancel"
 	"landmarkrd/internal/core"
 	"landmarkrd/internal/randx"
 )
@@ -170,6 +173,16 @@ func (e *BatchEngine) release(est *Estimator) { e.pool.Put(est) }
 // counts, and identical to the one-shot Pairs function — whether or not
 // the pool had warm estimators.
 func (e *BatchEngine) Pairs(queries []PairQuery) ([]PairResult, error) {
+	return e.PairsContext(context.Background(), queries)
+}
+
+// PairsContext is Pairs with cancellation: every worker polls ctx between
+// queries and each query's kernels poll it internally, so once the context
+// is done the whole batch aborts within microseconds and the call returns
+// a nil slice and an error matching ErrCanceled (and the context cause —
+// errors.Is(err, context.DeadlineExceeded) distinguishes a timeout). With
+// a non-cancellable ctx the results are byte-identical to Pairs.
+func (e *BatchEngine) PairsContext(ctx context.Context, queries []PairQuery) ([]PairResult, error) {
 	if len(queries) == 0 {
 		return nil, nil
 	}
@@ -181,6 +194,7 @@ func (e *BatchEngine) Pairs(queries []PairQuery) ([]PairResult, error) {
 		workers = len(queries)
 	}
 
+	done := cancel.Done(ctx)
 	results := make([]PairResult, len(queries))
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
@@ -195,18 +209,45 @@ func (e *BatchEngine) Pairs(queries []PairQuery) ([]PairResult, error) {
 			}
 			defer e.release(est)
 			for i := worker; i < len(queries); i += workers {
+				if done != nil {
+					select {
+					case <-done:
+						errs[worker] = cancel.Wrap(ctx.Err())
+						return
+					default:
+					}
+				}
 				// Per-query streams keep the answer to query i a pure
 				// function of (seed, i) — independent of which worker
 				// ran it and of the worker count.
 				est.Reseed(e.seed + uint64(i+1)*0x9e3779b97f4a7c15)
 				q := queries[i]
 				results[i].PairQuery = q
-				res, err := est.Pair(q.S, q.T)
-				if err == ErrLandmarkConflict && e.opts.OnConflict == ConflictExact {
-					var v float64
-					v, err = Exact(e.g, q.S, q.T)
-					res = Estimate{Value: v, Converged: true}
-					e.metrics.ExactFallbacks.Inc()
+				res, err := est.PairContext(ctx, q.S, q.T)
+				if errors.Is(err, ErrCanceled) {
+					// A mid-query abort fails the whole batch, not just
+					// this query: the caller's deadline has passed.
+					errs[worker] = err
+					return
+				}
+				// Sentinels may arrive wrapped (see the ErrDisconnected
+				// contract in api.go), so match with errors.Is rather
+				// than ==.
+				if errors.Is(err, ErrLandmarkConflict) && e.opts.OnConflict == ConflictExact {
+					v, exErr := ExactContext(ctx, e.g, q.S, q.T)
+					if exErr != nil {
+						// The fallback itself failed: surface its error
+						// with a zero estimate — not a Converged result.
+						res, err = Estimate{}, exErr
+						e.metrics.FallbackErrors.Inc()
+						if errors.Is(exErr, ErrCanceled) {
+							errs[worker] = exErr
+							return
+						}
+					} else {
+						res, err = Estimate{Value: v, Converged: true}, nil
+						e.metrics.ExactFallbacks.Inc()
+					}
 				}
 				results[i].Estimate = res
 				results[i].Err = err

@@ -34,9 +34,12 @@ func main() {
 	flag.Parse()
 
 	landmarkrd.PublishMetrics("landmarkrd.solver", landmarkrd.SolverMetrics())
-	if addr, err := debugsrv.Start(*debugFlag); err != nil {
+	dbg, err := debugsrv.Start(*debugFlag)
+	if err != nil {
 		fatal(err)
-	} else if addr != "" {
+	}
+	defer dbg.Close()
+	if addr := dbg.Addr(); addr != "" {
 		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars\n", addr)
 	}
 

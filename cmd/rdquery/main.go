@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -61,9 +62,12 @@ func run(cfg config, out io.Writer) error {
 		return fmt.Errorf("-graph is required")
 	}
 	landmarkrd.PublishMetrics("landmarkrd.solver", landmarkrd.SolverMetrics())
-	if addr, err := debugsrv.Start(cfg.debugAddr); err != nil {
+	dbg, err := debugsrv.Start(cfg.debugAddr)
+	if err != nil {
 		return err
-	} else if addr != "" {
+	}
+	defer dbg.Close()
+	if addr := dbg.Addr(); addr != "" {
 		fmt.Fprintf(out, "debug endpoint on http://%s/debug/vars\n", addr)
 	}
 	g, _, err := landmarkrd.LoadEdgeList(cfg.graphPath)
@@ -106,7 +110,7 @@ func runPair(g *landmarkrd.Graph, cfg config, out io.Writer) (float64, error) {
 			return 0, err
 		}
 		res, err := est.Pair(cfg.s, cfg.t)
-		if err == landmarkrd.ErrLandmarkConflict {
+		if errors.Is(err, landmarkrd.ErrLandmarkConflict) {
 			// A query endpoint is the landmark: fall back to exact.
 			v, exErr := landmarkrd.Exact(g, cfg.s, cfg.t)
 			if exErr != nil {

@@ -1,0 +1,139 @@
+// Command rdserver serves resistance-distance queries over HTTP.
+//
+// Usage:
+//
+//	rdserver -graph g.txt -addr :8080 -method bipush -timeout 2s
+//
+// Endpoints:
+//
+//	GET  /v1/pair?s=12&t=99          one pair estimate
+//	POST /v1/batch                   {"pairs":[{"s":12,"t":99},...]}
+//	GET  /v1/singlesource?s=12       r(s, t) for every t (needs -index-mode)
+//	GET  /healthz                    liveness probe
+//	GET  /debug/vars                 expvar, including engine metrics
+//
+// Every query runs under the -timeout budget and is aborted mid-solve once
+// it expires (504). At most -max-inflight queries run concurrently; excess
+// requests are rejected immediately with 429 rather than queued. SIGINT or
+// SIGTERM stops accepting new queries and drains the in-flight ones before
+// exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	landmarkrd "landmarkrd"
+	"landmarkrd/internal/debugsrv"
+)
+
+func main() {
+	var (
+		graphFlag    = flag.String("graph", "", "edge-list graph file (required)")
+		addrFlag     = flag.String("addr", ":8080", "HTTP listen address")
+		methodFlag   = flag.String("method", "bipush", "estimator: abwalk, push, or bipush")
+		seedFlag     = flag.Uint64("seed", 1, "random seed")
+		walksFlag    = flag.Int("walks", 0, "Monte Carlo walks per endpoint (0 = method default)")
+		thetaFlag    = flag.Float64("theta", 0, "push residual threshold (0 = method default)")
+		timeoutFlag  = flag.Duration("timeout", 5*time.Second, "per-query time budget (0 disables)")
+		inflightFlag = flag.Int("max-inflight", 16, "max concurrent queries before 429")
+		workersFlag  = flag.Int("workers", 0, "batch workers per request (0 = GOMAXPROCS)")
+		indexFlag    = flag.String("index-mode", "none", "landmark index for /v1/singlesource: exact, mc, sketch, or none")
+		drainFlag    = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
+		debugFlag    = flag.String("debug-addr", "", "also serve expvar and pprof on this address")
+	)
+	flag.Parse()
+	if err := run(config{
+		graphPath: *graphFlag,
+		addr:      *addrFlag,
+		methodStr: *methodFlag,
+		drain:     *drainFlag,
+		debugAddr: *debugFlag,
+		server: serverConfig{
+			seed:        *seedFlag,
+			walks:       *walksFlag,
+			theta:       *thetaFlag,
+			timeout:     *timeoutFlag,
+			maxInflight: *inflightFlag,
+			workers:     *workersFlag,
+			indexMode:   *indexFlag,
+		},
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "rdserver:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	graphPath string
+	addr      string
+	methodStr string
+	drain     time.Duration
+	debugAddr string
+	server    serverConfig
+}
+
+func run(cfg config) error {
+	if cfg.graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	method, ok := map[string]landmarkrd.Method{
+		"abwalk": landmarkrd.AbWalk, "push": landmarkrd.Push, "bipush": landmarkrd.BiPush,
+	}[cfg.methodStr]
+	if !ok {
+		return fmt.Errorf("unknown -method %q (want abwalk, push, or bipush)", cfg.methodStr)
+	}
+	cfg.server.method = method
+
+	g, _, err := landmarkrd.LoadEdgeList(cfg.graphPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rdserver: loaded graph n=%d m=%d weighted=%v\n", g.N(), g.M(), g.Weighted())
+
+	srv, err := newQueryServer(g, cfg.server)
+	if err != nil {
+		return err
+	}
+	landmarkrd.PublishMetrics("landmarkrd.engine", srv.metrics)
+	landmarkrd.PublishMetrics("landmarkrd.solver", landmarkrd.SolverMetrics())
+
+	dbg, err := debugsrv.Start(cfg.debugAddr)
+	if err != nil {
+		return err
+	}
+	if addr := dbg.Addr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "rdserver: debug endpoint on http://%s/debug/vars\n", addr)
+	}
+
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.routes()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "rdserver: shutting down, draining in-flight queries")
+		drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+		defer cancel()
+		err := httpSrv.Shutdown(drainCtx)
+		if dbgErr := dbg.Shutdown(drainCtx); err == nil {
+			err = dbgErr
+		}
+		shutdownErr <- err
+	}()
+
+	fmt.Fprintf(os.Stderr, "rdserver: serving %s queries (landmark %d) on %s\n",
+		method, srv.engine.Landmark(), cfg.addr)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-shutdownErr
+}

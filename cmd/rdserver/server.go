@@ -1,0 +1,318 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	landmarkrd "landmarkrd"
+)
+
+// serverConfig is everything the HTTP layer needs beyond the graph itself.
+// It is a plain struct (rather than flag globals) so tests can build servers
+// with aggressive timeouts and tiny admission limits.
+type serverConfig struct {
+	method      landmarkrd.Method
+	seed        uint64
+	walks       int
+	theta       float64
+	timeout     time.Duration // per-request budget; 0 disables
+	maxInflight int           // concurrent query cap; 0 means 2×GOMAXPROCS
+	workers     int           // batch engine workers (0 = GOMAXPROCS)
+	indexMode   string        // "exact", "mc", "sketch", or "none"
+}
+
+// queryServer owns the query-serving state: one BatchEngine answering
+// every /v1/pair and /v1/batch request from pooled estimators, an optional
+// landmark index for /v1/singlesource, and a bounded admission semaphore.
+type queryServer struct {
+	g       *landmarkrd.Graph
+	engine  *landmarkrd.BatchEngine
+	idx     *landmarkrd.LandmarkIndex
+	metrics *landmarkrd.Metrics
+	cfg     serverConfig
+
+	// sem bounds in-flight queries: a slot is acquired without blocking, and
+	// requests that find the server saturated are rejected with 429 rather
+	// than queued — the caller's deadline is better spent retrying elsewhere.
+	sem chan struct{}
+
+	// onAdmit, when non-nil, runs after a query request wins an admission
+	// slot and before it executes. Tests use it to hold a request in flight
+	// deterministically while asserting saturation and drain behavior.
+	onAdmit func()
+}
+
+func newQueryServer(g *landmarkrd.Graph, cfg serverConfig) (*queryServer, error) {
+	metrics := &landmarkrd.Metrics{}
+	engine, err := landmarkrd.NewBatchEngine(g, cfg.method, landmarkrd.BatchOptions{
+		Options: landmarkrd.Options{Seed: cfg.seed, Walks: cfg.walks, Theta: cfg.theta},
+		Workers: cfg.workers,
+		Metrics: metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &queryServer{g: g, engine: engine, metrics: metrics, cfg: cfg}
+	switch cfg.indexMode {
+	case "", "none":
+		// /v1/singlesource answers 501 until an index mode is configured.
+	case "exact", "mc", "sketch":
+		mode := map[string]landmarkrd.DiagMode{
+			"exact":  landmarkrd.DiagExactCG,
+			"mc":     landmarkrd.DiagMC,
+			"sketch": landmarkrd.DiagSketch,
+		}[cfg.indexMode]
+		idx, err := landmarkrd.BuildLandmarkIndexOpts(g, engine.Landmark(), landmarkrd.IndexBuildOptions{
+			Mode: mode, Seed: cfg.seed, Metrics: metrics,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("rdserver: building %s index: %w", cfg.indexMode, err)
+		}
+		s.idx = idx
+	default:
+		return nil, fmt.Errorf("rdserver: unknown -index-mode %q (want exact, mc, sketch, or none)", cfg.indexMode)
+	}
+	inflight := cfg.maxInflight
+	if inflight <= 0 {
+		inflight = 16
+	}
+	s.sem = make(chan struct{}, inflight)
+	return s, nil
+}
+
+// routes builds the server mux. The debug expvar page is mounted here too,
+// so the query port alone is enough to scrape engine stats.
+func (s *queryServer) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/pair", s.admit(s.handlePair))
+	mux.HandleFunc("/v1/batch", s.admit(s.handleBatch))
+	mux.HandleFunc("/v1/singlesource", s.admit(s.handleSingleSource))
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// admit wraps a query handler with admission control and the per-request
+// deadline. Saturation is answered immediately with 429; an admitted request
+// runs under a context that cancels when either the client disconnects or
+// the configured timeout elapses, which the kernels observe mid-solve.
+func (s *queryServer) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server at capacity", http.StatusTooManyRequests)
+			return
+		}
+		if s.onAdmit != nil {
+			s.onAdmit()
+		}
+		ctx := r.Context()
+		if s.cfg.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.timeout)
+			defer cancel()
+		}
+		h(w, r.WithContext(ctx))
+	}
+}
+
+func (s *queryServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+type pairResponse struct {
+	S         int     `json:"s"`
+	T         int     `json:"t"`
+	Value     float64 `json:"value"`
+	Converged bool    `json:"converged"`
+	Err       string  `json:"error,omitempty"`
+}
+
+func (s *queryServer) handlePair(w http.ResponseWriter, r *http.Request) {
+	st, err := s.parsePair(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	results, err := s.engine.PairsContext(r.Context(), []landmarkrd.PairQuery{st})
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	res := results[0]
+	resp := struct {
+		pairResponse
+		Method    string  `json:"method"`
+		Landmark  int     `json:"landmark"`
+		ElapsedMS float64 `json:"elapsed_ms"`
+	}{
+		pairResponse: toPairResponse(res),
+		Method:       s.cfg.method.String(),
+		Landmark:     s.engine.Landmark(),
+		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	writeJSON(w, resp)
+}
+
+type batchRequest struct {
+	Pairs []struct {
+		S int `json:"s"`
+		T int `json:"t"`
+	} `json:"pairs"`
+}
+
+func (s *queryServer) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a JSON body: {\"pairs\":[{\"s\":0,\"t\":1},...]}", http.StatusMethodNotAllowed)
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Pairs) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	queries := make([]landmarkrd.PairQuery, len(req.Pairs))
+	for i, p := range req.Pairs {
+		if err := s.validVertex(p.S); err != nil {
+			http.Error(w, fmt.Sprintf("pairs[%d].s: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		if err := s.validVertex(p.T); err != nil {
+			http.Error(w, fmt.Sprintf("pairs[%d].t: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		queries[i] = landmarkrd.PairQuery{S: p.S, T: p.T}
+	}
+	start := time.Now()
+	results, err := s.engine.PairsContext(r.Context(), queries)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	out := struct {
+		Landmark  int            `json:"landmark"`
+		ElapsedMS float64        `json:"elapsed_ms"`
+		Results   []pairResponse `json:"results"`
+	}{
+		Landmark:  s.engine.Landmark(),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	for _, res := range results {
+		out.Results = append(out.Results, toPairResponse(res))
+	}
+	writeJSON(w, out)
+}
+
+func (s *queryServer) handleSingleSource(w http.ResponseWriter, r *http.Request) {
+	if s.idx == nil {
+		http.Error(w, "no landmark index configured (start with -index-mode exact|mc|sketch)", http.StatusNotImplemented)
+		return
+	}
+	src, err := intParam(r, "s")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.validVertex(src); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	values, err := landmarkrd.SingleSourceContext(r.Context(), s.idx, src)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, struct {
+		S         int       `json:"s"`
+		Landmark  int       `json:"landmark"`
+		ElapsedMS float64   `json:"elapsed_ms"`
+		Values    []float64 `json:"values"`
+	}{
+		S:         src,
+		Landmark:  s.engine.Landmark(),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+		Values:    values,
+	})
+}
+
+// writeQueryError maps a failed query to an HTTP status: a deadline that
+// expired mid-solve is a 504 (the server gave up, not the client), a
+// client-side cancellation gets the nginx-style 499, anything else is a 500.
+func (s *queryServer) writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "query exceeded the server time budget: "+err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, landmarkrd.ErrCanceled):
+		http.Error(w, "query canceled: "+err.Error(), 499)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *queryServer) parsePair(r *http.Request) (landmarkrd.PairQuery, error) {
+	sv, err := intParam(r, "s")
+	if err != nil {
+		return landmarkrd.PairQuery{}, err
+	}
+	tv, err := intParam(r, "t")
+	if err != nil {
+		return landmarkrd.PairQuery{}, err
+	}
+	if err := s.validVertex(sv); err != nil {
+		return landmarkrd.PairQuery{}, err
+	}
+	if err := s.validVertex(tv); err != nil {
+		return landmarkrd.PairQuery{}, err
+	}
+	return landmarkrd.PairQuery{S: sv, T: tv}, nil
+}
+
+func (s *queryServer) validVertex(v int) error {
+	if v < 0 || v >= s.g.N() {
+		return fmt.Errorf("vertex %d out of range [0, %d)", v, s.g.N())
+	}
+	return nil
+}
+
+func intParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("query parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+func toPairResponse(res landmarkrd.PairResult) pairResponse {
+	out := pairResponse{S: res.S, T: res.T, Value: res.Estimate.Value, Converged: res.Estimate.Converged}
+	if res.Err != nil {
+		out.Err = res.Err.Error()
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

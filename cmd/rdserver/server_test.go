@@ -1,0 +1,377 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	landmarkrd "landmarkrd"
+)
+
+const corpusGraph = "../../testdata/corpus/grid_14x14.edges"
+
+func loadTestGraph(t *testing.T) *landmarkrd.Graph {
+	t.Helper()
+	g, _, err := landmarkrd.LoadEdgeList(corpusGraph)
+	if err != nil {
+		t.Fatalf("loading %s: %v", corpusGraph, err)
+	}
+	return g
+}
+
+func newTestServer(t *testing.T, cfg serverConfig) *queryServer {
+	t.Helper()
+	if cfg.method == 0 {
+		cfg.method = landmarkrd.BiPush
+	}
+	if cfg.seed == 0 {
+		cfg.seed = 7
+	}
+	srv, err := newQueryServer(loadTestGraph(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestPairEndpoint(t *testing.T) {
+	srv := newTestServer(t, serverConfig{timeout: 30 * time.Second})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/pair?s=0&t=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		S, T      int
+		Value     float64
+		Converged bool
+		Landmark  int
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.S != 0 || out.T != 100 {
+		t.Errorf("echoed pair (%d,%d), want (0,100)", out.S, out.T)
+	}
+	if out.Value <= 0 {
+		t.Errorf("r(0,100) = %g, want positive", out.Value)
+	}
+}
+
+func TestPairBadVertex(t *testing.T) {
+	srv := newTestServer(t, serverConfig{})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	for _, q := range []string{"s=0", "s=0&t=100000", "s=-1&t=3", "s=x&t=3"} {
+		resp, err := http.Get(ts.URL + "/v1/pair?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("query %q: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv := newTestServer(t, serverConfig{timeout: 30 * time.Second})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	body := `{"pairs":[{"s":0,"t":100},{"s":5,"t":55},{"s":1,"t":2}]}`
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Results []struct {
+			Value float64
+			Err   string `json:"error"`
+		}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(out.Results))
+	}
+	for i, r := range out.Results {
+		if r.Err != "" {
+			t.Errorf("result %d: error %q", i, r.Err)
+		}
+		if r.Value <= 0 {
+			t.Errorf("result %d: value %g, want positive", i, r.Value)
+		}
+	}
+}
+
+func TestSingleSourceEndpoint(t *testing.T) {
+	srv := newTestServer(t, serverConfig{indexMode: "exact", timeout: 30 * time.Second})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/singlesource?s=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		S      int
+		Values []float64
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if n := loadTestGraph(t).N(); len(out.Values) != n {
+		t.Fatalf("got %d values, want %d", len(out.Values), n)
+	}
+	if out.Values[3] != 0 {
+		t.Errorf("r(3,3) = %g, want 0", out.Values[3])
+	}
+}
+
+func TestSingleSourceWithoutIndex(t *testing.T) {
+	srv := newTestServer(t, serverConfig{})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/singlesource?s=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("status %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := newTestServer(t, serverConfig{})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestDebugVarsExposesEngineStats(t *testing.T) {
+	srv := newTestServer(t, serverConfig{timeout: 30 * time.Second})
+	landmarkrd.PublishMetrics("landmarkrd.engine", srv.metrics)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	if _, err := http.Get(ts.URL + "/v1/pair?s=0&t=100"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), `"landmarkrd.engine"`) {
+		t.Error("/debug/vars missing landmarkrd.engine")
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &vars); err != nil {
+		t.Fatalf("un-parseable /debug/vars: %v", err)
+	}
+	var stats struct {
+		Queries int64 `json:"queries"`
+	}
+	if err := json.Unmarshal(vars["landmarkrd.engine"], &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries == 0 {
+		t.Error("engine stats show zero queries after a served pair")
+	}
+}
+
+// TestTimeoutReturns504 proves the per-request budget reaches the kernels:
+// an expired budget aborts the solve mid-flight and surfaces as 504, not as
+// a hung request or a fabricated answer.
+func TestTimeoutReturns504(t *testing.T) {
+	srv := newTestServer(t, serverConfig{timeout: time.Nanosecond})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	for _, path := range []string{"/v1/pair?s=0&t=100", "/v1/batch"} {
+		var resp *http.Response
+		var err error
+		if strings.HasPrefix(path, "/v1/batch") {
+			resp, err = http.Post(ts.URL+path, "application/json",
+				strings.NewReader(`{"pairs":[{"s":0,"t":100}]}`))
+		} else {
+			resp, err = http.Get(ts.URL + path)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Errorf("%s: status %d, want 504", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestSaturationReturns429 holds one request in flight (via the onAdmit test
+// hook) with an admission limit of one, and asserts concurrent requests are
+// rejected immediately with 429 + Retry-After rather than queued.
+func TestSaturationReturns429(t *testing.T) {
+	srv := newTestServer(t, serverConfig{maxInflight: 1, timeout: 30 * time.Second})
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.onAdmit = func() {
+		once.Do(func() {
+			close(admitted)
+			<-release
+		})
+	}
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	firstDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/pair?s=0&t=100")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("held request: status %d", resp.StatusCode)
+			}
+		}
+		firstDone <- err
+	}()
+	<-admitted // the slot is now provably occupied
+
+	resp, err := http.Get(ts.URL + "/v1/pair?s=1&t=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After header")
+	}
+
+	close(release)
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// With the slot free again the same request succeeds.
+	resp, err = http.Get(ts.URL + "/v1/pair?s=1&t=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("after release: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestShutdownDrainsInflight starts a real http.Server, holds a query in
+// flight, initiates Shutdown, and asserts (a) Shutdown blocks until the
+// query finishes and (b) the held query still gets its 200.
+func TestShutdownDrainsInflight(t *testing.T) {
+	srv := newTestServer(t, serverConfig{timeout: 30 * time.Second})
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.onAdmit = func() {
+		once.Do(func() {
+			close(admitted)
+			<-release
+		})
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.routes()}
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		_ = httpSrv.Serve(ln)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	firstDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(base + "/v1/pair?s=0&t=100")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("in-flight request: status %d", resp.StatusCode)
+			}
+		}
+		firstDone <- err
+	}()
+	<-admitted
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- httpSrv.Shutdown(ctx)
+	}()
+
+	// Shutdown must not complete while the query is still in flight.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) with a query still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("in-flight query not drained cleanly: %v", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	<-served
+}

@@ -1,0 +1,70 @@
+// Package cancel provides the shared cancellation machinery of the
+// context-aware query paths: one sentinel every aborted kernel matches via
+// errors.Is, a wrapper that also exposes the underlying context cause
+// (context.Canceled or context.DeadlineExceeded), and the cheap poll the
+// iterative kernels call every K iterations/steps.
+//
+// The kernels deliberately poll rather than select on ctx.Done() in their
+// hot loops: a non-blocking receive on an already-nil Done channel (the
+// context.Background case every non-context API delegates with) is a single
+// predictable branch, so the deterministic non-context paths pay nothing.
+package cancel
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrCanceled is the sentinel all cancellation errors match:
+// errors.Is(err, ErrCanceled) holds for every error produced by Wrap.
+// The same error also matches the underlying context cause, so
+// errors.Is(err, context.DeadlineExceeded) distinguishes a timeout from an
+// explicit cancel through the wrap.
+var ErrCanceled = errors.New("landmarkrd: query canceled")
+
+// Error wraps a context cause so both ErrCanceled and the cause match.
+type Error struct{ cause error }
+
+// Error implements the error interface.
+func (e *Error) Error() string { return "landmarkrd: query canceled: " + e.cause.Error() }
+
+// Unwrap exposes the context cause to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.cause }
+
+// Is matches the ErrCanceled sentinel.
+func (e *Error) Is(target error) bool { return target == ErrCanceled }
+
+// Cause returns the wrapped context error.
+func (e *Error) Cause() error { return e.cause }
+
+// Wrap returns cause wrapped as a cancellation error (nil stays nil).
+func Wrap(cause error) error {
+	if cause == nil {
+		return nil
+	}
+	return &Error{cause: cause}
+}
+
+// Check polls ctx and returns a wrapped cancellation error once the context
+// is done, nil otherwise. A nil ctx never cancels.
+func Check(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return Wrap(ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// Done returns ctx.Done(), or nil for a nil ctx. Kernels capture the
+// channel once and skip all polling when it is nil (context.Background and
+// context.TODO), keeping the non-cancellable paths branch-predictable.
+func Done(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}

@@ -1,0 +1,82 @@
+package cancel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestWrapNil(t *testing.T) {
+	if err := Wrap(nil); err != nil {
+		t.Errorf("Wrap(nil) = %v", err)
+	}
+}
+
+func TestWrapMatchesSentinelAndCause(t *testing.T) {
+	for _, cause := range []error{context.Canceled, context.DeadlineExceeded} {
+		err := Wrap(cause)
+		if !errors.Is(err, ErrCanceled) {
+			t.Errorf("Wrap(%v) does not match ErrCanceled", cause)
+		}
+		if !errors.Is(err, cause) {
+			t.Errorf("Wrap(%v) does not match its cause", cause)
+		}
+	}
+	// The two causes stay distinguishable through the wrap.
+	if errors.Is(Wrap(context.Canceled), context.DeadlineExceeded) {
+		t.Error("Wrap(Canceled) wrongly matches DeadlineExceeded")
+	}
+}
+
+func TestWrapThroughFmtErrorf(t *testing.T) {
+	err := fmt.Errorf("solving column: %w", Wrap(context.DeadlineExceeded))
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("re-wrapped error %v lost its matches", err)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	if err := Check(nil); err != nil {
+		t.Errorf("Check(nil) = %v", err)
+	}
+	if err := Check(context.Background()); err != nil {
+		t.Errorf("Check(Background) = %v", err)
+	}
+	ctx, cancelFn := context.WithCancel(context.Background())
+	if err := Check(ctx); err != nil {
+		t.Errorf("Check(live ctx) = %v", err)
+	}
+	cancelFn()
+	if err := Check(ctx); !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("Check(canceled ctx) = %v", err)
+	}
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel2()
+	if err := Check(expired); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Check(expired ctx) = %v", err)
+	}
+}
+
+func TestDone(t *testing.T) {
+	if Done(nil) != nil {
+		t.Error("Done(nil) != nil")
+	}
+	if Done(context.Background()) != nil {
+		t.Error("Done(Background) != nil — the fast path would never trigger")
+	}
+	ctx, cancelFn := context.WithCancel(context.Background())
+	defer cancelFn()
+	if Done(ctx) == nil {
+		t.Error("Done(cancellable ctx) == nil")
+	}
+}
+
+func TestErrorMessage(t *testing.T) {
+	err := Wrap(context.Canceled)
+	want := "landmarkrd: query canceled: " + context.Canceled.Error()
+	if err.Error() != want {
+		t.Errorf("Error() = %q, want %q", err.Error(), want)
+	}
+}

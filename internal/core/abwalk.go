@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"math"
 	"time"
 
+	"landmarkrd/internal/cancel"
 	"landmarkrd/internal/graph"
 	"landmarkrd/internal/obs"
 	"landmarkrd/internal/randx"
@@ -81,6 +83,16 @@ func (e *AbWalkEstimator) Reseed(rng *randx.RNG) { e.rng = rng }
 
 // Pair estimates r(s,t) from 2·Walks absorbed walks.
 func (e *AbWalkEstimator) Pair(s, t int) (Estimate, error) {
+	return e.PairContext(context.Background(), s, t)
+}
+
+// PairContext is Pair with cancellation: the walk loop polls ctx between
+// walks and (via the sampler) every few thousand steps inside long walks,
+// aborting with a cancel.Error once the context is done. The walks sampled
+// before the abort are recorded in the metrics as a canceled observation.
+// With a non-cancellable ctx the RNG stream and the estimate are
+// byte-identical to Pair.
+func (e *AbWalkEstimator) PairContext(ctx context.Context, s, t int) (Estimate, error) {
 	start := time.Now()
 	if err := validateQuery(e.g, e.landmark, s, t); err != nil {
 		e.metrics.ObserveQuery(obs.QueryObservation{Err: true})
@@ -90,12 +102,28 @@ func (e *AbWalkEstimator) Pair(s, t int) (Estimate, error) {
 		return Estimate{Converged: true}, nil
 	}
 	o := e.opts.withDefaults(e.g.N())
+	done := cancel.Done(ctx)
 
 	var visitSS, visitST, visitTT, visitTS float64
 	var steps int64
 	hits := 0
+	walksDone := 0
+	canceled := func(cause error) (Estimate, error) {
+		e.metrics.ObserveQuery(obs.QueryObservation{
+			Duration:  time.Since(start),
+			Walks:     int64(walksDone),
+			WalkSteps: steps,
+			Canceled:  true,
+		})
+		return Estimate{}, cause
+	}
+	if done != nil {
+		if err := cancel.Check(ctx); err != nil {
+			return canceled(err)
+		}
+	}
 	for i := 0; i < o.Walks; i++ {
-		st, abs := e.sampler.AbsorbedVisits(s, e.landmark, o.MaxSteps, e.rng, func(u int) {
+		st, abs, err := e.sampler.AbsorbedVisitsContext(ctx, s, e.landmark, o.MaxSteps, e.rng, func(u int) {
 			switch u {
 			case s:
 				visitSS++
@@ -104,10 +132,14 @@ func (e *AbWalkEstimator) Pair(s, t int) (Estimate, error) {
 			}
 		})
 		steps += int64(st)
+		if err != nil {
+			return canceled(err)
+		}
+		walksDone++
 		if abs {
 			hits++
 		}
-		st, abs = e.sampler.AbsorbedVisits(t, e.landmark, o.MaxSteps, e.rng, func(u int) {
+		st, abs, err = e.sampler.AbsorbedVisitsContext(ctx, t, e.landmark, o.MaxSteps, e.rng, func(u int) {
 			switch u {
 			case t:
 				visitTT++
@@ -116,6 +148,10 @@ func (e *AbWalkEstimator) Pair(s, t int) (Estimate, error) {
 			}
 		})
 		steps += int64(st)
+		if err != nil {
+			return canceled(err)
+		}
+		walksDone++
 		if abs {
 			hits++
 		}

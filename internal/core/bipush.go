@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"time"
 
+	"landmarkrd/internal/cancel"
 	"landmarkrd/internal/graph"
 	"landmarkrd/internal/obs"
 	"landmarkrd/internal/randx"
@@ -101,13 +104,16 @@ type sideResult struct {
 }
 
 // runSide pushes from src and corrects τ(src, s) and τ(src, t) by walks.
-func (e *BiPushEstimator) runSide(src, s, t int, o BiPushOptions) (sideResult, error) {
+// ctx cancellation aborts either phase with a cancel.Error; the partial
+// stats gathered so far are returned alongside the error so the caller can
+// record them.
+func (e *BiPushEstimator) runSide(ctx context.Context, src, s, t int, o BiPushOptions) (sideResult, error) {
 	res := sideResult{}
-	stats, err := e.pusher.Run(src, PushOptions{Theta: o.PushTheta, MaxOps: o.MaxOps})
+	stats, err := e.pusher.RunContext(ctx, src, PushOptions{Theta: o.PushTheta, MaxOps: o.MaxOps})
+	res.stats = stats
 	if err != nil {
 		return res, err
 	}
-	res.stats = stats
 	res.tauToS = e.pusher.Estimate(s)
 	res.tauToT = e.pusher.Estimate(t)
 
@@ -134,7 +140,7 @@ func (e *BiPushEstimator) runSide(src, s, t int, o BiPushOptions) (sideResult, e
 			idx = len(nodes) - 1
 		}
 		u := int(nodes[idx])
-		st, abs := e.sampler.AbsorbedVisits(u, v, o.MaxSteps, e.rng, func(x int) {
+		st, abs, err := e.sampler.AbsorbedVisitsContext(ctx, u, v, o.MaxSteps, e.rng, func(x int) {
 			switch x {
 			case s:
 				visS++
@@ -143,6 +149,10 @@ func (e *BiPushEstimator) runSide(src, s, t int, o BiPushOptions) (sideResult, e
 			}
 		})
 		res.steps += int64(st)
+		if err != nil {
+			res.walks = i
+			return res, err
+		}
 		if abs {
 			res.hits++
 		} else {
@@ -158,6 +168,16 @@ func (e *BiPushEstimator) runSide(src, s, t int, o BiPushOptions) (sideResult, e
 
 // Pair estimates r(s,t) bidirectionally.
 func (e *BiPushEstimator) Pair(s, t int) (Estimate, error) {
+	return e.PairContext(context.Background(), s, t)
+}
+
+// PairContext is Pair with cancellation: the push phases poll ctx every
+// few thousand edge relaxations and the correction walks every few thousand
+// steps, aborting with a cancel.Error once the context is done. The partial
+// push/walk work is recorded in the metrics as a canceled observation. With
+// a non-cancellable ctx the RNG stream and the estimate are byte-identical
+// to Pair.
+func (e *BiPushEstimator) PairContext(ctx context.Context, s, t int) (Estimate, error) {
 	start := time.Now()
 	g := e.pusher.g
 	if err := validateQuery(g, e.pusher.landmark, s, t); err != nil {
@@ -169,14 +189,33 @@ func (e *BiPushEstimator) Pair(s, t int) (Estimate, error) {
 	}
 	o := e.opts.withDefaults(g.N())
 
-	fromS, err := e.runSide(s, s, t, o)
-	if err != nil {
-		e.metrics.ObserveQuery(obs.QueryObservation{Err: true})
+	if err := cancel.Check(ctx); err != nil {
+		e.metrics.ObserveQuery(obs.QueryObservation{Duration: time.Since(start), Canceled: true})
 		return Estimate{}, err
 	}
-	fromT, err := e.runSide(t, s, t, o)
+	observeAbort := func(sides []sideResult, err error) {
+		ob := obs.QueryObservation{Duration: time.Since(start)}
+		for _, side := range sides {
+			ob.PushOps += side.stats.Ops
+			ob.Pushes += side.stats.Pushes
+			ob.Walks += int64(side.walks)
+			ob.WalkSteps += side.steps
+		}
+		if errors.Is(err, cancel.ErrCanceled) {
+			ob.Canceled = true
+		} else {
+			ob.Err = true
+		}
+		e.metrics.ObserveQuery(ob)
+	}
+	fromS, err := e.runSide(ctx, s, s, t, o)
 	if err != nil {
-		e.metrics.ObserveQuery(obs.QueryObservation{Err: true})
+		observeAbort([]sideResult{fromS}, err)
+		return Estimate{}, err
+	}
+	fromT, err := e.runSide(ctx, t, s, t, o)
+	if err != nil {
+		observeAbort([]sideResult{fromS, fromT}, err)
 		return Estimate{}, err
 	}
 	ds, dt := g.WeightedDegree(s), g.WeightedDegree(t)

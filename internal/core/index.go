@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"landmarkrd/internal/cancel"
 	"landmarkrd/internal/graph"
 	"landmarkrd/internal/lap"
 	"landmarkrd/internal/obs"
@@ -305,9 +308,20 @@ type SingleSourceOptions struct {
 // s plus the index diagonal. The entry for t == s is 0 and for
 // t == landmark it is L_v⁻¹[s,s].
 func (idx *Index) SingleSource(s int, opts SingleSourceOptions) ([]float64, error) {
+	return idx.SingleSourceContext(context.Background(), s, opts)
+}
+
+// SingleSourceContext is SingleSource with cancellation: the grounded
+// column computation (CG solve or push) polls ctx and aborts with a
+// cancel.Error once the context is done. With a non-cancellable ctx the
+// result is byte-identical to SingleSource.
+func (idx *Index) SingleSourceContext(ctx context.Context, s int, opts SingleSourceOptions) ([]float64, error) {
 	g := idx.G
 	v := idx.Landmark
 	if err := g.ValidateVertex(s); err != nil {
+		return nil, err
+	}
+	if err := cancel.Check(ctx); err != nil {
 		return nil, err
 	}
 	if s == v {
@@ -327,7 +341,7 @@ func (idx *Index) SingleSource(s int, opts SingleSourceOptions) ([]float64, erro
 		if err != nil {
 			return nil, err
 		}
-		if _, err := p.Run(s, PushOptions{Theta: theta, MaxOps: opts.MaxOps}); err != nil {
+		if _, err := p.RunContext(ctx, s, PushOptions{Theta: theta, MaxOps: opts.MaxOps}); err != nil {
 			return nil, err
 		}
 		col = make([]float64, g.N())
@@ -341,8 +355,11 @@ func (idx *Index) SingleSource(s int, opts SingleSourceOptions) ([]float64, erro
 		}
 		solver := idx.acquireSolver()
 		defer idx.solvers.Put(solver)
-		x, _, err := solver.SolveUnit(s, tol)
+		x, _, err := solver.SolveUnitContext(ctx, s, tol)
 		if err != nil {
+			if errors.Is(err, cancel.ErrCanceled) {
+				return nil, err
+			}
 			return nil, fmt.Errorf("core: single-source column solve: %w", err)
 		}
 		col = x // solver-owned; read only until the deferred Put

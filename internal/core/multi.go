@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -108,6 +109,13 @@ func (m *MultiLandmarkEstimator) Landmarks() []int {
 
 // Pair estimates r(s,t) as the median over the usable landmarks.
 func (m *MultiLandmarkEstimator) Pair(s, t int) (Estimate, error) {
+	return m.PairContext(context.Background(), s, t)
+}
+
+// PairContext is Pair with cancellation: each per-landmark BiPush query
+// polls ctx and the combination aborts with a cancel.Error once the context
+// is done. With a non-cancellable ctx the result is byte-identical to Pair.
+func (m *MultiLandmarkEstimator) PairContext(ctx context.Context, s, t int) (Estimate, error) {
 	if err := m.g.ValidateVertex(s); err != nil {
 		return Estimate{}, err
 	}
@@ -123,7 +131,7 @@ func (m *MultiLandmarkEstimator) Pair(s, t int) (Estimate, error) {
 		if v := m.landmarks[i]; v == s || v == t {
 			continue // this landmark cannot serve the query
 		}
-		est, err := e.Pair(s, t)
+		est, err := e.PairContext(ctx, s, t)
 		if err != nil {
 			return Estimate{}, err
 		}

@@ -7,23 +7,91 @@
 package debugsrv
 
 import (
+	"context"
+	"errors"
 	_ "expvar" // register /debug/vars on DefaultServeMux
 	"net"
 	"net/http"
 	_ "net/http/pprof" // register /debug/pprof/* on DefaultServeMux
+	"sync"
 )
 
+// Server is a running debug endpoint. The zero value of *Server (nil) is a
+// valid disabled endpoint: Addr returns "", Close and Shutdown are no-ops.
+// That lets callers do
+//
+//	srv, err := debugsrv.Start(*debugAddr) // "" → nil server, nil error
+//	...
+//	defer srv.Close()
+//
+// without branching on whether the flag was set.
+type Server struct {
+	ln   net.Listener
+	http *http.Server
+
+	closeOnce sync.Once
+	closeErr  error
+	served    chan struct{} // closed when the serve goroutine exits
+}
+
 // Start listens on addr (":0" picks a free port) and serves the process
-// DefaultServeMux in a background goroutine, returning the bound address.
-// An empty addr disables the endpoint and returns "".
-func Start(addr string) (string, error) {
+// DefaultServeMux in a background goroutine. An empty addr disables the
+// endpoint and returns a nil (valid, inert) *Server. The caller owns the
+// returned server and must Close or Shutdown it to release the listener
+// and its goroutine.
+func Start(addr string) (*Server, error) {
 	if addr == "" {
-		return "", nil
+		return nil, nil
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	go func() { _ = http.Serve(ln, nil) }()
-	return ln.Addr().String(), nil
+	s := &Server{
+		ln:     ln,
+		http:   &http.Server{Handler: http.DefaultServeMux},
+		served: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.served)
+		// Serve returns ErrServerClosed after Close/Shutdown; anything else
+		// is a real accept-loop failure, surfaced through Close().
+		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.closeOnce.Do(func() { s.closeErr = err })
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address, or "" for a disabled (nil) server.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close immediately closes the listener and any active connections, then
+// waits for the serve goroutine to exit. Safe on a nil server and safe to
+// call more than once.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.closeOnce.Do(func() { s.closeErr = s.http.Close() })
+	<-s.served
+	return s.closeErr
+}
+
+// Shutdown gracefully drains in-flight debug requests (bounded by ctx),
+// then waits for the serve goroutine to exit. Safe on a nil server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	var err error
+	s.closeOnce.Do(func() { s.closeErr = s.http.Shutdown(ctx) })
+	err = s.closeErr
+	<-s.served
+	return err
 }

@@ -1,24 +1,39 @@
 package debugsrv
 
 import (
+	"context"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestStartDisabled(t *testing.T) {
-	addr, err := Start("")
-	if err != nil || addr != "" {
-		t.Errorf("Start(\"\") = %q, %v", addr, err)
+	srv, err := Start("")
+	if err != nil || srv != nil {
+		t.Errorf("Start(\"\") = %v, %v", srv, err)
+	}
+	// The nil server is a valid disabled endpoint.
+	if addr := srv.Addr(); addr != "" {
+		t.Errorf("nil server Addr() = %q", addr)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("nil server Close() = %v", err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Errorf("nil server Shutdown() = %v", err)
 	}
 }
 
 func TestStartServesExpvarAndPprof(t *testing.T) {
-	addr, err := Start("127.0.0.1:0")
+	srv, err := Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
+	addr := srv.Addr()
 	if addr == "" {
 		t.Fatal("no bound address")
 	}
@@ -44,5 +59,44 @@ func TestStartServesExpvarAndPprof(t *testing.T) {
 func TestStartBadAddr(t *testing.T) {
 	if _, err := Start("256.0.0.1:bad"); err == nil {
 		t.Error("bad address accepted")
+	}
+}
+
+func TestCloseReleasesListener(t *testing.T) {
+	srv, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The port must be free again: rebinding the exact address succeeds.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind %s after Close: %v", addr, err)
+	}
+	ln.Close()
+	// Close is idempotent.
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestShutdownDrains(t *testing.T) {
+	srv, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
 	}
 }

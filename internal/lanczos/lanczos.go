@@ -24,9 +24,11 @@
 package lanczos
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"landmarkrd/internal/cancel"
 	"landmarkrd/internal/graph"
 	"landmarkrd/internal/lap"
 	"landmarkrd/internal/linalg"
@@ -62,6 +64,14 @@ func validatePair(g *graph.Graph, s, t int) error {
 // Iteration runs the global Lanczos method for k steps and returns the
 // resistance estimate. Memory is O(n): only three Krylov vectors are kept.
 func Iteration(g *graph.Graph, s, t, k int) (Result, error) {
+	return IterationContext(context.Background(), g, s, t, k)
+}
+
+// IterationContext is Iteration with cancellation: the Lanczos sweep polls
+// ctx every step (each step is an O(m) matvec, so the poll is free) and
+// aborts with a cancel.Error once the context is done. With a
+// non-cancellable ctx the estimate is byte-identical to Iteration.
+func IterationContext(ctx context.Context, g *graph.Graph, s, t, k int) (Result, error) {
 	if err := validatePair(g, s, t); err != nil {
 		return Result{}, err
 	}
@@ -82,10 +92,18 @@ func Iteration(g *graph.Graph, s, t, k int) (Result, error) {
 	prev := make([]float64, n)
 	next := make([]float64, n)
 
+	done := cancel.Done(ctx)
 	var alphas, betas []float64
 	beta := 0.0
 	var ops int64
 	for i := 0; i < k; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				return Result{K: len(alphas), Ops: ops}, cancel.Wrap(ctx.Err())
+			default:
+			}
+		}
 		op.Apply(next, v)
 		ops += 2 * g.M()
 		if beta != 0 {
@@ -127,6 +145,13 @@ type PushOptions struct {
 
 // Push runs the local Lanczos Push algorithm.
 func Push(g *graph.Graph, s, t int, opts PushOptions) (Result, error) {
+	return PushContext(context.Background(), g, s, t, opts)
+}
+
+// PushContext is Push with cancellation: the sparsified sweep polls ctx
+// every iteration and aborts with a cancel.Error once the context is done.
+// With a non-cancellable ctx the estimate is byte-identical to Push.
+func PushContext(ctx context.Context, g *graph.Graph, s, t int, opts PushOptions) (Result, error) {
 	if err := validatePair(g, s, t); err != nil {
 		return Result{}, err
 	}
@@ -168,7 +193,15 @@ func Push(g *graph.Graph, s, t int, opts PushOptions) (Result, error) {
 	beta := 0.0
 	sqrtDeg := func(u int32) float64 { return math.Sqrt(g.WeightedDegree(int(u))) }
 
+	done := cancel.Done(ctx)
 	for i := 0; i < k; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				return Result{K: len(alphas), Ops: ops}, cancel.Wrap(ctx.Err())
+			default:
+			}
+		}
 		// next = AMV(𝒜, cur): traverse only edges with
 		// |cur(u)| > eps·√(d_u·d_w).
 		for _, u := range curTouch {

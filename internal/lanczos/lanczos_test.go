@@ -1,9 +1,12 @@
 package lanczos
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
+	"landmarkrd/internal/cancel"
 	"landmarkrd/internal/graph"
 	"landmarkrd/internal/lap"
 	"landmarkrd/internal/randx"
@@ -156,5 +159,47 @@ func TestPotentialSameVertex(t *testing.T) {
 		if x != 0 {
 			t.Fatalf("non-zero potential for s==t: %v", phi)
 		}
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	g, err := graph.Grid2D(20, 20, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	for _, tc := range []struct {
+		name string
+		run  func() error
+	}{
+		{"Iteration", func() error { _, err := IterationContext(ctx, g, 0, 399, 40); return err }},
+		{"Push", func() error { _, err := PushContext(ctx, g, 0, 399, PushOptions{}); return err }},
+	} {
+		err := tc.run()
+		if !errors.Is(err, cancel.ErrCanceled) {
+			t.Errorf("%s with canceled ctx: err = %v, want ErrCanceled", tc.name, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v does not match context.Canceled", tc.name, err)
+		}
+	}
+}
+
+func TestContextBackgroundMatchesPlain(t *testing.T) {
+	g, err := graph.BarabasiAlbert(300, 3, randx.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Iteration(g, 2, 250, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := IterationContext(context.Background(), g, 2, 250, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != withCtx {
+		t.Errorf("IterationContext(Background) = %+v, want %+v", withCtx, plain)
 	}
 }

@@ -1,6 +1,7 @@
 package lap
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -18,6 +19,13 @@ const ExactTol = 1e-11
 // returning x(s) - x(t). This is the reference ground truth used by tests
 // and experiments on graphs too large for dense algebra.
 func ResistanceCG(g *graph.Graph, s, t int) (float64, error) {
+	return ResistanceCGContext(context.Background(), g, s, t)
+}
+
+// ResistanceCGContext is ResistanceCG with cancellation: once ctx is done
+// the CG loop aborts within a few matvecs and the solve returns a
+// cancel.Error wrapping the context cause.
+func ResistanceCGContext(ctx context.Context, g *graph.Graph, s, t int) (float64, error) {
 	if err := validatePair(g, s, t); err != nil {
 		return 0, err
 	}
@@ -31,7 +39,7 @@ func ResistanceCG(g *graph.Graph, s, t int) (float64, error) {
 	b := make([]float64, g.N())
 	b[s] = 1
 	b[t] = -1
-	x, _, err := GroundedSolve(g, v, b, ExactTol)
+	x, _, err := GroundedSolveContext(ctx, g, v, b, ExactTol)
 	if err != nil {
 		return 0, fmt.Errorf("lap: exact resistance solve failed: %w", err)
 	}

@@ -6,6 +6,7 @@
 package lap
 
 import (
+	"context"
 	"math"
 
 	"landmarkrd/internal/graph"
@@ -214,4 +215,11 @@ func (a *NormalizedAdjacency) TopEigenvector() []float64 {
 // should build a solver once and reuse its buffers.
 func GroundedSolve(g *graph.Graph, landmark int, b []float64, tol float64) ([]float64, linalg.CGResult, error) {
 	return NewGroundedSolver(g, landmark).Solve(b, tol)
+}
+
+// GroundedSolveContext is GroundedSolve with cancellation: once ctx is done
+// the CG loop aborts within a few matvecs and the solve returns a
+// cancel.Error (see internal/cancel).
+func GroundedSolveContext(ctx context.Context, g *graph.Graph, landmark int, b []float64, tol float64) ([]float64, linalg.CGResult, error) {
+	return NewGroundedSolver(g, landmark).SolveContext(ctx, b, tol)
 }

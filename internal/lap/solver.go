@@ -1,8 +1,11 @@
 package lap
 
 import (
+	"context"
+	"errors"
 	"time"
 
+	"landmarkrd/internal/cancel"
 	"landmarkrd/internal/graph"
 	"landmarkrd/internal/linalg"
 	"landmarkrd/internal/obs"
@@ -55,21 +58,35 @@ func NewGroundedSolver(g *graph.Graph, landmark int) *GroundedSolver {
 // with x[landmark] = 0. The returned slice is owned by the solver and valid
 // only until the next Solve/SolveUnit call; b is not modified.
 func (s *GroundedSolver) Solve(b []float64, tol float64) ([]float64, linalg.CGResult, error) {
+	return s.SolveContext(context.Background(), b, tol)
+}
+
+// SolveContext is Solve with cancellation: once ctx is done the CG
+// iteration aborts within a few matvecs and the solve returns a
+// cancel.Error (matching cancel.ErrCanceled and the context cause). The
+// abort is counted in the solver metrics' Canceled alongside the partial
+// iteration work.
+func (s *GroundedSolver) SolveContext(ctx context.Context, b []float64, tol float64) ([]float64, linalg.CGResult, error) {
 	copy(s.rhs, b)
-	return s.run(tol)
+	return s.run(ctx, tol)
 }
 
 // SolveUnit solves L_v x = e_t — the grounded column at t, the kernel under
 // both the diagonal index build (Diag[t] = x[t]) and single-source queries.
 // Same ownership contract as Solve.
 func (s *GroundedSolver) SolveUnit(t int, tol float64) ([]float64, linalg.CGResult, error) {
+	return s.SolveUnitContext(context.Background(), t, tol)
+}
+
+// SolveUnitContext is SolveUnit with cancellation (see SolveContext).
+func (s *GroundedSolver) SolveUnitContext(ctx context.Context, t int, tol float64) ([]float64, linalg.CGResult, error) {
 	linalg.Zero(s.rhs)
 	s.rhs[t] = 1
-	return s.run(tol)
+	return s.run(ctx, tol)
 }
 
 // run solves against the staged rhs.
-func (s *GroundedSolver) run(tol float64) ([]float64, linalg.CGResult, error) {
+func (s *GroundedSolver) run(ctx context.Context, tol float64) ([]float64, linalg.CGResult, error) {
 	start := time.Now()
 	v := s.Op.Landmark
 	s.rhs[v] = 0
@@ -78,6 +95,7 @@ func (s *GroundedSolver) run(tol float64) ([]float64, linalg.CGResult, error) {
 		Tol:     tol,
 		Precond: &s.precond,
 		Work:    &s.work,
+		Ctx:     ctx,
 	})
 	m := s.Metrics
 	if m == nil {
@@ -85,6 +103,9 @@ func (s *GroundedSolver) run(tol float64) ([]float64, linalg.CGResult, error) {
 	}
 	m.ObserveSolve(res.Iterations, time.Since(start))
 	if err != nil {
+		if errors.Is(err, cancel.ErrCanceled) {
+			m.Canceled.Inc()
+		}
 		return nil, res, err
 	}
 	s.x[v] = 0

@@ -1,9 +1,12 @@
 package linalg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+
+	"landmarkrd/internal/cancel"
 )
 
 // Operator is an abstract symmetric positive (semi-)definite linear
@@ -54,7 +57,21 @@ type CGOptions struct {
 	// repeated solves do not allocate. The workspace is fully overwritten
 	// by every solve; the solution is unaffected by its prior contents.
 	Work *CGWorkspace
+	// Ctx, when non-nil and cancellable, aborts the iteration with a
+	// cancel.Error (matching cancel.ErrCanceled and the context cause)
+	// once the context is done. The check runs every cgCheckEvery
+	// iterations — each iteration is an O(m) matvec, so the poll is far
+	// below 1% of solve time — and is skipped entirely for contexts that
+	// can never cancel (context.Background / context.TODO), keeping the
+	// non-context solve paths byte-identical and overhead-free.
+	Ctx context.Context
 }
+
+// cgCheckEvery is the cancellation poll period in CG iterations. Each
+// iteration costs an O(m) operator apply plus several O(n) vector sweeps,
+// so even on tiny graphs an 8-iteration period keeps the poll cost
+// unmeasurable while bounding abort latency to a handful of matvecs.
+const cgCheckEvery = 8
 
 // CGWorkspace holds the scratch vectors (r, z, p, Ap) one CG solve needs.
 // The zero value is ready to use; it grows on first use and is then reused
@@ -132,6 +149,14 @@ func CG(a Operator, x, b []float64, opts CGOptions) (CGResult, error) {
 		ap = make([]float64, n)
 	}
 
+	done := cancel.Done(opts.Ctx)
+	if done != nil {
+		// Entry check: an already-expired deadline aborts before any work.
+		if err := cancel.Check(opts.Ctx); err != nil {
+			return CGResult{}, err
+		}
+	}
+
 	normB := Norm2(b)
 	if normB == 0 {
 		Zero(x)
@@ -157,6 +182,14 @@ func CG(a Operator, x, b []float64, opts CGOptions) (CGResult, error) {
 
 	res := CGResult{}
 	for res.Iterations = 0; res.Iterations < opts.MaxIter; res.Iterations++ {
+		if done != nil && res.Iterations%cgCheckEvery == 0 {
+			select {
+			case <-done:
+				res.Residual = Norm2(r) / normB
+				return res, cancel.Wrap(opts.Ctx.Err())
+			default:
+			}
+		}
 		rnorm := Norm2(r)
 		res.Residual = rnorm / normB
 		if res.Residual <= opts.Tol {

@@ -160,7 +160,9 @@ func (h *Histogram) quantile(total int64, q float64) int64 {
 type Metrics struct {
 	Queries        Counter // pair queries answered
 	Errors         Counter // queries that returned an error
+	Canceled       Counter // queries/solves aborted by context cancellation
 	ExactFallbacks Counter // landmark-conflict queries answered by the exact solver
+	FallbackErrors Counter // exact-fallback solves that themselves failed
 
 	PushOps        Counter // push edge relaxations
 	Pushes         Counter // vertex pushes
@@ -193,7 +195,9 @@ func (m *Metrics) Merge(src *Metrics) {
 	}
 	m.Queries.Add(src.Queries.Load())
 	m.Errors.Add(src.Errors.Load())
+	m.Canceled.Add(src.Canceled.Load())
 	m.ExactFallbacks.Add(src.ExactFallbacks.Load())
+	m.FallbackErrors.Add(src.FallbackErrors.Load())
 
 	m.PushOps.Add(src.PushOps.Load())
 	m.Pushes.Add(src.Pushes.Load())
@@ -228,6 +232,10 @@ type QueryObservation struct {
 	TruncatedWalks int64
 	ResidualL1     float64
 	Err            bool
+	// Canceled marks a query aborted by context cancellation. The partial
+	// work done before the abort (push ops, walk steps) is still recorded,
+	// so the histograms account for wasted effort under deadline pressure.
+	Canceled bool
 }
 
 // ObserveQuery records one pair query. Safe on a nil receiver.
@@ -239,6 +247,9 @@ func (m *Metrics) ObserveQuery(o QueryObservation) {
 	if o.Err {
 		m.Errors.Inc()
 		return
+	}
+	if o.Canceled {
+		m.Canceled.Inc()
 	}
 	m.PushOps.Add(o.PushOps)
 	m.Pushes.Add(o.Pushes)
@@ -267,7 +278,9 @@ func (m *Metrics) ObserveSolve(iterations int, d time.Duration) {
 type Snapshot struct {
 	Queries        int64 `json:"queries"`
 	Errors         int64 `json:"errors"`
+	Canceled       int64 `json:"canceled"`
 	ExactFallbacks int64 `json:"exact_fallbacks"`
+	FallbackErrors int64 `json:"fallback_errors"`
 
 	PushOps        int64 `json:"push_ops"`
 	Pushes         int64 `json:"pushes"`
@@ -299,7 +312,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
 		Queries:        m.Queries.Load(),
 		Errors:         m.Errors.Load(),
+		Canceled:       m.Canceled.Load(),
 		ExactFallbacks: m.ExactFallbacks.Load(),
+		FallbackErrors: m.FallbackErrors.Load(),
 
 		PushOps:        m.PushOps.Load(),
 		Pushes:         m.Pushes.Load(),
