@@ -37,6 +37,7 @@ import (
 	"landmarkrd/internal/core"
 	"landmarkrd/internal/dynamic"
 	"landmarkrd/internal/graph"
+	"landmarkrd/internal/guard"
 	"landmarkrd/internal/lap"
 	"landmarkrd/internal/obs"
 	"landmarkrd/internal/randx"
@@ -304,6 +305,12 @@ func (e *Estimator) Pair(s, t int) (Estimate, error) {
 
 // ErrLandmarkConflict is returned when a query endpoint equals the landmark.
 var ErrLandmarkConflict = core.ErrLandmarkConflict
+
+// ErrInternal matches (via errors.Is) every error produced by recovering a
+// worker panic — in the batch engine and in the parallel index build. The
+// concrete error is a *guard.PanicError carrying the panic value and the
+// goroutine stack; no panic inside a worker ever crashes the process.
+var ErrInternal = guard.ErrInternal
 
 // Metrics is the estimator observability sink: lock-free counters and
 // log-scale histograms recording push operations, walk steps, residual L1

@@ -6,10 +6,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"landmarkrd/internal/cancel"
 	"landmarkrd/internal/core"
+	"landmarkrd/internal/faultinject"
+	"landmarkrd/internal/guard"
 	"landmarkrd/internal/randx"
+	"landmarkrd/internal/retry"
 )
 
 // PairQuery is one (s, t) query in a batch.
@@ -22,6 +26,13 @@ type PairResult struct {
 	PairQuery
 	Estimate Estimate
 	Err      error
+	// Degraded marks an answer produced by the low-cost fallback tier
+	// (deadline pressure or explicit load shedding). A degraded estimate
+	// carries a conservative absolute error bound in Estimate.ErrBound.
+	Degraded bool
+	// Attempts is how many times the query ran: 1 normally, more when
+	// transient failures were retried.
+	Attempts int
 }
 
 // ConflictPolicy selects how batch queries touching the landmark are
@@ -76,6 +87,27 @@ type BatchOptions struct {
 	// counts estimator builds and exact fallbacks there. When nil the
 	// engine allocates its own (readable via BatchEngine.Stats).
 	Metrics *Metrics
+	// MaxAttempts is the per-query attempt budget for transient failures
+	// (default 1 = no retries). The first attempt draws from exactly the
+	// stream the no-retry path uses, so enabling retries cannot change the
+	// answer of a query that succeeds first try; retried attempts resample
+	// from a salted stream, with jittered exponential backoff between them
+	// (counted in Stats().Retries).
+	MaxAttempts int
+	// Retriable classifies an error as transient, i.e. worth another
+	// attempt. When nil, only injected test faults are considered
+	// transient; cancellation and validation errors are never retried
+	// regardless.
+	Retriable func(error) bool
+	// DegradeBelow enables deadline-aware degradation: a query that starts
+	// with less than this much context deadline remaining is answered by
+	// the degraded Monte Carlo tier — a low-walk absorbed-walk estimate
+	// with a conservative error bound — and marked Degraded, instead of
+	// starting exact/CG work it cannot finish. Zero disables the check.
+	DegradeBelow time.Duration
+	// DegradedWalks is the degraded tier's per-endpoint walk budget
+	// (default 128).
+	DegradedWalks int
 }
 
 // BatchEngine answers repeated batches of resistance queries over one
@@ -96,6 +128,7 @@ type BatchEngine struct {
 	landmark int
 	seed     uint64
 	pool     sync.Pool
+	degPool  sync.Pool // degraded-tier AbWalk estimators
 	metrics  *Metrics
 }
 
@@ -166,6 +199,217 @@ func (e *BatchEngine) acquire() (*Estimator, error) {
 // release returns an estimator to the pool.
 func (e *BatchEngine) release(est *Estimator) { e.pool.Put(est) }
 
+// acquireDegraded returns a pooled degraded-tier estimator (a low-walk
+// AbWalk sampler) or builds one on a pool miss.
+func (e *BatchEngine) acquireDegraded() (*core.AbWalkEstimator, error) {
+	if v := e.degPool.Get(); v != nil {
+		return v.(*core.AbWalkEstimator), nil
+	}
+	walks := e.opts.DegradedWalks
+	if walks <= 0 {
+		walks = 128
+	}
+	deg, err := core.NewAbWalkEstimator(e.g, e.landmark, core.AbWalkOptions{
+		Walks:    walks,
+		MaxSteps: e.opts.Options.MaxSteps,
+	}, randx.New(e.seed))
+	if err != nil {
+		return nil, err
+	}
+	deg.SetMetrics(e.metrics)
+	e.metrics.EstimatorBuilds.Inc()
+	return deg, nil
+}
+
+// defaultRetriable is the transient-error classification used when
+// BatchOptions.Retriable is nil: only injected test faults qualify.
+func defaultRetriable(err error) bool { return errors.Is(err, faultinject.ErrInjected) }
+
+// fatalError marks an error that must fail the whole batch (estimator
+// construction failure, mid-query cancellation), as opposed to a per-query
+// error recorded in that query's PairResult.
+type fatalError struct{ error }
+
+func (f fatalError) Unwrap() error { return f.error }
+
+// batchWorker holds one worker's pooled estimator with panic-poisoning: an
+// estimator that panicked mid-query may hold arbitrarily corrupt internal
+// state, so it is dropped on the floor instead of being returned to the
+// pool, and the next query builds (or pool-Gets) a fresh one.
+type batchWorker struct {
+	e   *BatchEngine
+	est *Estimator
+}
+
+// estimator returns the worker's estimator, acquiring one if needed.
+func (w *batchWorker) estimator() (*Estimator, error) {
+	if w.est == nil {
+		est, err := w.e.acquire()
+		if err != nil {
+			return nil, err
+		}
+		w.est = est
+	}
+	return w.est, nil
+}
+
+// poison discards the current estimator without returning it to the pool.
+func (w *batchWorker) poison() { w.est = nil }
+
+// close returns a healthy estimator to the pool.
+func (w *batchWorker) close() {
+	if w.est != nil {
+		w.e.release(w.est)
+		w.est = nil
+	}
+}
+
+// attempt runs one full-fidelity attempt of query q with the given seed,
+// recovering a panicking estimator into a typed internal error.
+func (e *BatchEngine) attempt(ctx context.Context, w *batchWorker, q PairQuery, seed uint64) (Estimate, error) {
+	est, err := w.estimator()
+	if err != nil {
+		return Estimate{}, fatalError{err}
+	}
+	// Per-query streams keep the answer to query i a pure function of
+	// (seed, i) — independent of which worker ran it and of the worker
+	// count.
+	est.Reseed(seed)
+	var res Estimate
+	err = guard.Run(func() error {
+		var perr error
+		res, perr = est.PairContext(ctx, q.S, q.T)
+		return perr
+	})
+	if errors.Is(err, guard.ErrInternal) {
+		w.poison()
+		e.metrics.Panics.Inc()
+		return Estimate{}, err
+	}
+	return res, err
+}
+
+// attemptDegraded runs one degraded-tier attempt: a low-walk Monte Carlo
+// estimate whose ErrBound is set to four CI half-widths plus a truncation
+// allowance — conservative enough that the true resistance lies within
+// Value ± ErrBound with overwhelming probability.
+func (e *BatchEngine) attemptDegraded(ctx context.Context, q PairQuery, seed uint64) (Estimate, error) {
+	deg, err := e.acquireDegraded()
+	if err != nil {
+		return Estimate{}, fatalError{err}
+	}
+	var res Estimate
+	var half float64
+	err = guard.Run(func() error {
+		deg.Reseed(randx.New(seed ^ 0xabcdef))
+		var derr error
+		res, half, derr = deg.PairWithCIContext(ctx, q.S, q.T)
+		return derr
+	})
+	if err != nil {
+		if errors.Is(err, guard.ErrInternal) {
+			// Poisoned: drop instead of pooling.
+			e.metrics.Panics.Inc()
+		} else {
+			e.degPool.Put(deg)
+		}
+		return Estimate{}, err
+	}
+	e.degPool.Put(deg)
+	res.ErrBound = 4 * half
+	if res.Walks > 0 && res.LandmarkHits < res.Walks {
+		// Truncated walks bias the estimate low by at most their share of
+		// the total mass; widen the bound by that fraction of the value.
+		res.ErrBound += res.Value * float64(res.Walks-res.LandmarkHits) / float64(res.Walks)
+	}
+	return res, nil
+}
+
+// runQuery answers query i into out, applying (in order) the retry budget
+// for transient failures, the degraded tier when degrade is set, and the
+// landmark-conflict fallback. It returns a non-nil error only for
+// batch-fatal conditions (cancellation, estimator construction failure).
+func (e *BatchEngine) runQuery(ctx context.Context, w *batchWorker, fi *faultinject.Hook, i int, q PairQuery, degrade bool, out *PairResult) error {
+	qseed := e.seed + uint64(i+1)*0x9e3779b97f4a7c15
+	maxAttempts := e.opts.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 1
+	}
+	retriable := e.opts.Retriable
+	if retriable == nil {
+		retriable = defaultRetriable
+	}
+	var jitter func() float64
+	if maxAttempts > 1 {
+		// The backoff jitter draws from its own per-query stream so retry
+		// timing never perturbs the estimator's sampling stream.
+		jitter = randx.New(qseed ^ 0x94d049bb133111eb).Float64
+	}
+	var res Estimate
+	degraded := false
+	attempts, err := retry.Do(ctx, retry.Policy{MaxAttempts: maxAttempts}, jitter, retriable,
+		func() { e.metrics.Retries.Inc() },
+		func(attempt int) error {
+			seed := qseed
+			if attempt > 1 {
+				// Salted stream per retry: resampling with fresh randomness
+				// is the point of retrying a Monte Carlo estimator.
+				seed = qseed + uint64(attempt-1)*0x6a09e667f3bcc909
+			}
+			// Guard the fire itself: an injected panic at this site must
+			// surface as ErrInternal, not kill the worker goroutine.
+			if ferr := guard.Run(fi.Fire); ferr != nil {
+				if errors.Is(ferr, guard.ErrInternal) {
+					e.metrics.Panics.Inc()
+				}
+				return ferr
+			}
+			var aerr error
+			if degrade {
+				res, aerr = e.attemptDegraded(ctx, q, seed)
+				degraded = aerr == nil
+			} else {
+				res, aerr = e.attempt(ctx, w, q, seed)
+			}
+			return aerr
+		})
+	out.Attempts = attempts
+	var fatal fatalError
+	if errors.As(err, &fatal) {
+		return fatal.error
+	}
+	if errors.Is(err, ErrCanceled) {
+		// A mid-query abort fails the whole batch, not just this query:
+		// the caller's deadline has passed.
+		return err
+	}
+	// Sentinels may arrive wrapped (see the ErrDisconnected contract in
+	// api.go), so match with errors.Is rather than ==.
+	if errors.Is(err, ErrLandmarkConflict) && e.opts.OnConflict == ConflictExact {
+		v, exErr := ExactContext(ctx, e.g, q.S, q.T)
+		if exErr != nil {
+			// The fallback itself failed: surface its error with a zero
+			// estimate — not a Converged result.
+			res, err = Estimate{}, exErr
+			e.metrics.FallbackErrors.Inc()
+			if errors.Is(exErr, ErrCanceled) {
+				return exErr
+			}
+		} else {
+			res, err = Estimate{Value: v, Converged: true}, nil
+			e.metrics.ExactFallbacks.Inc()
+			degraded = false // the conflict fallback answered exactly
+		}
+	}
+	if degraded && err == nil {
+		out.Degraded = true
+		e.metrics.Degraded.Inc()
+	}
+	out.Estimate = res
+	out.Err = err
+	return nil
+}
+
 // Pairs answers a batch of queries in parallel. Worker w deterministically
 // handles queries w, w+workers, ..., and each query i reseeds its
 // estimator to a stream derived from Options.Seed and i alone, so the
@@ -183,6 +427,18 @@ func (e *BatchEngine) Pairs(queries []PairQuery) ([]PairResult, error) {
 // errors.Is(err, context.DeadlineExceeded) distinguishes a timeout). With
 // a non-cancellable ctx the results are byte-identical to Pairs.
 func (e *BatchEngine) PairsContext(ctx context.Context, queries []PairQuery) ([]PairResult, error) {
+	return e.pairs(ctx, queries, false)
+}
+
+// DegradedPairsContext answers every query with the degraded Monte Carlo
+// tier regardless of the deadline — the load-shedding entry point the
+// server uses when admission pressure is high. Every successful result is
+// marked Degraded and carries its error bound in Estimate.ErrBound.
+func (e *BatchEngine) DegradedPairsContext(ctx context.Context, queries []PairQuery) ([]PairResult, error) {
+	return e.pairs(ctx, queries, true)
+}
+
+func (e *BatchEngine) pairs(ctx context.Context, queries []PairQuery, forceDegraded bool) ([]PairResult, error) {
 	if len(queries) == 0 {
 		return nil, nil
 	}
@@ -195,6 +451,13 @@ func (e *BatchEngine) PairsContext(ctx context.Context, queries []PairQuery) ([]
 	}
 
 	done := cancel.Done(ctx)
+	var deadline time.Time
+	hasDeadline := false
+	if ctx != nil {
+		deadline, hasDeadline = ctx.Deadline()
+	}
+	// Fault hook, fired once per query attempt; nil unless armed.
+	fi := faultinject.At(faultinject.SiteBatchQuery)
 	results := make([]PairResult, len(queries))
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
@@ -202,12 +465,8 @@ func (e *BatchEngine) PairsContext(ctx context.Context, queries []PairQuery) ([]
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			est, err := e.acquire()
-			if err != nil {
-				errs[worker] = err
-				return
-			}
-			defer e.release(est)
+			bw := &batchWorker{e: e}
+			defer bw.close()
 			for i := worker; i < len(queries); i += workers {
 				if done != nil {
 					select {
@@ -217,40 +476,14 @@ func (e *BatchEngine) PairsContext(ctx context.Context, queries []PairQuery) ([]
 					default:
 					}
 				}
-				// Per-query streams keep the answer to query i a pure
-				// function of (seed, i) — independent of which worker
-				// ran it and of the worker count.
-				est.Reseed(e.seed + uint64(i+1)*0x9e3779b97f4a7c15)
 				q := queries[i]
 				results[i].PairQuery = q
-				res, err := est.PairContext(ctx, q.S, q.T)
-				if errors.Is(err, ErrCanceled) {
-					// A mid-query abort fails the whole batch, not just
-					// this query: the caller's deadline has passed.
+				degrade := forceDegraded ||
+					(e.opts.DegradeBelow > 0 && hasDeadline && time.Until(deadline) < e.opts.DegradeBelow)
+				if err := e.runQuery(ctx, bw, fi, i, q, degrade, &results[i]); err != nil {
 					errs[worker] = err
 					return
 				}
-				// Sentinels may arrive wrapped (see the ErrDisconnected
-				// contract in api.go), so match with errors.Is rather
-				// than ==.
-				if errors.Is(err, ErrLandmarkConflict) && e.opts.OnConflict == ConflictExact {
-					v, exErr := ExactContext(ctx, e.g, q.S, q.T)
-					if exErr != nil {
-						// The fallback itself failed: surface its error
-						// with a zero estimate — not a Converged result.
-						res, err = Estimate{}, exErr
-						e.metrics.FallbackErrors.Inc()
-						if errors.Is(exErr, ErrCanceled) {
-							errs[worker] = exErr
-							return
-						}
-					} else {
-						res, err = Estimate{Value: v, Converged: true}, nil
-						e.metrics.ExactFallbacks.Inc()
-					}
-				}
-				results[i].Estimate = res
-				results[i].Err = err
 			}
 		}(w)
 	}

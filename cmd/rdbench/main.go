@@ -6,6 +6,12 @@
 //
 //	rdbench -exp all -scale small -queries 20
 //	rdbench -exp e1a,e5 -scale medium -seed 7
+//
+// With -snapshot it instead runs a snapshot utility: build a landmark
+// index for one graph and save it to a checksummed snapshot file (or, when
+// the file already exists, load and verify it against the graph):
+//
+//	rdbench -snapshot idx.snap -snapshot-graph g.txt -snapshot-mode exact
 package main
 
 import (
@@ -30,8 +36,18 @@ func main() {
 		workersFlag = flag.Int("workers", 0, "index-build worker count (0 = GOMAXPROCS, 1 = sequential; results are seed-deterministic either way)")
 		csvFlag     = flag.String("csv", "", "directory to also write every table as CSV")
 		debugFlag   = flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+		snapFlag    = flag.String("snapshot", "", "snapshot utility mode: write (or verify) this index snapshot file instead of running experiments")
+		snapGraph   = flag.String("snapshot-graph", "", "snapshot utility mode: edge-list graph to index")
+		snapMode    = flag.String("snapshot-mode", "exact", "snapshot utility mode: diagonal builder (exact, mc, or sketch)")
 	)
 	flag.Parse()
+
+	if *snapFlag != "" {
+		if err := runSnapshot(*snapFlag, *snapGraph, *snapMode, *seedFlag, *workersFlag, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	landmarkrd.PublishMetrics("landmarkrd.solver", landmarkrd.SolverMetrics())
 	dbg, err := debugsrv.Start(*debugFlag)
@@ -85,6 +101,56 @@ func runExperiments(ids []string, cfg eval.ExpConfig, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "### %s done in %s\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
+}
+
+// runSnapshot is the -snapshot utility: build a landmark index for graph
+// and save it to path, or — when path already exists — load it back and
+// verify the checksum and graph binding.
+func runSnapshot(path, graphPath, mode string, seed uint64, workers int, out io.Writer) error {
+	if graphPath == "" {
+		return fmt.Errorf("-snapshot requires -snapshot-graph")
+	}
+	diagMode, ok := map[string]landmarkrd.DiagMode{
+		"exact": landmarkrd.DiagExactCG, "mc": landmarkrd.DiagMC, "sketch": landmarkrd.DiagSketch,
+	}[mode]
+	if !ok {
+		return fmt.Errorf("unknown -snapshot-mode %q (want exact, mc, or sketch)", mode)
+	}
+	g, _, err := landmarkrd.LoadEdgeList(graphPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "loaded graph: n=%d m=%d weighted=%v\n", g.N(), g.M(), g.Weighted())
+
+	if _, err := os.Stat(path); err == nil {
+		start := time.Now()
+		idx, err := landmarkrd.LoadLandmarkIndex(path, g)
+		if err != nil {
+			return fmt.Errorf("verifying %s: %w", path, err)
+		}
+		fmt.Fprintf(out, "verified %s in %s: landmark=%d mode=%s, checksum and graph binding OK\n",
+			path, time.Since(start).Round(time.Millisecond), idx.Landmark, idx.Mode)
+		return nil
+	}
+
+	landmark, err := landmarkrd.SelectLandmark(g, landmarkrd.MaxDegree, seed)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	idx, err := landmarkrd.BuildLandmarkIndexOpts(g, landmark, landmarkrd.IndexBuildOptions{
+		Mode: diagMode, Seed: seed, Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	build := time.Since(start)
+	if err := landmarkrd.SaveLandmarkIndex(idx, path); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "built %s index in %s (landmark=%d), saved to %s\n",
+		mode, build.Round(time.Millisecond), landmark, path)
 	return nil
 }
 

@@ -6,6 +6,7 @@
 //	rdquery -graph g.txt -s 12 -t 99                  # exact (CG solve)
 //	rdquery -graph g.txt -s 12 -t 99 -method bipush   # landmark estimate
 //	rdquery -graph g.txt -source 12 -topk 10          # single-source
+//	rdquery -graph g.txt -source 12 -snapshot idx.snap  # reuse the index
 package main
 
 import (
@@ -31,6 +32,7 @@ type config struct {
 	source    int
 	topk      int
 	workers   int
+	snapshot  string
 	stats     bool
 	debugAddr string
 }
@@ -47,6 +49,7 @@ func main() {
 	flag.IntVar(&cfg.source, "source", -1, "single-source mode: source vertex")
 	flag.IntVar(&cfg.topk, "topk", 10, "single-source mode: closest vertices to print")
 	flag.IntVar(&cfg.workers, "workers", 0, "index-build worker count (0 = GOMAXPROCS, 1 = sequential; results are seed-deterministic either way)")
+	flag.StringVar(&cfg.snapshot, "snapshot", "", "single-source mode: index snapshot file (load if present, else build and save)")
 	flag.BoolVar(&cfg.stats, "stats", false, "print estimator/solver metrics after the query")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -135,28 +138,17 @@ func runPair(g *landmarkrd.Graph, cfg config, out io.Writer) (float64, error) {
 }
 
 func runSingleSource(g *landmarkrd.Graph, cfg config, out io.Writer) error {
-	v, err := landmarkrd.SelectLandmark(g, landmarkrd.MaxDegree, cfg.seed)
+	idx, build, err := singleSourceIndex(g, cfg, out)
 	if err != nil {
 		return err
-	}
-	if v == cfg.source {
-		v = (v + 1) % g.N()
 	}
 	start := time.Now()
-	idx, err := landmarkrd.BuildLandmarkIndexOpts(g, v, landmarkrd.IndexBuildOptions{
-		Mode: landmarkrd.DiagSketch, Seed: cfg.seed, Workers: cfg.workers,
-	})
-	if err != nil {
-		return err
-	}
-	build := time.Since(start)
-	start = time.Now()
 	all, err := landmarkrd.SingleSource(idx, cfg.source)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "index build %s, query %s (landmark=%d)\n",
-		build.Round(time.Millisecond), time.Since(start).Round(time.Microsecond), v)
+		build.Round(time.Millisecond), time.Since(start).Round(time.Microsecond), idx.Landmark)
 
 	order := make([]int, 0, g.N())
 	for u := range all {
@@ -175,4 +167,47 @@ func runSingleSource(g *landmarkrd.Graph, cfg config, out io.Writer) error {
 		fmt.Fprintf(out, "  %3d. vertex %-8d r=%.6f\n", i+1, u, all[u])
 	}
 	return nil
+}
+
+// singleSourceIndex loads the -snapshot index when the file exists (any
+// other load failure — corruption, version skew, wrong graph — is fatal,
+// never silently rebuilt over), and otherwise builds one, saving it back
+// when -snapshot names a path. The reported duration is the build time, or
+// zero for a snapshot load.
+func singleSourceIndex(g *landmarkrd.Graph, cfg config, out io.Writer) (*landmarkrd.LandmarkIndex, time.Duration, error) {
+	if cfg.snapshot != "" {
+		idx, err := landmarkrd.LoadLandmarkIndex(cfg.snapshot, g)
+		switch {
+		case err == nil:
+			fmt.Fprintf(out, "loaded index snapshot %s (landmark=%d, mode=%s)\n",
+				cfg.snapshot, idx.Landmark, idx.Mode)
+			return idx, 0, nil
+		case errors.Is(err, os.ErrNotExist):
+			// Build below and save.
+		default:
+			return nil, 0, err
+		}
+	}
+	v, err := landmarkrd.SelectLandmark(g, landmarkrd.MaxDegree, cfg.seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	if v == cfg.source {
+		v = (v + 1) % g.N()
+	}
+	start := time.Now()
+	idx, err := landmarkrd.BuildLandmarkIndexOpts(g, v, landmarkrd.IndexBuildOptions{
+		Mode: landmarkrd.DiagSketch, Seed: cfg.seed, Workers: cfg.workers,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	build := time.Since(start)
+	if cfg.snapshot != "" {
+		if err := landmarkrd.SaveLandmarkIndex(idx, cfg.snapshot); err != nil {
+			return nil, 0, err
+		}
+		fmt.Fprintf(out, "saved index snapshot to %s\n", cfg.snapshot)
+	}
+	return idx, build, nil
 }

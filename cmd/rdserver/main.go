@@ -9,12 +9,19 @@
 //	GET  /v1/pair?s=12&t=99          one pair estimate
 //	POST /v1/batch                   {"pairs":[{"s":12,"t":99},...]}
 //	GET  /v1/singlesource?s=12       r(s, t) for every t (needs -index-mode)
-//	GET  /healthz                    liveness probe
+//	GET  /healthz                    liveness probe (process is up)
+//	GET  /readyz                     readiness probe (index built, not reloading)
 //	GET  /debug/vars                 expvar, including engine metrics
 //
 // Every query runs under the -timeout budget and is aborted mid-solve once
-// it expires (504). At most -max-inflight queries run concurrently; excess
-// requests are rejected immediately with 429 rather than queued. SIGINT or
+// it expires (504); with -degrade-below set, queries that start with too
+// little budget left are answered by a cheap Monte Carlo tier and marked
+// "degraded" with an error bound instead. At most -max-inflight queries run
+// concurrently; excess requests are rejected immediately with 429 (plus a
+// jittered Retry-After) rather than queued. Transient per-query failures
+// are retried up to -retries times with jittered backoff. -snapshot
+// loads/saves the landmark index from a checksummed snapshot file, and
+// SIGHUP hot-reloads it without dropping in-flight queries. SIGINT or
 // SIGTERM stops accepting new queries and drains the in-flight ones before
 // exiting.
 package main
@@ -46,6 +53,10 @@ func main() {
 		inflightFlag = flag.Int("max-inflight", 16, "max concurrent queries before 429")
 		workersFlag  = flag.Int("workers", 0, "batch workers per request (0 = GOMAXPROCS)")
 		indexFlag    = flag.String("index-mode", "none", "landmark index for /v1/singlesource: exact, mc, sketch, or none")
+		snapshotFlag = flag.String("snapshot", "", "index snapshot file: load if present, else build and save; SIGHUP reloads it")
+		retriesFlag  = flag.Int("retries", 3, "per-query attempt budget for transient failures (1 disables retries)")
+		degradeFlag  = flag.Duration("degrade-below", 0, "answer with the degraded Monte Carlo tier when less than this budget remains (0 disables)")
+		maxBodyFlag  = flag.Int64("max-body", 1<<20, "max batch request body bytes")
 		drainFlag    = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 		debugFlag    = flag.String("debug-addr", "", "also serve expvar and pprof on this address")
 	)
@@ -57,13 +68,17 @@ func main() {
 		drain:     *drainFlag,
 		debugAddr: *debugFlag,
 		server: serverConfig{
-			seed:        *seedFlag,
-			walks:       *walksFlag,
-			theta:       *thetaFlag,
-			timeout:     *timeoutFlag,
-			maxInflight: *inflightFlag,
-			workers:     *workersFlag,
-			indexMode:   *indexFlag,
+			seed:         *seedFlag,
+			walks:        *walksFlag,
+			theta:        *thetaFlag,
+			timeout:      *timeoutFlag,
+			maxInflight:  *inflightFlag,
+			workers:      *workersFlag,
+			indexMode:    *indexFlag,
+			snapshot:     *snapshotFlag,
+			retries:      *retriesFlag,
+			degradeBelow: *degradeFlag,
+			maxBody:      *maxBodyFlag,
 		},
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "rdserver:", err)
@@ -116,6 +131,12 @@ func run(cfg config) error {
 	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.routes()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP hot-reloads the index snapshot without dropping traffic.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go srv.watchReload(hup)
 
 	shutdownErr := make(chan error, 1)
 	go func() {

@@ -6,8 +6,12 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"math/rand"
 	"net/http"
+	"os"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	landmarkrd "landmarkrd"
@@ -17,73 +21,214 @@ import (
 // It is a plain struct (rather than flag globals) so tests can build servers
 // with aggressive timeouts and tiny admission limits.
 type serverConfig struct {
-	method      landmarkrd.Method
-	seed        uint64
-	walks       int
-	theta       float64
-	timeout     time.Duration // per-request budget; 0 disables
-	maxInflight int           // concurrent query cap; 0 means 2×GOMAXPROCS
-	workers     int           // batch engine workers (0 = GOMAXPROCS)
-	indexMode   string        // "exact", "mc", "sketch", or "none"
+	method       landmarkrd.Method
+	seed         uint64
+	walks        int
+	theta        float64
+	timeout      time.Duration // per-request budget; 0 disables
+	maxInflight  int           // concurrent query cap; 0 means 16
+	workers      int           // batch engine workers (0 = GOMAXPROCS)
+	indexMode    string        // "exact", "mc", "sketch", or "none"
+	snapshot     string        // index snapshot path; load if present, else build and save
+	retries      int           // per-query attempt budget for transient failures (0 = 1)
+	degradeBelow time.Duration // degrade queries with less deadline than this left
+	maxBody      int64         // batch body byte cap; 0 means 1 MiB
 }
+
+// validate rejects nonsensical configurations at startup rather than
+// letting them surface as confusing runtime behavior.
+func (c *serverConfig) validate() error {
+	if c.timeout < 0 {
+		return fmt.Errorf("rdserver: -timeout must be >= 0, got %v", c.timeout)
+	}
+	if c.maxInflight < 0 {
+		return fmt.Errorf("rdserver: -max-inflight must be >= 0, got %d", c.maxInflight)
+	}
+	if c.retries < 0 {
+		return fmt.Errorf("rdserver: -retries must be >= 0, got %d", c.retries)
+	}
+	if c.degradeBelow < 0 {
+		return fmt.Errorf("rdserver: -degrade-below must be >= 0, got %v", c.degradeBelow)
+	}
+	if c.maxBody < 0 {
+		return fmt.Errorf("rdserver: -max-body must be >= 0, got %d", c.maxBody)
+	}
+	if c.degradeBelow > 0 && c.timeout > 0 && c.degradeBelow >= c.timeout {
+		return fmt.Errorf("rdserver: -degrade-below (%v) must be below -timeout (%v), or every query would degrade", c.degradeBelow, c.timeout)
+	}
+	return nil
+}
+
+// Retry-After jitter band for 429 responses, in whole seconds. Randomizing
+// the hint inside [retryAfterMin, retryAfterMax] keeps a herd of rejected
+// clients from re-arriving in the same instant.
+const (
+	retryAfterMin = 1
+	retryAfterMax = 3
+)
 
 // queryServer owns the query-serving state: one BatchEngine answering
 // every /v1/pair and /v1/batch request from pooled estimators, an optional
-// landmark index for /v1/singlesource, and a bounded admission semaphore.
+// landmark index for /v1/singlesource behind an atomic pointer (so SIGHUP
+// can hot-swap it while in-flight queries drain on the old one), and a
+// bounded admission semaphore.
 type queryServer struct {
 	g       *landmarkrd.Graph
 	engine  *landmarkrd.BatchEngine
-	idx     *landmarkrd.LandmarkIndex
 	metrics *landmarkrd.Metrics
 	cfg     serverConfig
+
+	// idx is the current landmark index (nil when -index-mode is none and
+	// no snapshot is configured). Readers LoadIndex it once per request and
+	// keep the pointer, so a concurrent reload never swaps an index out from
+	// under a running query.
+	idx atomic.Pointer[landmarkrd.LandmarkIndex]
+
+	// ready gates /readyz: false until the engine and index are built, and
+	// false again while a reload is in progress. Queries are still answered
+	// during a reload — readiness is advisory, for load balancers.
+	ready atomic.Bool
+
+	// reloadMu serializes reloads (rapid SIGHUPs must not race each other).
+	reloadMu sync.Mutex
 
 	// sem bounds in-flight queries: a slot is acquired without blocking, and
 	// requests that find the server saturated are rejected with 429 rather
 	// than queued — the caller's deadline is better spent retrying elsewhere.
 	sem chan struct{}
 
+	// rng feeds the Retry-After jitter; guarded by rngMu.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
 	// onAdmit, when non-nil, runs after a query request wins an admission
 	// slot and before it executes. Tests use it to hold a request in flight
 	// deterministically while asserting saturation and drain behavior.
 	onAdmit func()
+
+	// onReload, when non-nil, observes the outcome of every reload attempt.
+	// Tests use it to synchronize with SIGHUP handling.
+	onReload func(error)
 }
 
 func newQueryServer(g *landmarkrd.Graph, cfg serverConfig) (*queryServer, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	metrics := &landmarkrd.Metrics{}
 	engine, err := landmarkrd.NewBatchEngine(g, cfg.method, landmarkrd.BatchOptions{
-		Options: landmarkrd.Options{Seed: cfg.seed, Walks: cfg.walks, Theta: cfg.theta},
-		Workers: cfg.workers,
-		Metrics: metrics,
+		Options:      landmarkrd.Options{Seed: cfg.seed, Walks: cfg.walks, Theta: cfg.theta},
+		Workers:      cfg.workers,
+		Metrics:      metrics,
+		MaxAttempts:  cfg.retries,
+		DegradeBelow: cfg.degradeBelow,
 	})
 	if err != nil {
 		return nil, err
 	}
-	s := &queryServer{g: g, engine: engine, metrics: metrics, cfg: cfg}
-	switch cfg.indexMode {
-	case "", "none":
-		// /v1/singlesource answers 501 until an index mode is configured.
-	case "exact", "mc", "sketch":
-		mode := map[string]landmarkrd.DiagMode{
-			"exact":  landmarkrd.DiagExactCG,
-			"mc":     landmarkrd.DiagMC,
-			"sketch": landmarkrd.DiagSketch,
-		}[cfg.indexMode]
-		idx, err := landmarkrd.BuildLandmarkIndexOpts(g, engine.Landmark(), landmarkrd.IndexBuildOptions{
-			Mode: mode, Seed: cfg.seed, Metrics: metrics,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("rdserver: building %s index: %w", cfg.indexMode, err)
-		}
-		s.idx = idx
-	default:
-		return nil, fmt.Errorf("rdserver: unknown -index-mode %q (want exact, mc, sketch, or none)", cfg.indexMode)
+	s := &queryServer{
+		g:       g,
+		engine:  engine,
+		metrics: metrics,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(int64(cfg.seed))),
+	}
+	idx, err := s.loadOrBuildIndex()
+	if err != nil {
+		return nil, err
+	}
+	if idx != nil {
+		s.idx.Store(idx)
 	}
 	inflight := cfg.maxInflight
 	if inflight <= 0 {
 		inflight = 16
 	}
 	s.sem = make(chan struct{}, inflight)
+	s.ready.Store(true)
 	return s, nil
+}
+
+// diagModes maps the -index-mode flag values to build modes.
+var diagModes = map[string]landmarkrd.DiagMode{
+	"exact":  landmarkrd.DiagExactCG,
+	"mc":     landmarkrd.DiagMC,
+	"sketch": landmarkrd.DiagSketch,
+}
+
+// loadOrBuildIndex resolves the index configuration: load the snapshot if
+// one is configured and present (any snapshot corruption/mismatch is a hard
+// error — silently rebuilding would mask operational problems), otherwise
+// build by -index-mode, saving the result back to the snapshot path so the
+// next start is fast.
+func (s *queryServer) loadOrBuildIndex() (*landmarkrd.LandmarkIndex, error) {
+	if s.cfg.snapshot != "" {
+		idx, err := landmarkrd.LoadLandmarkIndex(s.cfg.snapshot, s.g)
+		switch {
+		case err == nil:
+			fmt.Fprintf(os.Stderr, "rdserver: loaded index snapshot %s (landmark %d, mode %s)\n",
+				s.cfg.snapshot, idx.Landmark, idx.Mode)
+			return idx, nil
+		case errors.Is(err, os.ErrNotExist):
+			// Fall through to a fresh build (and save below).
+		default:
+			return nil, fmt.Errorf("rdserver: index snapshot %s: %w", s.cfg.snapshot, err)
+		}
+	}
+	mode, ok := diagModes[s.cfg.indexMode]
+	if !ok {
+		if s.cfg.indexMode == "" || s.cfg.indexMode == "none" {
+			if s.cfg.snapshot != "" {
+				return nil, fmt.Errorf("rdserver: -snapshot %s does not exist and -index-mode is none; set an index mode to build it", s.cfg.snapshot)
+			}
+			// /v1/singlesource answers 501 until an index mode is configured.
+			return nil, nil
+		}
+		return nil, fmt.Errorf("rdserver: unknown -index-mode %q (want exact, mc, sketch, or none)", s.cfg.indexMode)
+	}
+	idx, err := landmarkrd.BuildLandmarkIndexOpts(s.g, s.engine.Landmark(), landmarkrd.IndexBuildOptions{
+		Mode: mode, Seed: s.cfg.seed, Metrics: s.metrics,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rdserver: building %s index: %w", s.cfg.indexMode, err)
+	}
+	if s.cfg.snapshot != "" {
+		if err := landmarkrd.SaveLandmarkIndex(idx, s.cfg.snapshot); err != nil {
+			return nil, fmt.Errorf("rdserver: saving index snapshot: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "rdserver: saved index snapshot to %s\n", s.cfg.snapshot)
+	}
+	return idx, nil
+}
+
+// reload re-resolves the index (re-reading the snapshot file if configured,
+// rebuilding otherwise) and swaps it in atomically. In-flight queries keep
+// the pointer they loaded at request start and drain on the old index. On
+// failure the old index stays in place and the server returns to ready.
+func (s *queryServer) reload() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	s.ready.Store(false)
+	idx, err := s.loadOrBuildIndex()
+	if err == nil && idx != nil {
+		s.idx.Store(idx)
+	}
+	s.ready.Store(true)
+	if s.onReload != nil {
+		s.onReload(err)
+	}
+	return err
+}
+
+// watchReload drives reload from a signal channel (SIGHUP in production;
+// tests feed the channel directly).
+func (s *queryServer) watchReload(ch <-chan os.Signal) {
+	for range ch {
+		fmt.Fprintln(os.Stderr, "rdserver: SIGHUP, reloading index")
+		if err := s.reload(); err != nil {
+			fmt.Fprintln(os.Stderr, "rdserver: reload failed, keeping current index:", err)
+		}
+	}
 }
 
 // routes builds the server mux. The debug expvar page is mounted here too,
@@ -91,31 +236,92 @@ func newQueryServer(g *landmarkrd.Graph, cfg serverConfig) (*queryServer, error)
 func (s *queryServer) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/v1/pair", s.admit(s.handlePair))
 	mux.HandleFunc("/v1/batch", s.admit(s.handleBatch))
 	mux.HandleFunc("/v1/singlesource", s.admit(s.handleSingleSource))
 	mux.Handle("/debug/vars", expvar.Handler())
-	return mux
+	return s.recoverer(mux)
+}
+
+// recoverer is the outermost middleware: a panic that escapes a handler is
+// recovered into a structured 500 instead of killing the connection (the
+// engine's workers isolate their own panics; this is the last line of
+// defense for the HTTP layer itself).
+func (s *queryServer) recoverer(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.metrics.Panics.Inc()
+				writeError(w, http.StatusInternalServerError, "internal",
+					fmt.Sprintf("internal error: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// errorBody is the structured error envelope every non-2xx response uses.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// writeError emits the structured JSON error envelope.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = msg
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// degradeKey marks a request the admission layer wants answered by the
+// degraded tier (load shedding under pressure).
+type ctxKey int
+
+const degradeKey ctxKey = 0
+
+// forceDegrade reports whether admission flagged this request for the
+// degraded tier.
+func forceDegrade(ctx context.Context) bool {
+	v, _ := ctx.Value(degradeKey).(bool)
+	return v
 }
 
 // admit wraps a query handler with admission control and the per-request
-// deadline. Saturation is answered immediately with 429; an admitted request
-// runs under a context that cancels when either the client disconnects or
-// the configured timeout elapses, which the kernels observe mid-solve.
+// deadline. Saturation is answered immediately with 429 plus a jittered
+// Retry-After; an admitted request that finds the server under pressure
+// (three quarters of the admission slots taken) is flagged for the degraded
+// tier instead of being rejected. An admitted request runs under a context
+// that cancels when either the client disconnects or the configured timeout
+// elapses, which the kernels observe mid-solve.
 func (s *queryServer) admit(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "server at capacity", http.StatusTooManyRequests)
+			s.rngMu.Lock()
+			after := retryAfterMin + s.rng.Intn(retryAfterMax-retryAfterMin+1)
+			s.rngMu.Unlock()
+			w.Header().Set("Retry-After", strconv.Itoa(after))
+			writeError(w, http.StatusTooManyRequests, "saturated", "server at capacity")
 			return
 		}
 		if s.onAdmit != nil {
 			s.onAdmit()
 		}
 		ctx := r.Context()
+		// Pressure check after taking our own slot: at or beyond 3/4
+		// occupancy the remaining budget is better spent on cheap degraded
+		// answers than on exact work that may miss its deadline.
+		if cap(s.sem) >= 4 && len(s.sem) >= 3*cap(s.sem)/4 {
+			ctx = context.WithValue(ctx, degradeKey, true)
+		}
 		if s.cfg.timeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.timeout)
@@ -125,9 +331,32 @@ func (s *queryServer) admit(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// handleHealthz is the liveness probe: it answers 200 as long as the
+// process can serve HTTP at all.
 func (s *queryServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: 200 only when the engine and index
+// are built and no reload is in progress; 503 otherwise, telling the load
+// balancer to route new traffic elsewhere without killing the process.
+func (s *queryServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable, "not_ready", "index loading or reloading")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}
+
+// batchPairs runs the batch through the engine, honoring a load-shedding
+// degrade flag set at admission.
+func (s *queryServer) batchPairs(ctx context.Context, queries []landmarkrd.PairQuery) ([]landmarkrd.PairResult, error) {
+	if forceDegrade(ctx) {
+		return s.engine.DegradedPairsContext(ctx, queries)
+	}
+	return s.engine.PairsContext(ctx, queries)
 }
 
 type pairResponse struct {
@@ -135,22 +364,32 @@ type pairResponse struct {
 	T         int     `json:"t"`
 	Value     float64 `json:"value"`
 	Converged bool    `json:"converged"`
-	Err       string  `json:"error,omitempty"`
+	// Degraded marks an answer from the fallback tier; ErrorBound is its
+	// conservative absolute error bound.
+	Degraded   bool    `json:"degraded,omitempty"`
+	ErrorBound float64 `json:"error_bound,omitempty"`
+	Err        string  `json:"error,omitempty"`
 }
 
 func (s *queryServer) handlePair(w http.ResponseWriter, r *http.Request) {
 	st, err := s.parsePair(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.writeRequestError(w, err)
 		return
 	}
 	start := time.Now()
-	results, err := s.engine.PairsContext(r.Context(), []landmarkrd.PairQuery{st})
+	results, err := s.batchPairs(r.Context(), []landmarkrd.PairQuery{st})
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
 	}
 	res := results[0]
+	if res.Err != nil {
+		// A single-pair request with a failed query is an error response,
+		// not a 200 carrying an error string (that shape is for batches).
+		s.writeQueryError(w, res.Err)
+		return
+	}
 	resp := struct {
 		pairResponse
 		Method    string  `json:"method"`
@@ -174,32 +413,44 @@ type batchRequest struct {
 
 func (s *queryServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST a JSON body: {\"pairs\":[{\"s\":0,\"t\":1},...]}", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"POST a JSON body: {\"pairs\":[{\"s\":0,\"t\":1},...]}")
 		return
 	}
+	maxBody := s.cfg.maxBody
+	if maxBody <= 0 {
+		maxBody = 1 << 20 // 1 MiB default
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("batch body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", "bad JSON body: "+err.Error())
 		return
 	}
 	if len(req.Pairs) == 0 {
-		http.Error(w, "empty batch", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad_request", "empty batch")
 		return
 	}
 	queries := make([]landmarkrd.PairQuery, len(req.Pairs))
 	for i, p := range req.Pairs {
 		if err := s.validVertex(p.S); err != nil {
-			http.Error(w, fmt.Sprintf("pairs[%d].s: %v", i, err), http.StatusBadRequest)
+			s.writeRequestError(w, fmt.Errorf("pairs[%d].s: %w", i, err))
 			return
 		}
 		if err := s.validVertex(p.T); err != nil {
-			http.Error(w, fmt.Sprintf("pairs[%d].t: %v", i, err), http.StatusBadRequest)
+			s.writeRequestError(w, fmt.Errorf("pairs[%d].t: %w", i, err))
 			return
 		}
 		queries[i] = landmarkrd.PairQuery{S: p.S, T: p.T}
 	}
 	start := time.Now()
-	results, err := s.engine.PairsContext(r.Context(), queries)
+	results, err := s.batchPairs(r.Context(), queries)
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
@@ -219,21 +470,25 @@ func (s *queryServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *queryServer) handleSingleSource(w http.ResponseWriter, r *http.Request) {
-	if s.idx == nil {
-		http.Error(w, "no landmark index configured (start with -index-mode exact|mc|sketch)", http.StatusNotImplemented)
+	// Load the pointer once: a concurrent reload swaps the index for later
+	// requests, while this one drains on the snapshot it started with.
+	idx := s.idx.Load()
+	if idx == nil {
+		writeError(w, http.StatusNotImplemented, "no_index",
+			"no landmark index configured (start with -index-mode exact|mc|sketch)")
 		return
 	}
 	src, err := intParam(r, "s")
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.writeRequestError(w, err)
 		return
 	}
 	if err := s.validVertex(src); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.writeRequestError(w, err)
 		return
 	}
 	start := time.Now()
-	values, err := landmarkrd.SingleSourceContext(r.Context(), s.idx, src)
+	values, err := landmarkrd.SingleSourceContext(r.Context(), idx, src)
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
@@ -245,23 +500,47 @@ func (s *queryServer) handleSingleSource(w http.ResponseWriter, r *http.Request)
 		Values    []float64 `json:"values"`
 	}{
 		S:         src,
-		Landmark:  s.engine.Landmark(),
+		Landmark:  idx.Landmark,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
 		Values:    values,
 	})
 }
 
+// errOutOfRange marks vertex-id validation failures: the request is
+// well-formed JSON/query-string but semantically unanswerable, which maps
+// to 422 rather than 400.
+var errOutOfRange = errors.New("vertex out of range")
+
+// writeRequestError maps request parsing/validation failures: syntactically
+// broken input is a 400; well-formed input naming an impossible vertex is a
+// 422 with the same structured body.
+func (s *queryServer) writeRequestError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errOutOfRange) {
+		writeError(w, http.StatusUnprocessableEntity, "vertex_out_of_range", err.Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+}
+
 // writeQueryError maps a failed query to an HTTP status: a deadline that
 // expired mid-solve is a 504 (the server gave up, not the client), a
-// client-side cancellation gets the nginx-style 499, anything else is a 500.
+// client-side cancellation gets the nginx-style 499, an unanswerable query
+// (disconnected graph) is a 422, a recovered worker panic is a 500, and
+// anything else is a 500.
 func (s *queryServer) writeQueryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		http.Error(w, "query exceeded the server time budget: "+err.Error(), http.StatusGatewayTimeout)
+		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded",
+			"query exceeded the server time budget: "+err.Error())
 	case errors.Is(err, landmarkrd.ErrCanceled):
-		http.Error(w, "query canceled: "+err.Error(), 499)
+		writeError(w, 499, "canceled", "query canceled: "+err.Error())
+	case errors.Is(err, landmarkrd.ErrDisconnected):
+		writeError(w, http.StatusUnprocessableEntity, "disconnected", err.Error())
+	case errors.Is(err, landmarkrd.ErrInternal):
+		writeError(w, http.StatusInternalServerError, "internal",
+			"internal error (worker panic recovered): "+err.Error())
 	default:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
 	}
 }
 
@@ -285,7 +564,7 @@ func (s *queryServer) parsePair(r *http.Request) (landmarkrd.PairQuery, error) {
 
 func (s *queryServer) validVertex(v int) error {
 	if v < 0 || v >= s.g.N() {
-		return fmt.Errorf("vertex %d out of range [0, %d)", v, s.g.N())
+		return fmt.Errorf("%w: vertex %d not in [0, %d)", errOutOfRange, v, s.g.N())
 	}
 	return nil
 }
@@ -304,6 +583,10 @@ func intParam(r *http.Request, name string) (int, error) {
 
 func toPairResponse(res landmarkrd.PairResult) pairResponse {
 	out := pairResponse{S: res.S, T: res.T, Value: res.Estimate.Value, Converged: res.Estimate.Converged}
+	if res.Degraded {
+		out.Degraded = true
+		out.ErrorBound = res.Estimate.ErrBound
+	}
 	if res.Err != nil {
 		out.Err = res.Err.Error()
 	}

@@ -8,12 +8,18 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
 	landmarkrd "landmarkrd"
+	"landmarkrd/internal/faultinject"
 )
 
 const corpusGraph = "../../testdata/corpus/grid_14x14.edges"
@@ -73,21 +79,62 @@ func TestPairEndpoint(t *testing.T) {
 	}
 }
 
+// TestPairBadVertex splits malformed requests (400) from well-formed
+// requests naming impossible vertices (422), and asserts the structured
+// error envelope on both.
 func TestPairBadVertex(t *testing.T) {
 	srv := newTestServer(t, serverConfig{})
 	ts := httptest.NewServer(srv.routes())
 	defer ts.Close()
 
-	for _, q := range []string{"s=0", "s=0&t=100000", "s=-1&t=3", "s=x&t=3"} {
-		resp, err := http.Get(ts.URL + "/v1/pair?" + q)
+	cases := []struct {
+		query  string
+		status int
+		code   string
+	}{
+		{"s=0", http.StatusBadRequest, "bad_request"},     // missing t
+		{"s=x&t=3", http.StatusBadRequest, "bad_request"}, // unparseable
+		{"s=0&t=100000", http.StatusUnprocessableEntity, "vertex_out_of_range"},
+		{"s=-1&t=3", http.StatusUnprocessableEntity, "vertex_out_of_range"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(ts.URL + "/v1/pair?" + tc.query)
 		if err != nil {
 			t.Fatal(err)
 		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("query %q: status %d, want 400", q, resp.StatusCode)
+		var body struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
 		}
+		decodeErr := json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("query %q: status %d, want %d", tc.query, resp.StatusCode, tc.status)
+		}
+		if decodeErr != nil {
+			t.Errorf("query %q: unstructured error body: %v", tc.query, decodeErr)
+			continue
+		}
+		if body.Error.Code != tc.code {
+			t.Errorf("query %q: error code %q, want %q", tc.query, body.Error.Code, tc.code)
+		}
+		if body.Error.Message == "" {
+			t.Errorf("query %q: empty error message", tc.query)
+		}
+	}
+
+	// The same 422 mapping applies to batch bodies.
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json",
+		strings.NewReader(`{"pairs":[{"s":0,"t":99999}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("batch with out-of-range vertex: status %d, want 422", resp.StatusCode)
 	}
 }
 
@@ -374,4 +421,390 @@ func TestShutdownDrainsInflight(t *testing.T) {
 		t.Fatalf("Shutdown: %v", err)
 	}
 	<-served
+}
+
+// TestReadyz: ready after construction, 503 while not ready (as during a
+// reload), ready again after.
+func TestReadyz(t *testing.T) {
+	srv := newTestServer(t, serverConfig{})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	status := func() int {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status(); got != http.StatusOK {
+		t.Fatalf("/readyz after construction: %d, want 200", got)
+	}
+	srv.ready.Store(false)
+	if got := status(); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while reloading: %d, want 503", got)
+	}
+	srv.ready.Store(true)
+	if got := status(); got != http.StatusOK {
+		t.Fatalf("/readyz after reload: %d, want 200", got)
+	}
+	// Liveness is independent of readiness.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz: %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestBatchBodyLimit proves oversized bodies are cut off with 413 and
+// malformed bodies with 400, both with structured errors.
+func TestBatchBodyLimit(t *testing.T) {
+	srv := newTestServer(t, serverConfig{maxBody: 256, timeout: 30 * time.Second})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	big := `{"pairs":[` + strings.Repeat(`{"s":0,"t":1},`, 100) + `{"s":0,"t":1}]}`
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Error struct{ Code string } `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("413 body not structured: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	if body.Error.Code != "body_too_large" {
+		t.Errorf("oversized body: code %q, want body_too_large", body.Error.Code)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRetryAfterJitterBand saturates the server and checks every 429
+// carries a Retry-After within the configured jitter band.
+func TestRetryAfterJitterBand(t *testing.T) {
+	srv := newTestServer(t, serverConfig{maxInflight: 1, timeout: 30 * time.Second})
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.onAdmit = func() {
+		once.Do(func() {
+			close(admitted)
+			<-release
+		})
+	}
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		resp, err := http.Get(ts.URL + "/v1/pair?s=0&t=100")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-admitted
+	defer func() { close(release); <-firstDone }()
+
+	for i := 0; i < 20; i++ {
+		resp, err := http.Get(ts.URL + "/v1/pair?s=1&t=2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("request %d: status %d, want 429", i, resp.StatusCode)
+		}
+		after, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("request %d: unparseable Retry-After %q", i, resp.Header.Get("Retry-After"))
+		}
+		if after < retryAfterMin || after > retryAfterMax {
+			t.Errorf("request %d: Retry-After %d outside [%d, %d]", i, after, retryAfterMin, retryAfterMax)
+		}
+	}
+}
+
+// TestDegradedUnderPressure fills three quarters of the admission slots and
+// asserts the next request is answered by the degraded tier: marked
+// degraded, carrying a positive error bound, and counted in the metrics.
+func TestDegradedUnderPressure(t *testing.T) {
+	srv := newTestServer(t, serverConfig{maxInflight: 4, timeout: 30 * time.Second})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	// Occupy 3 of 4 slots; with this request's own slot the occupancy hits
+	// the 3/4 pressure threshold.
+	for i := 0; i < 3; i++ {
+		srv.sem <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < 3; i++ {
+			<-srv.sem
+		}
+	}()
+
+	resp, err := http.Get(ts.URL + "/v1/pair?s=0&t=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Value      float64
+		Degraded   bool
+		ErrorBound float64 `json:"error_bound"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Degraded {
+		t.Fatal("response under pressure not marked degraded")
+	}
+	if out.Value <= 0 || out.ErrorBound <= 0 {
+		t.Errorf("degraded answer value=%g bound=%g, want both positive", out.Value, out.ErrorBound)
+	}
+	if got := srv.engine.Stats().Degraded; got == 0 {
+		t.Error("Degraded metric not incremented")
+	}
+}
+
+// TestSnapshotStartup: a server with -snapshot writes the index on first
+// start and a second server loads it instead of rebuilding, producing
+// identical single-source answers.
+func TestSnapshotStartup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.snap")
+	cfg := serverConfig{indexMode: "exact", snapshot: path, timeout: 30 * time.Second}
+
+	first := newTestServer(t, cfg)
+	builds := first.engine.Stats().IndexBuilds
+	if builds == 0 {
+		t.Fatal("first server did not build the index")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+
+	second := newTestServer(t, cfg)
+	if second.engine.Stats().IndexBuilds != 0 {
+		t.Error("second server rebuilt the index instead of loading the snapshot")
+	}
+	a, err := landmarkrd.SingleSource(first.idx.Load(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := landmarkrd.SingleSource(second.idx.Load(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("snapshot-loaded index diverged at vertex %d: %g vs %g", i, b[i], a[i])
+		}
+	}
+}
+
+// TestSighupReloadUnderLoad hammers the server with pair and single-source
+// queries while reloading the index several times through the signal
+// channel, asserting zero failed requests and a ready server afterwards.
+func TestSighupReloadUnderLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.snap")
+	srv := newTestServer(t, serverConfig{
+		indexMode: "exact", snapshot: path,
+		maxInflight: 64, timeout: 30 * time.Second,
+	})
+	reloaded := make(chan error, 16)
+	srv.onReload = func(err error) { reloaded <- err }
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	hup := make(chan os.Signal, 1)
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		srv.watchReload(hup)
+	}()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			paths := []string{"/v1/pair?s=0&t=100", "/v1/singlesource?s=5"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + paths[i%len(paths)])
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	for i := 0; i < 3; i++ {
+		hup <- syscall.SIGHUP
+		select {
+		case err := <-reloaded:
+			if err != nil {
+				t.Errorf("reload %d: %v", i, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("reload did not complete")
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(hup)
+	<-watcherDone
+
+	if n := failures.Load(); n != 0 {
+		t.Errorf("%d requests failed during SIGHUP reloads, want 0", n)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/readyz after reloads: %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestReloadFailureKeepsServing corrupts the snapshot and proves a failed
+// reload keeps the old index, keeps answering, and returns to ready.
+func TestReloadFailureKeepsServing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.snap")
+	srv := newTestServer(t, serverConfig{indexMode: "exact", snapshot: path, timeout: 30 * time.Second})
+	old := srv.idx.Load()
+	if old == nil {
+		t.Fatal("no index after construction")
+	}
+
+	if err := os.WriteFile(path, []byte("corrupted snapshot bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.reload(); err == nil {
+		t.Fatal("reload of a corrupt snapshot succeeded")
+	}
+	if srv.idx.Load() != old {
+		t.Error("failed reload swapped the index")
+	}
+	if !srv.ready.Load() {
+		t.Error("server not ready after failed reload")
+	}
+
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/singlesource?s=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("single-source after failed reload: %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestStartupValidation rejects nonsensical flag combinations at
+// construction time.
+func TestStartupValidation(t *testing.T) {
+	g := loadTestGraph(t)
+	bad := []serverConfig{
+		{timeout: -time.Second},
+		{maxInflight: -1},
+		{retries: -2},
+		{degradeBelow: -time.Millisecond},
+		{maxBody: -5},
+		{timeout: time.Second, degradeBelow: 2 * time.Second},
+	}
+	for i, cfg := range bad {
+		cfg.method = landmarkrd.BiPush
+		cfg.seed = 7
+		if _, err := newQueryServer(g, cfg); err == nil {
+			t.Errorf("config %d (%+v) accepted, want validation error", i, cfg)
+		}
+	}
+}
+
+// TestPanicIsolation arms a panic fault in the batch query path and proves
+// the server converts it into a structured 500 without dying: the next
+// request after disarming succeeds.
+func TestPanicIsolation(t *testing.T) {
+	srv := newTestServer(t, serverConfig{timeout: 30 * time.Second})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	faultinject.Arm(faultinject.SiteBatchQuery, faultinject.Fault{Panic: "injected worker panic"})
+	defer faultinject.Reset()
+
+	resp, err := http.Get(ts.URL + "/v1/pair?s=0&t=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Error struct{ Code string } `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("panic response not structured: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking query: status %d, want 500", resp.StatusCode)
+	}
+	if body.Error.Code != "internal" {
+		t.Errorf("panicking query: code %q, want internal", body.Error.Code)
+	}
+	if srv.engine.Stats().Panics == 0 {
+		t.Error("Panics metric not incremented")
+	}
+
+	faultinject.Reset()
+	resp, err = http.Get(ts.URL + "/v1/pair?s=0&t=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("request after disarming: status %d, want 200 (server should survive the panic)", resp.StatusCode)
+	}
 }

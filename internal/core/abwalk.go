@@ -2,10 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math"
 	"time"
 
 	"landmarkrd/internal/cancel"
+	"landmarkrd/internal/faultinject"
 	"landmarkrd/internal/graph"
 	"landmarkrd/internal/obs"
 	"landmarkrd/internal/randx"
@@ -103,26 +105,36 @@ func (e *AbWalkEstimator) PairContext(ctx context.Context, s, t int) (Estimate, 
 	}
 	o := e.opts.withDefaults(e.g.N())
 	done := cancel.Done(ctx)
+	// Fault hook, fired once per walk iteration; nil unless armed.
+	fi := faultinject.At(faultinject.SiteWalkLoop)
 
 	var visitSS, visitST, visitTT, visitTS float64
 	var steps int64
 	hits := 0
 	walksDone := 0
-	canceled := func(cause error) (Estimate, error) {
-		e.metrics.ObserveQuery(obs.QueryObservation{
+	aborted := func(cause error) (Estimate, error) {
+		ob := obs.QueryObservation{
 			Duration:  time.Since(start),
 			Walks:     int64(walksDone),
 			WalkSteps: steps,
-			Canceled:  true,
-		})
+		}
+		if errors.Is(cause, cancel.ErrCanceled) {
+			ob.Canceled = true
+		} else {
+			ob.Err = true
+		}
+		e.metrics.ObserveQuery(ob)
 		return Estimate{}, cause
 	}
 	if done != nil {
 		if err := cancel.Check(ctx); err != nil {
-			return canceled(err)
+			return aborted(err)
 		}
 	}
 	for i := 0; i < o.Walks; i++ {
+		if err := fi.Fire(); err != nil {
+			return aborted(err)
+		}
 		st, abs, err := e.sampler.AbsorbedVisitsContext(ctx, s, e.landmark, o.MaxSteps, e.rng, func(u int) {
 			switch u {
 			case s:
@@ -133,7 +145,7 @@ func (e *AbWalkEstimator) PairContext(ctx context.Context, s, t int) (Estimate, 
 		})
 		steps += int64(st)
 		if err != nil {
-			return canceled(err)
+			return aborted(err)
 		}
 		walksDone++
 		if abs {
@@ -149,7 +161,7 @@ func (e *AbWalkEstimator) PairContext(ctx context.Context, s, t int) (Estimate, 
 		})
 		steps += int64(st)
 		if err != nil {
-			return canceled(err)
+			return aborted(err)
 		}
 		walksDone++
 		if abs {
@@ -181,6 +193,15 @@ func (e *AbWalkEstimator) PairContext(ctx context.Context, s, t int) (Estimate, 
 // 95% confidence interval on the estimate, from the per-walk sample
 // variance of the combined statistic.
 func (e *AbWalkEstimator) PairWithCI(s, t int) (Estimate, float64, error) {
+	return e.PairWithCIContext(context.Background(), s, t)
+}
+
+// PairWithCIContext is PairWithCI with cancellation and fault-hook polling,
+// following the same contract as PairContext: with a non-cancellable ctx and
+// no armed faults the RNG stream and the estimate are byte-identical to
+// PairWithCI. The batch engine's degraded tier uses the half-width to attach
+// an error bound to fallback answers.
+func (e *AbWalkEstimator) PairWithCIContext(ctx context.Context, s, t int) (Estimate, float64, error) {
 	start := time.Now()
 	if err := validateQuery(e.g, e.landmark, s, t); err != nil {
 		e.metrics.ObserveQuery(obs.QueryObservation{Err: true})
@@ -191,13 +212,38 @@ func (e *AbWalkEstimator) PairWithCI(s, t int) (Estimate, float64, error) {
 	}
 	o := e.opts.withDefaults(e.g.N())
 	ds, dt := e.g.WeightedDegree(s), e.g.WeightedDegree(t)
+	done := cancel.Done(ctx)
+	fi := faultinject.At(faultinject.SiteWalkLoop)
 
 	var sum, sumSq float64
 	var steps int64
 	hits := 0
+	walksDone := 0
+	aborted := func(cause error) (Estimate, float64, error) {
+		ob := obs.QueryObservation{
+			Duration:  time.Since(start),
+			Walks:     int64(walksDone),
+			WalkSteps: steps,
+		}
+		if errors.Is(cause, cancel.ErrCanceled) {
+			ob.Canceled = true
+		} else {
+			ob.Err = true
+		}
+		e.metrics.ObserveQuery(ob)
+		return Estimate{}, 0, cause
+	}
+	if done != nil {
+		if err := cancel.Check(ctx); err != nil {
+			return aborted(err)
+		}
+	}
 	for i := 0; i < o.Walks; i++ {
+		if err := fi.Fire(); err != nil {
+			return aborted(err)
+		}
 		var vSS, vST, vTT, vTS float64
-		st, abs := e.sampler.AbsorbedVisits(s, e.landmark, o.MaxSteps, e.rng, func(u int) {
+		st, abs, err := e.sampler.AbsorbedVisitsContext(ctx, s, e.landmark, o.MaxSteps, e.rng, func(u int) {
 			switch u {
 			case s:
 				vSS++
@@ -206,10 +252,14 @@ func (e *AbWalkEstimator) PairWithCI(s, t int) (Estimate, float64, error) {
 			}
 		})
 		steps += int64(st)
+		if err != nil {
+			return aborted(err)
+		}
+		walksDone++
 		if abs {
 			hits++
 		}
-		st, abs = e.sampler.AbsorbedVisits(t, e.landmark, o.MaxSteps, e.rng, func(u int) {
+		st, abs, err = e.sampler.AbsorbedVisitsContext(ctx, t, e.landmark, o.MaxSteps, e.rng, func(u int) {
 			switch u {
 			case t:
 				vTT++
@@ -218,6 +268,10 @@ func (e *AbWalkEstimator) PairWithCI(s, t int) (Estimate, float64, error) {
 			}
 		})
 		steps += int64(st)
+		if err != nil {
+			return aborted(err)
+		}
+		walksDone++
 		if abs {
 			hits++
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"landmarkrd/internal/cancel"
+	"landmarkrd/internal/faultinject"
 	"landmarkrd/internal/graph"
 	"landmarkrd/internal/obs"
 	"landmarkrd/internal/randx"
@@ -133,7 +134,13 @@ func (e *BiPushEstimator) runSide(ctx context.Context, src, s, t int, o BiPushOp
 	}
 	var visS, visT float64
 	v := e.pusher.landmark
+	// Fault hook, fired once per residual-correction walk; nil unless armed.
+	fi := faultinject.At(faultinject.SiteWalkLoop)
 	for i := 0; i < o.Walks; i++ {
+		if err := fi.Fire(); err != nil {
+			res.walks = i
+			return res, err
+		}
 		target := e.rng.Float64() * total
 		idx := sort.SearchFloat64s(cum, target)
 		if idx >= len(nodes) {

@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"landmarkrd/internal/cancel"
+	"landmarkrd/internal/faultinject"
 	"landmarkrd/internal/graph"
+	"landmarkrd/internal/guard"
 	"landmarkrd/internal/lap"
 	"landmarkrd/internal/obs"
 	"landmarkrd/internal/randx"
@@ -111,11 +113,17 @@ func indexWorkers(opts IndexOptions, n int) int {
 // runIndexWorkers fans build out over workers goroutines. Each worker gets
 // a private obs.Metrics sink so the hot loops record without contention;
 // the sinks are merged into mergeInto (which may be nil) after the pool
-// joins. The first worker error wins.
+// joins. A panicking worker is isolated: the panic is recovered into a
+// *guard.PanicError (matching guard.ErrInternal) carrying the stack, counted
+// in the sink's Panics counter, and surfaced as that worker's error instead
+// of killing the process. The first worker error wins.
 func runIndexWorkers(workers int, mergeInto *obs.Metrics, build func(worker int, local *obs.Metrics) error) error {
 	if workers == 1 {
 		local := &obs.Metrics{}
-		err := build(0, local)
+		err := guard.Run(func() error { return build(0, local) })
+		if errors.Is(err, guard.ErrInternal) {
+			local.Panics.Inc()
+		}
 		mergeInto.Merge(local)
 		return err
 	}
@@ -127,7 +135,10 @@ func runIndexWorkers(workers int, mergeInto *obs.Metrics, build func(worker int,
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			errs[worker] = build(worker, locals[worker])
+			errs[worker] = guard.Run(func() error { return build(worker, locals[worker]) })
+			if errors.Is(errs[worker], guard.ErrInternal) {
+				locals[worker].Panics.Inc()
+			}
 		}(w)
 	}
 	wg.Wait()
@@ -202,6 +213,8 @@ func buildDiagExact(g *graph.Graph, landmark int, diag []float64, opts IndexOpti
 		tol = lap.ExactTol
 	}
 	n := g.N()
+	// Fault hook, fired once per vertex across all workers; nil unless armed.
+	fi := faultinject.At(faultinject.SiteIndexBuild)
 	return runIndexWorkers(workers, lap.SolverMetrics(), func(worker int, local *obs.Metrics) error {
 		solver := lap.NewGroundedSolver(g, landmark)
 		solver.Metrics = local
@@ -212,6 +225,9 @@ func buildDiagExact(g *graph.Graph, landmark int, diag []float64, opts IndexOpti
 		for t := worker; t < n; t += workers {
 			if t == landmark {
 				continue
+			}
+			if err := fi.Fire(); err != nil {
+				return err
 			}
 			x, _, err := solver.SolveUnit(t, tol)
 			if err != nil {
@@ -249,11 +265,16 @@ func buildDiagMC(g *graph.Graph, landmark int, diag []float64, opts IndexOptions
 	// The weighted-sampling prefix sums must exist before concurrent reads.
 	g.EnsureSamplingIndex()
 	root := rng.Uint64()
+	// Fault hook, fired once per vertex across all workers; nil unless armed.
+	fi := faultinject.At(faultinject.SiteIndexBuild)
 	return runIndexWorkers(workers, opts.Metrics, func(worker int, local *obs.Metrics) error {
 		sampler := walk.NewSampler(g)
 		for t := worker; t < n; t += workers {
 			if t == landmark {
 				continue
+			}
+			if err := fi.Fire(); err != nil {
+				return err
 			}
 			vertexRNG := randx.New(root + uint64(t)*0x9e3779b97f4a7c15)
 			var visits float64

@@ -3,31 +3,75 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc64"
 	"io"
 	"os"
 
 	"landmarkrd/internal/graph"
 )
 
-// Index persistence: a small versioned binary format so an expensive diag
-// build (DiagMC on a poor expander, DiagExactCG anywhere) can be reused
-// across processes. Layout (little endian):
+// Index persistence: a versioned, checksummed binary format so an expensive
+// diag build (DiagMC on a poor expander, DiagExactCG anywhere) can be reused
+// across processes and hot-reloaded into a running server. Layout (little
+// endian):
 //
-//	magic   [8]byte  "LRDIDX1\n"
-//	landmark int64
-//	mode     int64
-//	n        int64
-//	diag     n × float64
+//	magic       [8]byte  "LRDIDX2\n"
+//	version     uint32   (2)
+//	flags       uint32   (reserved, must be 0)
+//	landmark    int64
+//	mode        int64
+//	n           int64
+//	fingerprint uint64   Graph.Fingerprint() of the build graph
+//	diag        n × float64
+//	crc         uint64   CRC-64/ECMA over every preceding byte
+//
+// The fingerprint pins the snapshot to the exact graph it was built from —
+// loading against a different graph of the same size is rejected rather
+// than silently producing wrong resistances — and the trailing CRC detects
+// corruption and truncation anywhere in the stream.
 
-var indexMagic = [8]byte{'L', 'R', 'D', 'I', 'D', 'X', '1', '\n'}
+var indexMagic = [8]byte{'L', 'R', 'D', 'I', 'D', 'X', '2', '\n'}
 
-// WriteTo serializes the index. It implements io.WriterTo.
+// indexMagicV1 is the magic of the retired unchecksummed v1 format; it is
+// recognized only to produce a version error instead of a corruption error.
+var indexMagicV1 = [8]byte{'L', 'R', 'D', 'I', 'D', 'X', '1', '\n'}
+
+// indexVersion is the current snapshot format version.
+const indexVersion uint32 = 2
+
+// Typed snapshot rejection errors. ReadIndex wraps them with detail; match
+// with errors.Is.
+var (
+	// ErrSnapshotCorrupt marks a stream that is not an index snapshot or is
+	// structurally broken (bad magic, truncation, nonsense header fields).
+	ErrSnapshotCorrupt = errors.New("core: index snapshot corrupt")
+	// ErrSnapshotVersion marks a snapshot written by an incompatible format
+	// version (including the retired v1 format).
+	ErrSnapshotVersion = errors.New("core: index snapshot version unsupported")
+	// ErrSnapshotChecksum marks a snapshot whose trailing CRC does not match
+	// its contents: bit rot or a partially written file.
+	ErrSnapshotChecksum = errors.New("core: index snapshot checksum mismatch")
+	// ErrSnapshotMismatch marks a well-formed snapshot that was built from a
+	// different graph than the one it is being loaded against.
+	ErrSnapshotMismatch = errors.New("core: index snapshot built from a different graph")
+)
+
+// crcTable is the CRC-64/ECMA table the snapshot trailer uses.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// WriteTo serializes the index in the v2 snapshot format. It implements
+// io.WriterTo.
 func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
+	sum := crc64.New(crcTable)
+	// Everything except the trailer goes through the checksum.
+	body := io.MultiWriter(bw, sum)
 	var written int64
 	write := func(v any) error {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+		if err := binary.Write(body, binary.LittleEndian, v); err != nil {
 			return err
 		}
 		written += int64(binary.Size(v))
@@ -36,14 +80,27 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 	if err := write(indexMagic); err != nil {
 		return written, fmt.Errorf("core: writing index: %w", err)
 	}
+	if err := write(indexVersion); err != nil {
+		return written, fmt.Errorf("core: writing index: %w", err)
+	}
+	if err := write(uint32(0)); err != nil { // flags
+		return written, fmt.Errorf("core: writing index: %w", err)
+	}
 	for _, v := range []int64{int64(idx.Landmark), int64(idx.Mode), int64(len(idx.Diag))} {
 		if err := write(v); err != nil {
 			return written, fmt.Errorf("core: writing index: %w", err)
 		}
 	}
+	if err := write(idx.G.Fingerprint()); err != nil {
+		return written, fmt.Errorf("core: writing index: %w", err)
+	}
 	if err := write(idx.Diag); err != nil {
 		return written, fmt.Errorf("core: writing index: %w", err)
 	}
+	if err := binary.Write(bw, binary.LittleEndian, sum.Sum64()); err != nil {
+		return written, fmt.Errorf("core: writing index: %w", err)
+	}
+	written += 8
 	if err := bw.Flush(); err != nil {
 		return written, fmt.Errorf("core: writing index: %w", err)
 	}
@@ -63,32 +120,82 @@ func SaveIndex(idx *Index, path string) error {
 	return f.Close()
 }
 
-// ReadIndex deserializes an index and binds it to g, validating that the
-// stored dimensions match.
+// checksumReader hashes every byte it hands out so the reader can verify
+// the trailer CRC after consuming the body.
+type checksumReader struct {
+	r   io.Reader
+	sum hash.Hash64
+}
+
+func (c *checksumReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.sum.Write(p[:n])
+	}
+	return n, err
+}
+
+// ReadIndex deserializes a v2 snapshot and binds it to g, validating the
+// stored dimensions, the graph fingerprint, and the trailing checksum.
+// Rejections carry a typed cause: ErrSnapshotCorrupt, ErrSnapshotVersion,
+// ErrSnapshotChecksum, or ErrSnapshotMismatch.
 func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
-	br := bufio.NewReader(r)
+	cr := &checksumReader{r: bufio.NewReader(r), sum: crc64.New(crcTable)}
 	var magic [8]byte
-	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
-		return nil, fmt.Errorf("core: reading index: %w", err)
+	if err := binary.Read(cr, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrSnapshotCorrupt, err)
+	}
+	if magic == indexMagicV1 {
+		return nil, fmt.Errorf("%w: v1 snapshot (rebuild the index to upgrade)", ErrSnapshotVersion)
 	}
 	if magic != indexMagic {
-		return nil, fmt.Errorf("core: bad index magic %q", magic[:])
+		return nil, fmt.Errorf("%w: bad magic %q", ErrSnapshotCorrupt, magic[:])
+	}
+	var version, flags uint32
+	if err := binary.Read(cr, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: reading version: %v", ErrSnapshotCorrupt, err)
+	}
+	if version != indexVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d, this build reads %d", ErrSnapshotVersion, version, indexVersion)
+	}
+	if err := binary.Read(cr, binary.LittleEndian, &flags); err != nil {
+		return nil, fmt.Errorf("%w: reading flags: %v", ErrSnapshotCorrupt, err)
+	}
+	if flags != 0 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrSnapshotVersion, flags)
 	}
 	var landmark, mode, n int64
 	for _, p := range []*int64{&landmark, &mode, &n} {
-		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, fmt.Errorf("core: reading index header: %w", err)
+		if err := binary.Read(cr, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("%w: reading header: %v", ErrSnapshotCorrupt, err)
 		}
 	}
+	var fp uint64
+	if err := binary.Read(cr, binary.LittleEndian, &fp); err != nil {
+		return nil, fmt.Errorf("%w: reading fingerprint: %v", ErrSnapshotCorrupt, err)
+	}
 	if n != int64(g.N()) {
-		return nil, fmt.Errorf("core: index built for n=%d, graph has n=%d", n, g.N())
+		return nil, fmt.Errorf("%w: snapshot built for n=%d, graph has n=%d", ErrSnapshotMismatch, n, g.N())
 	}
 	if landmark < 0 || landmark >= n {
-		return nil, fmt.Errorf("core: stored landmark %d out of range", landmark)
+		return nil, fmt.Errorf("%w: stored landmark %d out of range [0, %d)", ErrSnapshotCorrupt, landmark, n)
+	}
+	if fp != g.Fingerprint() {
+		return nil, fmt.Errorf("%w: fingerprint %#x, graph has %#x", ErrSnapshotMismatch, fp, g.Fingerprint())
 	}
 	diag := make([]float64, n)
-	if err := binary.Read(br, binary.LittleEndian, diag); err != nil {
-		return nil, fmt.Errorf("core: reading index diagonal: %w", err)
+	if err := binary.Read(cr, binary.LittleEndian, diag); err != nil {
+		return nil, fmt.Errorf("%w: reading diagonal: %v", ErrSnapshotCorrupt, err)
+	}
+	want := cr.sum.Sum64()
+	var got uint64
+	// The trailer itself is not checksummed: read it from the underlying
+	// reader, not through cr.
+	if err := binary.Read(cr.r, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("%w: reading checksum trailer: %v", ErrSnapshotCorrupt, err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("%w: stored %#x, computed %#x", ErrSnapshotChecksum, got, want)
 	}
 	return &Index{G: g, Landmark: int(landmark), Diag: diag, Mode: DiagMode(mode)}, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -73,10 +74,9 @@ func TestIndexSaveLoadFile(t *testing.T) {
 
 func TestIndexReadRejectsBadInput(t *testing.T) {
 	g := testBA(t, 40, 97)
-	if _, err := ReadIndex(strings.NewReader("not an index"), g); err == nil {
-		t.Error("garbage accepted")
+	if _, err := ReadIndex(strings.NewReader("not an index!"), g); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Errorf("garbage: err = %v, want ErrSnapshotCorrupt", err)
 	}
-	// Wrong graph size.
 	idx, err := BuildIndex(g, 0, IndexOptions{Mode: DiagExactCG}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -85,17 +85,41 @@ func TestIndexReadRejectsBadInput(t *testing.T) {
 	if _, err := idx.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
+	snap := buf.Bytes()
+
+	// Wrong graph size.
 	other := testBA(t, 50, 98)
-	if _, err := ReadIndex(&buf, other); err == nil {
-		t.Error("size mismatch accepted")
+	if _, err := ReadIndex(bytes.NewReader(snap), other); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Errorf("size mismatch: err = %v, want ErrSnapshotMismatch", err)
 	}
-	// Truncated stream.
-	buf.Reset()
-	if _, err := idx.WriteTo(&buf); err != nil {
-		t.Fatal(err)
+	// Same size, different graph: the fingerprint must catch it.
+	sameSize := testBA(t, g.N(), 99)
+	if sameSize.N() == g.N() {
+		if _, err := ReadIndex(bytes.NewReader(snap), sameSize); !errors.Is(err, ErrSnapshotMismatch) {
+			t.Errorf("fingerprint mismatch: err = %v, want ErrSnapshotMismatch", err)
+		}
 	}
-	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()/2])
-	if _, err := ReadIndex(trunc, g); err == nil {
-		t.Error("truncated stream accepted")
+	// Truncation anywhere in the stream.
+	for _, cut := range []int{4, len(snap) / 2, len(snap) - 3} {
+		if _, err := ReadIndex(bytes.NewReader(snap[:cut]), g); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Errorf("truncated at %d: err = %v, want ErrSnapshotCorrupt", cut, err)
+		}
+	}
+	// A flipped payload bit must fail the checksum.
+	bad := append([]byte(nil), snap...)
+	bad[len(bad)/2] ^= 0x40
+	if _, err := ReadIndex(bytes.NewReader(bad), g); !errors.Is(err, ErrSnapshotChecksum) {
+		t.Errorf("bit flip: err = %v, want ErrSnapshotChecksum", err)
+	}
+	// The retired v1 magic and unknown future versions are version errors.
+	v1 := append([]byte(nil), snap...)
+	v1[6] = '1'
+	if _, err := ReadIndex(bytes.NewReader(v1), g); !errors.Is(err, ErrSnapshotVersion) {
+		t.Errorf("v1 magic: err = %v, want ErrSnapshotVersion", err)
+	}
+	future := append([]byte(nil), snap...)
+	future[8] = 99 // version field, little endian low byte
+	if _, err := ReadIndex(bytes.NewReader(future), g); !errors.Is(err, ErrSnapshotVersion) {
+		t.Errorf("future version: err = %v, want ErrSnapshotVersion", err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"landmarkrd/internal/cancel"
+	"landmarkrd/internal/faultinject"
 	"landmarkrd/internal/graph"
 	"landmarkrd/internal/lap"
 	"landmarkrd/internal/obs"
@@ -140,6 +141,13 @@ func (p *Pusher) RunContext(ctx context.Context, src int, opts PushOptions) (Pus
 			return PushStats{}, err
 		}
 	}
+	// Fault hook, polled at the cancellation cadence; nil unless armed.
+	// One entry fire guarantees every run hits the site at least once even
+	// when the queue drains in fewer than pushCheckOps relaxations.
+	fi := faultinject.At(faultinject.SitePushQueue)
+	if err := fi.Fire(); err != nil {
+		return PushStats{}, err
+	}
 	p.reset()
 	p.res[src] = 1
 	p.touch(int32(src))
@@ -157,14 +165,21 @@ func (p *Pusher) RunContext(ctx context.Context, src int, opts PushOptions) (Pus
 	head := 0
 	nextCheck := int64(pushCheckOps)
 	for head < len(p.queue) {
-		if done != nil && stats.Ops >= nextCheck {
+		if (done != nil || fi != nil) && stats.Ops >= nextCheck {
 			nextCheck = stats.Ops + pushCheckOps
-			select {
-			case <-done:
+			if done != nil {
+				select {
+				case <-done:
+					stats.ResidualL1 = p.residualL1()
+					stats.Touched = len(p.touched)
+					return stats, cancel.Wrap(ctx.Err())
+				default:
+				}
+			}
+			if err := fi.Fire(); err != nil {
 				stats.ResidualL1 = p.residualL1()
 				stats.Touched = len(p.touched)
-				return stats, cancel.Wrap(ctx.Err())
-			default:
+				return stats, err
 			}
 		}
 		u := p.queue[head]

@@ -1,0 +1,121 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsInert(t *testing.T) {
+	Reset()
+	if h := At(SiteCGIter); h != nil {
+		t.Fatalf("disarmed site returned hook %v", h)
+	}
+	var h *Hook
+	if err := h.Fire(); err != nil {
+		t.Fatalf("nil hook fired: %v", err)
+	}
+	if Hits(SiteCGIter) != 0 || Fires(SiteCGIter) != 0 {
+		t.Error("disarmed site has counters")
+	}
+}
+
+func TestErrorInjectionSchedule(t *testing.T) {
+	defer Reset()
+	Arm(SiteWalkLoop, Fault{After: 2, Every: 3, Count: 2})
+	h := At(SiteWalkLoop)
+	if h == nil {
+		t.Fatal("armed site not found")
+	}
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if err := h.Fire(); err != nil {
+			fired = append(fired, i)
+			if !errors.Is(err, ErrInjected) {
+				t.Errorf("hit %d: error %v does not match ErrInjected", i, err)
+			}
+			var fe *Error
+			if !errors.As(err, &fe) || fe.Site != SiteWalkLoop {
+				t.Errorf("hit %d: error %v missing site", i, err)
+			}
+		}
+	}
+	// After=2 skips hits 1-2; Every=3 fires on eligible hits 3, 6, 9, ...;
+	// Count=2 stops after two fires.
+	want := []int{3, 6}
+	if len(fired) != len(want) || fired[0] != want[0] || fired[1] != want[1] {
+		t.Errorf("fired on hits %v, want %v", fired, want)
+	}
+	if got := Hits(SiteWalkLoop); got != 12 {
+		t.Errorf("Hits = %d, want 12", got)
+	}
+	if got := Fires(SiteWalkLoop); got != 2 {
+		t.Errorf("Fires = %d, want 2", got)
+	}
+}
+
+func TestCustomCause(t *testing.T) {
+	defer Reset()
+	cause := errors.New("custom transient")
+	Arm(SiteBatchQuery, Fault{Err: cause})
+	err := At(SiteBatchQuery).Fire()
+	if !errors.Is(err, cause) {
+		t.Errorf("error %v does not match custom cause", err)
+	}
+	if errors.Is(err, ErrInjected) {
+		t.Error("custom cause should replace ErrInjected, not add to it")
+	}
+}
+
+func TestLatencyOnly(t *testing.T) {
+	defer Reset()
+	Arm(SitePushQueue, Fault{Latency: 10 * time.Millisecond, LatencyOnly: true})
+	start := time.Now()
+	if err := At(SitePushQueue).Fire(); err != nil {
+		t.Fatalf("latency-only fault returned error %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("latency fault slept %v, want >= 10ms", d)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	defer Reset()
+	Arm(SiteIndexBuild, Fault{Panic: "boom"})
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("no panic")
+		}
+		p, ok := v.(*Panic)
+		if !ok || p.Site != SiteIndexBuild || p.Value != "boom" {
+			t.Fatalf("recovered %#v, want *Panic{index.build, boom}", v)
+		}
+	}()
+	_ = At(SiteIndexBuild).Fire()
+}
+
+func TestArmDisarmConcurrentFire(t *testing.T) {
+	defer Reset()
+	Arm(SiteCGIter, Fault{Every: 2, Count: 100})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := At(SiteCGIter)
+			for i := 0; i < 1000; i++ {
+				_ = h.Fire()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Fires(SiteCGIter); got != 100 {
+		t.Errorf("Fires = %d, want exactly Count=100", got)
+	}
+	Disarm(SiteCGIter)
+	if At(SiteCGIter) != nil {
+		t.Error("site still armed after Disarm")
+	}
+}

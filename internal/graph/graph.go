@@ -31,6 +31,43 @@ type Graph struct {
 
 	connOnce  sync.Once // memoizes IsConnected (the graph is immutable)
 	connected bool
+
+	fpOnce sync.Once // memoizes Fingerprint (the graph is immutable)
+	fp     uint64
+}
+
+// Fingerprint returns a 64-bit FNV-1a hash over the graph's CSR arrays
+// (n, m, offsets, adjacency, weights). Two graphs with the same fingerprint
+// are, for persistence purposes, the same graph: the index snapshot format
+// stores it so a snapshot cannot be silently rebound to a different graph
+// of the same size. Memoized; the first call costs one pass over the CSR.
+func (g *Graph) Fingerprint() uint64 {
+	g.fpOnce.Do(func() {
+		const prime = 1099511628211
+		h := uint64(14695981039346656037)
+		mix := func(v uint64) {
+			for i := 0; i < 8; i++ {
+				h ^= v & 0xff
+				h *= prime
+				v >>= 8
+			}
+		}
+		mix(uint64(g.n))
+		mix(uint64(g.m))
+		for _, o := range g.offsets {
+			mix(uint64(o))
+		}
+		for _, a := range g.adj {
+			mix(uint64(uint32(a)))
+		}
+		if g.w != nil {
+			for _, x := range g.w {
+				mix(math.Float64bits(x))
+			}
+		}
+		g.fp = h
+	})
+	return g.fp
 }
 
 // ErrNotConnected is returned by operations that require a connected graph.

@@ -1,0 +1,54 @@
+// Package guard provides the panic-isolation primitives of the serving
+// layer: worker goroutines in the batch engine, the parallel index build,
+// and the HTTP handlers recover panics into a typed *PanicError (matching
+// the ErrInternal sentinel via errors.Is) that carries the panic value and
+// stack, so one poisoned query surfaces as a structured error instead of
+// killing the process.
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// ErrInternal is the sentinel every recovered panic matches:
+// errors.Is(err, ErrInternal) holds for every error produced by FromPanic
+// and Run. Callers treat it as non-retriable — the state that produced the
+// panic is unknown, so the safe reaction is to fail the one query and keep
+// the process alive.
+var ErrInternal = errors.New("landmarkrd: internal error")
+
+// PanicError is a recovered panic: the value passed to panic() and the
+// goroutine stack captured at recovery time.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements the error interface. The stack is not included — it can
+// be multiple KB — but is available via errors.As for logging.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("landmarkrd: internal error: recovered panic: %v", e.Value)
+}
+
+// Is matches the ErrInternal sentinel.
+func (e *PanicError) Is(target error) bool { return target == ErrInternal }
+
+// FromPanic converts a value recovered from panic() into a *PanicError,
+// capturing the current stack. It must be called from within the deferred
+// recovery for the stack to be meaningful.
+func FromPanic(v any) *PanicError {
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// Run invokes f, converting a panic into a *PanicError return. The error
+// result of a non-panicking f passes through unchanged.
+func Run(f func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = FromPanic(v)
+		}
+	}()
+	return f()
+}

@@ -1,0 +1,48 @@
+package guard
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRunPassthrough(t *testing.T) {
+	if err := Run(func() error { return nil }); err != nil {
+		t.Fatalf("nil passthrough: %v", err)
+	}
+	want := errors.New("plain failure")
+	if err := Run(func() error { return want }); err != want {
+		t.Fatalf("error passthrough: got %v", err)
+	}
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	err := Run(func() error { panic("kaboom") })
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+	if !errors.Is(err, ErrInternal) {
+		t.Errorf("recovered error %v does not match ErrInternal", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("recovered error %T is not a *PanicError", err)
+	}
+	if pe.Value != "kaboom" {
+		t.Errorf("panic value %v, want kaboom", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !bytes.Contains(pe.Stack, []byte("guard")) {
+		t.Error("stack not captured")
+	}
+}
+
+func TestRunRecoversRuntimePanic(t *testing.T) {
+	err := Run(func() error {
+		var s []int
+		_ = s[3] // index out of range
+		return nil
+	})
+	if !errors.Is(err, ErrInternal) {
+		t.Errorf("runtime panic not recovered: %v", err)
+	}
+}

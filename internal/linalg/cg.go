@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"landmarkrd/internal/cancel"
+	"landmarkrd/internal/faultinject"
 )
 
 // Operator is an abstract symmetric positive (semi-)definite linear
@@ -156,6 +157,9 @@ func CG(a Operator, x, b []float64, opts CGOptions) (CGResult, error) {
 			return CGResult{}, err
 		}
 	}
+	// Fault hook, polled at the cancellation cadence; nil (one atomic
+	// load, no per-iteration cost) unless the test suite armed it.
+	fi := faultinject.At(faultinject.SiteCGIter)
 
 	normB := Norm2(b)
 	if normB == 0 {
@@ -182,12 +186,18 @@ func CG(a Operator, x, b []float64, opts CGOptions) (CGResult, error) {
 
 	res := CGResult{}
 	for res.Iterations = 0; res.Iterations < opts.MaxIter; res.Iterations++ {
-		if done != nil && res.Iterations%cgCheckEvery == 0 {
-			select {
-			case <-done:
+		if (done != nil || fi != nil) && res.Iterations%cgCheckEvery == 0 {
+			if done != nil {
+				select {
+				case <-done:
+					res.Residual = Norm2(r) / normB
+					return res, cancel.Wrap(opts.Ctx.Err())
+				default:
+				}
+			}
+			if err := fi.Fire(); err != nil {
 				res.Residual = Norm2(r) / normB
-				return res, cancel.Wrap(opts.Ctx.Err())
-			default:
+				return res, err
 			}
 		}
 		rnorm := Norm2(r)

@@ -163,6 +163,9 @@ type Metrics struct {
 	Canceled       Counter // queries/solves aborted by context cancellation
 	ExactFallbacks Counter // landmark-conflict queries answered by the exact solver
 	FallbackErrors Counter // exact-fallback solves that themselves failed
+	Degraded       Counter // queries answered by the degraded fallback tier
+	Retries        Counter // transient-failure retry attempts
+	Panics         Counter // worker panics recovered into typed internal errors
 
 	PushOps        Counter // push edge relaxations
 	Pushes         Counter // vertex pushes
@@ -198,6 +201,9 @@ func (m *Metrics) Merge(src *Metrics) {
 	m.Canceled.Add(src.Canceled.Load())
 	m.ExactFallbacks.Add(src.ExactFallbacks.Load())
 	m.FallbackErrors.Add(src.FallbackErrors.Load())
+	m.Degraded.Add(src.Degraded.Load())
+	m.Retries.Add(src.Retries.Load())
+	m.Panics.Add(src.Panics.Load())
 
 	m.PushOps.Add(src.PushOps.Load())
 	m.Pushes.Add(src.Pushes.Load())
@@ -281,6 +287,9 @@ type Snapshot struct {
 	Canceled       int64 `json:"canceled"`
 	ExactFallbacks int64 `json:"exact_fallbacks"`
 	FallbackErrors int64 `json:"fallback_errors"`
+	Degraded       int64 `json:"degraded"`
+	Retries        int64 `json:"retries"`
+	Panics         int64 `json:"panics"`
 
 	PushOps        int64 `json:"push_ops"`
 	Pushes         int64 `json:"pushes"`
@@ -315,6 +324,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		Canceled:       m.Canceled.Load(),
 		ExactFallbacks: m.ExactFallbacks.Load(),
 		FallbackErrors: m.FallbackErrors.Load(),
+		Degraded:       m.Degraded.Load(),
+		Retries:        m.Retries.Load(),
+		Panics:         m.Panics.Load(),
 
 		PushOps:        m.PushOps.Load(),
 		Pushes:         m.Pushes.Load(),

@@ -1,0 +1,115 @@
+// Package retry implements the jittered-exponential-backoff policy the
+// serving layer uses for transient failures (injected faults, and any
+// future transient error class). Delays are computed from a caller-supplied
+// uniform draw so the batch engine can keep its per-query determinism: the
+// same seed produces the same backoff schedule.
+package retry
+
+import (
+	"context"
+	"time"
+)
+
+// Policy describes a retry schedule. The zero value is usable and means
+// "3 attempts, 1ms base delay doubling to a 50ms cap, 50% jitter".
+type Policy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (default 3). 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the delay before the first retry (default 1ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 50ms).
+	MaxDelay time.Duration
+	// Multiplier is the exponential growth factor (default 2).
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized away
+	// (default 0.5): the actual delay is uniform in
+	// [delay·(1−Jitter), delay].
+	Jitter float64
+}
+
+// WithDefaults returns p with zero fields replaced by the defaults.
+func (p Policy) WithDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 50 * time.Millisecond
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.5
+	}
+	return p
+}
+
+// Delay returns the backoff before retry number retry (1 = first retry),
+// using u ∈ [0,1) as the jitter draw. The result lies in
+// [d·(1−Jitter), d] where d = min(BaseDelay·Multiplier^(retry−1), MaxDelay).
+func (p Policy) Delay(retry int, u float64) time.Duration {
+	p = p.WithDefaults()
+	d := float64(p.BaseDelay)
+	for i := 1; i < retry; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	return time.Duration(d * (1 - p.Jitter*u))
+}
+
+// Sleep blocks for the given delay or until ctx is done, returning false
+// in the latter case (the caller should abort with the context error).
+// A nil ctx never cancels.
+func Sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Do runs op up to p.MaxAttempts times, retrying while retriable(err)
+// holds, sleeping Delay(retry, rand()) between attempts (abandoning the
+// wait if ctx is done). It returns the number of attempts made and the last
+// error. onRetry, when non-nil, is invoked once per retry (after the
+// decision, before the sleep) — the batch engine counts attempts there.
+func Do(ctx context.Context, p Policy, rand func() float64, retriable func(error) bool, onRetry func(), op func(attempt int) error) (attempts int, err error) {
+	p = p.WithDefaults()
+	for attempt := 1; ; attempt++ {
+		attempts = attempt
+		err = op(attempt)
+		if err == nil || retriable == nil || !retriable(err) || attempt >= p.MaxAttempts {
+			return attempts, err
+		}
+		if onRetry != nil {
+			onRetry()
+		}
+		var u float64
+		if rand != nil {
+			u = rand()
+		}
+		if !Sleep(ctx, p.Delay(attempt, u)) {
+			return attempts, err
+		}
+	}
+}

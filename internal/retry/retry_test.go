@@ -1,0 +1,81 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDelayBandAndGrowth(t *testing.T) {
+	p := Policy{BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Multiplier: 2, Jitter: 0.5, MaxAttempts: 10}
+	// u = 0 gives the upper edge of the band, u → 1 the lower edge.
+	for retry, want := range map[int]time.Duration{1: time.Millisecond, 2: 2 * time.Millisecond, 3: 4 * time.Millisecond, 4: 8 * time.Millisecond, 9: 8 * time.Millisecond} {
+		if got := p.Delay(retry, 0); got != want {
+			t.Errorf("Delay(%d, 0) = %v, want %v", retry, got, want)
+		}
+		lo := time.Duration(float64(want) * (1 - p.Jitter))
+		for _, u := range []float64{0, 0.25, 0.5, 0.99} {
+			d := p.Delay(retry, u)
+			if d < lo || d > want {
+				t.Errorf("Delay(%d, %v) = %v outside [%v, %v]", retry, u, d, lo, want)
+			}
+		}
+	}
+}
+
+func TestDoRetriesTransient(t *testing.T) {
+	transient := errors.New("transient")
+	calls := 0
+	retries := 0
+	attempts, err := Do(context.Background(),
+		Policy{MaxAttempts: 5, BaseDelay: time.Microsecond},
+		func() float64 { return 0.5 },
+		func(err error) bool { return errors.Is(err, transient) },
+		func() { retries++ },
+		func(attempt int) error {
+			calls++
+			if attempt < 3 {
+				return transient
+			}
+			return nil
+		})
+	if err != nil || attempts != 3 || calls != 3 || retries != 2 {
+		t.Errorf("attempts=%d calls=%d retries=%d err=%v, want 3/3/2/nil", attempts, calls, retries, err)
+	}
+}
+
+func TestDoStopsOnNonRetriable(t *testing.T) {
+	fatal := errors.New("fatal")
+	attempts, err := Do(context.Background(), Policy{MaxAttempts: 5, BaseDelay: time.Microsecond},
+		nil, func(err error) bool { return false }, nil,
+		func(int) error { return fatal })
+	if attempts != 1 || !errors.Is(err, fatal) {
+		t.Errorf("attempts=%d err=%v, want 1/fatal", attempts, err)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	transient := errors.New("transient")
+	attempts, err := Do(context.Background(), Policy{MaxAttempts: 3, BaseDelay: time.Microsecond},
+		nil, func(err error) bool { return true }, nil,
+		func(int) error { return transient })
+	if attempts != 3 || !errors.Is(err, transient) {
+		t.Errorf("attempts=%d err=%v, want 3/transient", attempts, err)
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if Sleep(ctx, time.Hour) {
+		t.Error("Sleep returned true under a canceled context")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("Sleep blocked despite cancellation")
+	}
+	if !Sleep(nil, time.Microsecond) {
+		t.Error("nil-ctx Sleep returned false")
+	}
+}

@@ -1,0 +1,53 @@
+package landmarkrd
+
+import (
+	"io"
+
+	"landmarkrd/internal/core"
+)
+
+// Index snapshots: a LandmarkIndex serializes to a versioned, checksummed
+// binary format (LandmarkIndex.WriteTo, an io.WriterTo) and loads back with
+// ReadIndexFrom / LoadLandmarkIndex. The snapshot stores a fingerprint of
+// the graph it was built from, so it can only be bound to that exact graph;
+// a reloaded index answers every query Float64bits-identically to the
+// freshly built one. rdserver uses snapshots for fast startup and SIGHUP
+// hot-reload; rdbench and rdquery can write and reuse them via -snapshot.
+
+// Typed snapshot rejection errors, matched with errors.Is against the error
+// ReadIndexFrom / LoadLandmarkIndex return.
+var (
+	// ErrSnapshotCorrupt: not a snapshot, truncated, or structurally broken.
+	ErrSnapshotCorrupt = core.ErrSnapshotCorrupt
+	// ErrSnapshotVersion: written by an incompatible format version.
+	ErrSnapshotVersion = core.ErrSnapshotVersion
+	// ErrSnapshotChecksum: contents do not match the trailing CRC.
+	ErrSnapshotChecksum = core.ErrSnapshotChecksum
+	// ErrSnapshotMismatch: built from a different graph than the one given.
+	ErrSnapshotMismatch = core.ErrSnapshotMismatch
+)
+
+// ReadIndexFrom deserializes an index snapshot from r and binds it to g,
+// verifying the format version, the trailing checksum, and that the
+// snapshot was built from exactly g (graph fingerprint). Failures match
+// one of the ErrSnapshot* sentinels.
+func ReadIndexFrom(r io.Reader, g *Graph) (*LandmarkIndex, error) {
+	if err := requireGraph(g); err != nil {
+		return nil, err
+	}
+	return core.ReadIndex(r, g)
+}
+
+// SaveLandmarkIndex writes the index snapshot to a file.
+func SaveLandmarkIndex(idx *LandmarkIndex, path string) error {
+	return core.SaveIndex(idx, path)
+}
+
+// LoadLandmarkIndex reads an index snapshot file and binds it to g, with
+// the same verification as ReadIndexFrom.
+func LoadLandmarkIndex(path string, g *Graph) (*LandmarkIndex, error) {
+	if err := requireGraph(g); err != nil {
+		return nil, err
+	}
+	return core.LoadIndex(path, g)
+}

@@ -1,0 +1,102 @@
+package landmarkrd_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	landmarkrd "landmarkrd"
+)
+
+// TestSnapshotRoundTripCorpus: for every conformance corpus graph and every
+// diagonal mode, a snapshot written with WriteTo and read back with
+// ReadIndexFrom is Float64bits-identical to the freshly built index, both
+// in the stored diagonal and in the single-source answers derived from it.
+func TestSnapshotRoundTripCorpus(t *testing.T) {
+	graphs, err := filepath.Glob("testdata/corpus/*.edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) == 0 {
+		t.Fatal("empty conformance corpus")
+	}
+	modes := []landmarkrd.DiagMode{landmarkrd.DiagExactCG, landmarkrd.DiagMC}
+	for _, path := range graphs {
+		for _, mode := range modes {
+			t.Run(filepath.Base(path)+"/"+mode.String(), func(t *testing.T) {
+				g, _, err := landmarkrd.LoadEdgeList(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				idx, err := landmarkrd.BuildLandmarkIndexOpts(g, g.MaxDegreeVertex(), landmarkrd.IndexBuildOptions{
+					Mode: mode, Seed: 7,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if _, err := idx.WriteTo(&buf); err != nil {
+					t.Fatal(err)
+				}
+				got, err := landmarkrd.ReadIndexFrom(&buf, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Landmark != idx.Landmark || got.Mode != idx.Mode {
+					t.Fatalf("header changed: landmark %d mode %v, want %d %v",
+						got.Landmark, got.Mode, idx.Landmark, idx.Mode)
+				}
+				for i := range idx.Diag {
+					if math.Float64bits(got.Diag[i]) != math.Float64bits(idx.Diag[i]) {
+						t.Fatalf("Diag[%d]: %x, want %x", i,
+							math.Float64bits(got.Diag[i]), math.Float64bits(idx.Diag[i]))
+					}
+				}
+				s := (idx.Landmark + 1) % g.N()
+				a, err := landmarkrd.SingleSource(idx, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := landmarkrd.SingleSource(got, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range a {
+					if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+						t.Fatalf("single-source diverged at vertex %d: %g vs %g", i, b[i], a[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotGraphBinding: a snapshot only loads against the graph it was
+// built from; a different corpus graph is rejected with the typed mismatch
+// sentinel through the public API.
+func TestSnapshotGraphBinding(t *testing.T) {
+	g, _, err := landmarkrd.LoadEdgeList("testdata/corpus/grid_14x14.edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _, err := landmarkrd.LoadEdgeList("testdata/corpus/er_150.edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := landmarkrd.BuildLandmarkIndex(g, 0, landmarkrd.DiagExactCG, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := landmarkrd.ReadIndexFrom(bytes.NewReader(buf.Bytes()), other); !errors.Is(err, landmarkrd.ErrSnapshotMismatch) {
+		t.Errorf("foreign graph: err = %v, want ErrSnapshotMismatch", err)
+	}
+	if _, err := landmarkrd.ReadIndexFrom(bytes.NewReader(buf.Bytes()[:40]), g); !errors.Is(err, landmarkrd.ErrSnapshotCorrupt) {
+		t.Errorf("truncated: err = %v, want ErrSnapshotCorrupt", err)
+	}
+}
