@@ -79,6 +79,14 @@ type BatchOptions struct {
 	// error rather than silently ignored.
 	Landmark    int
 	PinLandmark bool
+	// Portfolio routes every query through a K-landmark portfolio built on
+	// the same graph: each query tries landmarks in ascending cost-law
+	// order (PortfolioIndex.Route), skipping any that collide with an
+	// endpoint, so landmark-conflict fallbacks to the exact solver only
+	// happen when every member conflicts. Mutually exclusive with
+	// PinLandmark. The engine keeps one estimator pool per landmark;
+	// results stay byte-identical across worker counts.
+	Portfolio *PortfolioIndex
 	// OnConflict selects how queries touching the landmark are answered.
 	// The zero value, ConflictExact, falls back to the exact solver.
 	OnConflict ConflictPolicy
@@ -122,14 +130,17 @@ type BatchOptions struct {
 // The engine is safe for concurrent use; individual pooled estimators are
 // not shared between in-flight workers.
 type BatchEngine struct {
-	g        *Graph
-	method   Method
-	opts     BatchOptions
-	landmark int
-	seed     uint64
-	pool     sync.Pool
-	degPool  sync.Pool // degraded-tier AbWalk estimators
-	metrics  *Metrics
+	g         *Graph
+	method    Method
+	opts      BatchOptions
+	landmark  int
+	portfolio *PortfolioIndex
+	seed      uint64
+	// pools[j] recycles estimators for portfolio position j; without a
+	// portfolio there is a single pool at position 0.
+	pools   []sync.Pool
+	degPool sync.Pool // degraded-tier AbWalk estimators
+	metrics *Metrics
 }
 
 // NewBatchEngine validates opts, selects the landmark, and prepares the
@@ -146,12 +157,23 @@ func NewBatchEngine(g *Graph, m Method, opts BatchOptions) (*BatchEngine, error)
 		seed = 1
 	}
 	landmark := -1
-	if opts.PinLandmark {
+	pools := 1
+	switch {
+	case opts.Portfolio != nil:
+		if opts.PinLandmark {
+			return nil, fmt.Errorf("landmarkrd: BatchOptions.Portfolio and PinLandmark are mutually exclusive")
+		}
+		if opts.Portfolio.G != g {
+			return nil, fmt.Errorf("landmarkrd: BatchOptions.Portfolio was built on a different graph")
+		}
+		landmark = opts.Portfolio.Primary()
+		pools = opts.Portfolio.K()
+	case opts.PinLandmark:
 		landmark = opts.Landmark
 		if err := g.ValidateVertex(landmark); err != nil {
 			return nil, fmt.Errorf("landmarkrd: batch landmark: %w", err)
 		}
-	} else {
+	default:
 		v, err := core.SelectLandmark(g, opts.Options.Strategy, randx.New(seed))
 		if err != nil {
 			return nil, err
@@ -165,29 +187,46 @@ func NewBatchEngine(g *Graph, m Method, opts BatchOptions) (*BatchEngine, error)
 		metrics = &Metrics{}
 	}
 	return &BatchEngine{
-		g:        g,
-		method:   m,
-		opts:     opts,
-		landmark: landmark,
-		seed:     seed,
-		metrics:  metrics,
+		g:         g,
+		method:    m,
+		opts:      opts,
+		landmark:  landmark,
+		portfolio: opts.Portfolio,
+		seed:      seed,
+		pools:     make([]sync.Pool, pools),
+		metrics:   metrics,
 	}, nil
 }
 
-// Landmark returns the landmark vertex every batch query uses.
+// Landmark returns the landmark vertex every batch query uses; with a
+// portfolio it is the primary (first-selected) landmark, and individual
+// queries may route elsewhere.
 func (e *BatchEngine) Landmark() int { return e.landmark }
+
+// Portfolio returns the portfolio the engine routes through, or nil.
+func (e *BatchEngine) Portfolio() *PortfolioIndex { return e.portfolio }
 
 // Stats snapshots the engine's shared metrics: queries, push ops, walk
 // steps, estimator builds (pool misses), exact fallbacks, and latency/work
 // histograms aggregated over every worker.
 func (e *BatchEngine) Stats() Stats { return e.metrics.Snapshot() }
 
-// acquire returns a pooled estimator or builds one on a pool miss.
-func (e *BatchEngine) acquire() (*Estimator, error) {
-	if v := e.pool.Get(); v != nil {
+// landmarkAt returns the landmark vertex of portfolio position j (always
+// the engine landmark without a portfolio).
+func (e *BatchEngine) landmarkAt(j int) int {
+	if e.portfolio != nil {
+		return e.portfolio.Landmarks[j]
+	}
+	return e.landmark
+}
+
+// acquire returns a pooled estimator for portfolio position j or builds
+// one on a pool miss.
+func (e *BatchEngine) acquire(j int) (*Estimator, error) {
+	if v := e.pools[j].Get(); v != nil {
 		return v.(*Estimator), nil
 	}
-	est, err := NewEstimatorAt(e.g, e.method, e.landmark, e.opts.Options)
+	est, err := NewEstimatorAt(e.g, e.method, e.landmarkAt(j), e.opts.Options)
 	if err != nil {
 		return nil, err
 	}
@@ -195,9 +234,6 @@ func (e *BatchEngine) acquire() (*Estimator, error) {
 	e.metrics.EstimatorBuilds.Inc()
 	return est, nil
 }
-
-// release returns an estimator to the pool.
-func (e *BatchEngine) release(est *Estimator) { e.pool.Put(est) }
 
 // acquireDegraded returns a pooled degraded-tier estimator (a low-walk
 // AbWalk sampler) or builds one on a pool miss.
@@ -237,37 +273,79 @@ func (f fatalError) Unwrap() error { return f.error }
 // state, so it is dropped on the floor instead of being returned to the
 // pool, and the next query builds (or pool-Gets) a fresh one.
 type batchWorker struct {
-	e   *BatchEngine
-	est *Estimator
+	e    *BatchEngine
+	ests []*Estimator // one slot per portfolio position (one without)
 }
 
-// estimator returns the worker's estimator, acquiring one if needed.
-func (w *batchWorker) estimator() (*Estimator, error) {
-	if w.est == nil {
-		est, err := w.e.acquire()
+// estimator returns the worker's estimator for portfolio position j,
+// acquiring one if needed.
+func (w *batchWorker) estimator(j int) (*Estimator, error) {
+	if w.ests == nil {
+		w.ests = make([]*Estimator, len(w.e.pools))
+	}
+	if w.ests[j] == nil {
+		est, err := w.e.acquire(j)
 		if err != nil {
 			return nil, err
 		}
-		w.est = est
+		w.ests[j] = est
 	}
-	return w.est, nil
+	return w.ests[j], nil
 }
 
-// poison discards the current estimator without returning it to the pool.
-func (w *batchWorker) poison() { w.est = nil }
+// poison discards position j's estimator without returning it to the pool.
+func (w *batchWorker) poison(j int) {
+	if w.ests != nil {
+		w.ests[j] = nil
+	}
+}
 
-// close returns a healthy estimator to the pool.
+// close returns the healthy estimators to their pools.
 func (w *batchWorker) close() {
-	if w.est != nil {
-		w.e.release(w.est)
-		w.est = nil
+	for j, est := range w.ests {
+		if est != nil {
+			w.e.pools[j].Put(est)
+			w.ests[j] = nil
+		}
 	}
 }
 
-// attempt runs one full-fidelity attempt of query q with the given seed,
-// recovering a panicking estimator into a typed internal error.
+// attempt runs one full-fidelity attempt of query q with the given seed.
+// With a portfolio it routes the query to the cheapest landmark and falls
+// back across the members on conflict; without one it always uses the
+// engine landmark.
 func (e *BatchEngine) attempt(ctx context.Context, w *batchWorker, q PairQuery, seed uint64) (Estimate, error) {
-	est, err := w.estimator()
+	p := e.portfolio
+	if p == nil {
+		return e.attemptAt(ctx, w, 0, q, seed)
+	}
+	for _, j := range p.Route(q.S, q.T) {
+		if v := p.Landmarks[j]; v == q.S || v == q.T {
+			p.NoteFallback()
+			e.metrics.RouterFallbacks.Inc()
+			continue
+		}
+		res, err := e.attemptAt(ctx, w, j, q, seed)
+		if errors.Is(err, ErrLandmarkConflict) {
+			p.NoteFallback()
+			e.metrics.RouterFallbacks.Inc()
+			continue
+		}
+		if err == nil {
+			p.NoteRouted(j)
+			e.metrics.PortfolioQueries.Inc()
+		}
+		return res, err
+	}
+	// Every member collided with s or t; let the OnConflict policy decide
+	// (ConflictExact answers with the exact solver).
+	return Estimate{}, fmt.Errorf("landmarkrd: every portfolio landmark conflicts with query (%d,%d): %w", q.S, q.T, ErrLandmarkConflict)
+}
+
+// attemptAt runs one attempt of query q against portfolio position j,
+// recovering a panicking estimator into a typed internal error.
+func (e *BatchEngine) attemptAt(ctx context.Context, w *batchWorker, j int, q PairQuery, seed uint64) (Estimate, error) {
+	est, err := w.estimator(j)
 	if err != nil {
 		return Estimate{}, fatalError{err}
 	}
@@ -282,7 +360,7 @@ func (e *BatchEngine) attempt(ctx context.Context, w *batchWorker, q PairQuery, 
 		return perr
 	})
 	if errors.Is(err, guard.ErrInternal) {
-		w.poison()
+		w.poison(j)
 		e.metrics.Panics.Inc()
 		return Estimate{}, err
 	}

@@ -300,6 +300,76 @@ func BenchmarkBuildIndex(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildPortfolio measures K-landmark portfolio construction in
+// each DiagMode at K=4 (the default). Workers is left at 0, so -cpu 1,4
+// compares sequential and parallel column builds; for a fixed seed both
+// produce bit-identical columns.
+func BenchmarkBuildPortfolio(b *testing.B) {
+	g, err := graph.BarabasiAlbert(2000, 4, randx.New(20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		opts core.PortfolioOptions
+	}{
+		{"mc", core.PortfolioOptions{K: 4, Mode: core.DiagMC, WalksPerVertex: 64}},
+		{"sketch", core.PortfolioOptions{K: 4, Mode: core.DiagSketch, SketchEpsilon: 0.3}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildPortfolio(g, bc.opts, randx.New(21)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPortfolioRoute isolates the per-query router: sorting K=4
+// column costs for a random pair.
+func BenchmarkPortfolioRoute(b *testing.B) {
+	g, err := graph.BarabasiAlbert(2000, 4, randx.New(20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.BuildPortfolio(g, core.PortfolioOptions{K: 4, Mode: core.DiagSketch}, randx.New(21))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(22)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, t := pairOn(g, rng, -1)
+		if order := p.Route(s, t); len(order) != p.K() {
+			b.Fatal("short route")
+		}
+	}
+}
+
+// BenchmarkPortfolioSingleSource measures the routed single-source query
+// (one grounded solve at the cheapest landmark plus the column algebra).
+func BenchmarkPortfolioSingleSource(b *testing.B) {
+	g, err := graph.BarabasiAlbert(2000, 4, randx.New(17))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.BuildPortfolio(g, core.PortfolioOptions{K: 4, Mode: core.DiagMC, WalksPerVertex: 16}, randx.New(18))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(19)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := rng.Intn(g.N())
+		if _, _, err := p.SingleSource(s, core.SingleSourceOptions{Tol: 1e-6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSingleSourceQuery(b *testing.B) {
 	g, err := graph.BarabasiAlbert(2000, 4, randx.New(17))
 	if err != nil {

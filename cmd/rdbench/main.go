@@ -12,6 +12,11 @@
 // the file already exists, load and verify it against the graph):
 //
 //	rdbench -snapshot idx.snap -snapshot-graph g.txt -snapshot-mode exact
+//
+// Adding -snapshot-k K builds (or verifies) a K-landmark portfolio
+// snapshot (v3 format) instead of a single-landmark index:
+//
+//	rdbench -snapshot pf.snap -snapshot-graph g.txt -snapshot-mode sketch -snapshot-k 4
 package main
 
 import (
@@ -39,11 +44,12 @@ func main() {
 		snapFlag    = flag.String("snapshot", "", "snapshot utility mode: write (or verify) this index snapshot file instead of running experiments")
 		snapGraph   = flag.String("snapshot-graph", "", "snapshot utility mode: edge-list graph to index")
 		snapMode    = flag.String("snapshot-mode", "exact", "snapshot utility mode: diagonal builder (exact, mc, or sketch)")
+		snapK       = flag.Int("snapshot-k", 0, "snapshot utility mode: build a K-landmark portfolio snapshot (0 = single-landmark index)")
 	)
 	flag.Parse()
 
 	if *snapFlag != "" {
-		if err := runSnapshot(*snapFlag, *snapGraph, *snapMode, *seedFlag, *workersFlag, os.Stdout); err != nil {
+		if err := runSnapshot(*snapFlag, *snapGraph, *snapMode, *snapK, *seedFlag, *workersFlag, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
@@ -104,10 +110,11 @@ func runExperiments(ids []string, cfg eval.ExpConfig, out io.Writer) error {
 	return nil
 }
 
-// runSnapshot is the -snapshot utility: build a landmark index for graph
-// and save it to path, or — when path already exists — load it back and
-// verify the checksum and graph binding.
-func runSnapshot(path, graphPath, mode string, seed uint64, workers int, out io.Writer) error {
+// runSnapshot is the -snapshot utility: build a landmark index (or, with
+// k > 0, a K-landmark portfolio) for graph and save it to path, or — when
+// path already exists — load it back and verify the checksum and graph
+// binding.
+func runSnapshot(path, graphPath, mode string, k int, seed uint64, workers int, out io.Writer) error {
 	if graphPath == "" {
 		return fmt.Errorf("-snapshot requires -snapshot-graph")
 	}
@@ -122,6 +129,10 @@ func runSnapshot(path, graphPath, mode string, seed uint64, workers int, out io.
 		return err
 	}
 	fmt.Fprintf(out, "loaded graph: n=%d m=%d weighted=%v\n", g.N(), g.M(), g.Weighted())
+
+	if k > 0 {
+		return runPortfolioSnapshot(path, g, diagMode, mode, k, seed, workers, out)
+	}
 
 	if _, err := os.Stat(path); err == nil {
 		start := time.Now()
@@ -151,6 +162,36 @@ func runSnapshot(path, graphPath, mode string, seed uint64, workers int, out io.
 	}
 	fmt.Fprintf(out, "built %s index in %s (landmark=%d), saved to %s\n",
 		mode, build.Round(time.Millisecond), landmark, path)
+	return nil
+}
+
+// runPortfolioSnapshot is the -snapshot-k branch of the snapshot utility:
+// build (or verify) a K-landmark portfolio snapshot in the v3 format.
+func runPortfolioSnapshot(path string, g *landmarkrd.Graph, diagMode landmarkrd.DiagMode, mode string, k int, seed uint64, workers int, out io.Writer) error {
+	if _, err := os.Stat(path); err == nil {
+		start := time.Now()
+		p, err := landmarkrd.LoadPortfolioIndex(path, g)
+		if err != nil {
+			return fmt.Errorf("verifying %s: %w", path, err)
+		}
+		fmt.Fprintf(out, "verified %s in %s: k=%d landmarks=%v mode=%s, checksum and graph binding OK\n",
+			path, time.Since(start).Round(time.Millisecond), p.K(), p.Landmarks, p.Mode)
+		return nil
+	}
+
+	start := time.Now()
+	p, err := landmarkrd.BuildPortfolioIndex(g, landmarkrd.PortfolioBuildOptions{
+		K: k, Mode: diagMode, Seed: seed, Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	build := time.Since(start)
+	if err := landmarkrd.SavePortfolioIndex(p, path); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "built %s portfolio in %s (k=%d landmarks=%v), saved to %s\n",
+		mode, build.Round(time.Millisecond), p.K(), p.Landmarks, path)
 	return nil
 }
 

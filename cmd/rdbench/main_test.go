@@ -2,10 +2,12 @@ package main
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"landmarkrd/internal/eval"
+	"landmarkrd/internal/graph"
 )
 
 func TestRunExperimentsStats(t *testing.T) {
@@ -27,4 +29,62 @@ func TestRunExperimentsUnknownID(t *testing.T) {
 	if err := runExperiments([]string{"nope"}, eval.ExpConfig{Scale: eval.Tiny}, &out); err == nil {
 		t.Error("unknown experiment id accepted")
 	}
+}
+
+func TestRunSnapshotUtility(t *testing.T) {
+	g, err := graph.Grid2D(8, 8, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.txt")
+	if err := g.SaveEdgeList(graphPath); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("SingleLandmark", func(t *testing.T) {
+		snap := filepath.Join(dir, "idx.snap")
+		var out bytes.Buffer
+		if err := runSnapshot(snap, graphPath, "exact", 0, 7, 1, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "saved to") {
+			t.Errorf("build run missing save line:\n%s", out.String())
+		}
+		out.Reset()
+		if err := runSnapshot(snap, graphPath, "exact", 0, 7, 1, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "checksum and graph binding OK") {
+			t.Errorf("second run did not verify:\n%s", out.String())
+		}
+	})
+
+	t.Run("Portfolio", func(t *testing.T) {
+		snap := filepath.Join(dir, "pf.snap")
+		var out bytes.Buffer
+		if err := runSnapshot(snap, graphPath, "exact", 3, 7, 1, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "built exact portfolio") {
+			t.Errorf("build run missing portfolio line:\n%s", out.String())
+		}
+		out.Reset()
+		if err := runSnapshot(snap, graphPath, "exact", 3, 7, 1, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "k=3") || !strings.Contains(out.String(), "checksum and graph binding OK") {
+			t.Errorf("second run did not verify the portfolio:\n%s", out.String())
+		}
+	})
+
+	t.Run("Errors", func(t *testing.T) {
+		var out bytes.Buffer
+		if err := runSnapshot(filepath.Join(dir, "x.snap"), "", "exact", 0, 7, 1, &out); err == nil {
+			t.Error("missing -snapshot-graph accepted")
+		}
+		if err := runSnapshot(filepath.Join(dir, "x.snap"), graphPath, "bogus", 0, 7, 1, &out); err == nil {
+			t.Error("unknown -snapshot-mode accepted")
+		}
+	})
 }

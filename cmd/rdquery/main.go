@@ -7,6 +7,14 @@
 //	rdquery -graph g.txt -s 12 -t 99 -method bipush   # landmark estimate
 //	rdquery -graph g.txt -source 12 -topk 10          # single-source
 //	rdquery -graph g.txt -source 12 -snapshot idx.snap  # reuse the index
+//	rdquery -graph g.txt -s 12 -t 99 -method push -portfolio 4  # routed portfolio
+//	rdquery -graph g.txt -source 12 -portfolio 4      # routed single-source
+//
+// With -portfolio K the query goes through a K-landmark portfolio: the
+// landmark with the smallest cost-law score r(s,ℓ)+r(t,ℓ) answers, falling
+// back across the members if it collides with an endpoint. -snapshot then
+// reads/writes the v3 portfolio format (a v2 single-landmark snapshot is
+// accepted and upgraded to K=1).
 package main
 
 import (
@@ -32,6 +40,7 @@ type config struct {
 	source    int
 	topk      int
 	workers   int
+	portfolio int
 	snapshot  string
 	stats     bool
 	debugAddr string
@@ -49,6 +58,7 @@ func main() {
 	flag.IntVar(&cfg.source, "source", -1, "single-source mode: source vertex")
 	flag.IntVar(&cfg.topk, "topk", 10, "single-source mode: closest vertices to print")
 	flag.IntVar(&cfg.workers, "workers", 0, "index-build worker count (0 = GOMAXPROCS, 1 = sequential; results are seed-deterministic either way)")
+	flag.IntVar(&cfg.portfolio, "portfolio", 0, "route through a K-landmark portfolio (0 = single landmark)")
 	flag.StringVar(&cfg.snapshot, "snapshot", "", "single-source mode: index snapshot file (load if present, else build and save)")
 	flag.BoolVar(&cfg.stats, "stats", false, "print estimator/solver metrics after the query")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
@@ -106,6 +116,9 @@ func runPair(g *landmarkrd.Graph, cfg config, out io.Writer) (float64, error) {
 		m := map[string]landmarkrd.Method{
 			"abwalk": landmarkrd.AbWalk, "push": landmarkrd.Push, "bipush": landmarkrd.BiPush,
 		}[cfg.method]
+		if cfg.portfolio > 0 {
+			return runPortfolioPair(g, m, cfg, out)
+		}
 		est, err := landmarkrd.NewEstimator(g, m, landmarkrd.Options{
 			Seed: cfg.seed, Walks: cfg.walks, Theta: cfg.theta,
 		})
@@ -137,7 +150,51 @@ func runPair(g *landmarkrd.Graph, cfg config, out io.Writer) (float64, error) {
 	}
 }
 
+// runPortfolioPair answers a pair estimate through a K-landmark portfolio.
+func runPortfolioPair(g *landmarkrd.Graph, m landmarkrd.Method, cfg config, out io.Writer) (float64, error) {
+	p, build, err := portfolioIndex(g, cfg, out)
+	if err != nil {
+		return 0, err
+	}
+	pe, err := landmarkrd.NewPortfolioEstimator(p, m, landmarkrd.Options{
+		Seed: cfg.seed, Walks: cfg.walks, Theta: cfg.theta,
+	})
+	if err != nil {
+		return 0, err
+	}
+	res, err := pe.Pair(cfg.s, cfg.t)
+	if errors.Is(err, landmarkrd.ErrLandmarkConflict) {
+		// Every portfolio member collides with an endpoint: fall back to exact.
+		v, exErr := landmarkrd.Exact(g, cfg.s, cfg.t)
+		if exErr != nil {
+			return 0, exErr
+		}
+		fmt.Fprintln(out, "(every landmark conflicts; answered exactly)")
+		return v, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	stats := p.Stats()
+	routed := -1
+	for j, c := range stats.Routed {
+		if c > 0 {
+			routed = p.Landmarks[j]
+		}
+	}
+	fmt.Fprintf(out, "portfolio k=%d landmarks=%v build=%s routed=%d fallbacks=%d\n",
+		p.K(), p.Landmarks, build.Round(time.Millisecond), routed, stats.Fallbacks)
+	landmarkrd.PublishMetrics("landmarkrd.estimator", pe.Metrics())
+	if cfg.stats {
+		fmt.Fprintf(out, "estimator stats:\n%s\n", pe.Stats())
+	}
+	return res.Value, nil
+}
+
 func runSingleSource(g *landmarkrd.Graph, cfg config, out io.Writer) error {
+	if cfg.portfolio > 0 {
+		return runPortfolioSingleSource(g, cfg, out)
+	}
 	idx, build, err := singleSourceIndex(g, cfg, out)
 	if err != nil {
 		return err
@@ -150,7 +207,31 @@ func runSingleSource(g *landmarkrd.Graph, cfg config, out io.Writer) error {
 	fmt.Fprintf(out, "index build %s, query %s (landmark=%d)\n",
 		build.Round(time.Millisecond), time.Since(start).Round(time.Microsecond), idx.Landmark)
 
-	order := make([]int, 0, g.N())
+	printClosest(all, cfg, out)
+	return nil
+}
+
+// runPortfolioSingleSource answers single-source through the portfolio's
+// cheapest landmark for the source.
+func runPortfolioSingleSource(g *landmarkrd.Graph, cfg config, out io.Writer) error {
+	p, build, err := portfolioIndex(g, cfg, out)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	all, landmark, err := landmarkrd.PortfolioSingleSource(p, cfg.source)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "portfolio build %s, query %s (k=%d, routed landmark=%d)\n",
+		build.Round(time.Millisecond), time.Since(start).Round(time.Microsecond), p.K(), landmark)
+	printClosest(all, cfg, out)
+	return nil
+}
+
+// printClosest prints the -topk vertices nearest the source by resistance.
+func printClosest(all []float64, cfg config, out io.Writer) {
+	order := make([]int, 0, len(all))
 	for u := range all {
 		if u != cfg.source {
 			order = append(order, u)
@@ -166,7 +247,6 @@ func runSingleSource(g *landmarkrd.Graph, cfg config, out io.Writer) error {
 		u := order[i]
 		fmt.Fprintf(out, "  %3d. vertex %-8d r=%.6f\n", i+1, u, all[u])
 	}
-	return nil
 }
 
 // singleSourceIndex loads the -snapshot index when the file exists (any
@@ -210,4 +290,39 @@ func singleSourceIndex(g *landmarkrd.Graph, cfg config, out io.Writer) (*landmar
 		fmt.Fprintf(out, "saved index snapshot to %s\n", cfg.snapshot)
 	}
 	return idx, build, nil
+}
+
+// portfolioIndex loads the -snapshot portfolio when the file exists (v3, or
+// a v2 single-landmark snapshot upgraded to K=1), and otherwise builds a
+// -portfolio K sketch-mode portfolio, saving it back when -snapshot names a
+// path — the same policy as singleSourceIndex.
+func portfolioIndex(g *landmarkrd.Graph, cfg config, out io.Writer) (*landmarkrd.PortfolioIndex, time.Duration, error) {
+	if cfg.snapshot != "" {
+		p, err := landmarkrd.LoadPortfolioIndex(cfg.snapshot, g)
+		switch {
+		case err == nil:
+			fmt.Fprintf(out, "loaded portfolio snapshot %s (k=%d, landmarks=%v, mode=%s)\n",
+				cfg.snapshot, p.K(), p.Landmarks, p.Mode)
+			return p, 0, nil
+		case errors.Is(err, os.ErrNotExist):
+			// Build below and save.
+		default:
+			return nil, 0, err
+		}
+	}
+	start := time.Now()
+	p, err := landmarkrd.BuildPortfolioIndex(g, landmarkrd.PortfolioBuildOptions{
+		K: cfg.portfolio, Mode: landmarkrd.DiagSketch, Seed: cfg.seed, Workers: cfg.workers,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	build := time.Since(start)
+	if cfg.snapshot != "" {
+		if err := landmarkrd.SavePortfolioIndex(p, cfg.snapshot); err != nil {
+			return nil, 0, err
+		}
+		fmt.Fprintf(out, "saved portfolio snapshot to %s\n", cfg.snapshot)
+	}
+	return p, build, nil
 }

@@ -113,3 +113,49 @@ func TestRunValidation(t *testing.T) {
 		t.Error("missing graph file accepted")
 	}
 }
+
+func TestRunPortfolioPair(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	err := run(config{graphPath: path, s: 3, t: 250, method: "push", seed: 1,
+		topk: 5, source: -1, portfolio: 3, stats: true}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"r(3,250)", "portfolio k=3", "estimator stats:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunPortfolioSingleSource(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	snap := filepath.Join(t.TempDir(), "pf.snap")
+	cfg := config{graphPath: graphPath, source: 7, topk: 3, s: -1, t: -1,
+		seed: 1, portfolio: 2, snapshot: snap}
+
+	// First run builds the portfolio and saves the v3 snapshot.
+	var first bytes.Buffer
+	if err := run(cfg, &first); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"saved portfolio snapshot", "routed landmark=", "closest 3 vertices"} {
+		if !strings.Contains(first.String(), want) {
+			t.Errorf("first run missing %q:\n%s", want, first.String())
+		}
+	}
+
+	// Second run must load it instead of rebuilding, and agree.
+	var second bytes.Buffer
+	if err := run(cfg, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second.String(), "loaded portfolio snapshot") {
+		t.Errorf("second run rebuilt instead of loading:\n%s", second.String())
+	}
+	ranked := regexp.MustCompile(`vertex \d+`)
+	if a, b := ranked.FindAllString(first.String(), -1), ranked.FindAllString(second.String(), -1); len(a) == 0 || strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Errorf("snapshot-loaded ranking diverged:\n%v\n%v", a, b)
+	}
+}

@@ -19,8 +19,11 @@
 // "degraded" with an error bound instead. At most -max-inflight queries run
 // concurrently; excess requests are rejected immediately with 429 (plus a
 // jittered Retry-After) rather than queued. Transient per-query failures
-// are retried up to -retries times with jittered backoff. -snapshot
-// loads/saves the landmark index from a checksummed snapshot file, and
+// are retried up to -retries times with jittered backoff. -portfolio K
+// serves a K-landmark portfolio: every pair query routes to the landmark
+// with the smallest cost-law score r(s,ℓ)+r(t,ℓ) and /v1/singlesource
+// reports which landmark answered. -snapshot loads/saves the landmark
+// index (or v3 portfolio) from a checksummed snapshot file, and
 // SIGHUP hot-reloads it without dropping in-flight queries. SIGINT or
 // SIGTERM stops accepting new queries and drains the in-flight ones before
 // exiting.
@@ -53,6 +56,7 @@ func main() {
 		inflightFlag = flag.Int("max-inflight", 16, "max concurrent queries before 429")
 		workersFlag  = flag.Int("workers", 0, "batch workers per request (0 = GOMAXPROCS)")
 		indexFlag    = flag.String("index-mode", "none", "landmark index for /v1/singlesource: exact, mc, sketch, or none")
+		portfolioKey = flag.Int("portfolio", 0, "serve a K-landmark portfolio with cost-law routing (0 = single landmark); needs -index-mode or -snapshot")
 		snapshotFlag = flag.String("snapshot", "", "index snapshot file: load if present, else build and save; SIGHUP reloads it")
 		retriesFlag  = flag.Int("retries", 3, "per-query attempt budget for transient failures (1 disables retries)")
 		degradeFlag  = flag.Duration("degrade-below", 0, "answer with the degraded Monte Carlo tier when less than this budget remains (0 disables)")
@@ -75,6 +79,7 @@ func main() {
 			maxInflight:  *inflightFlag,
 			workers:      *workersFlag,
 			indexMode:    *indexFlag,
+			portfolioK:   *portfolioKey,
 			snapshot:     *snapshotFlag,
 			retries:      *retriesFlag,
 			degradeBelow: *degradeFlag,
@@ -152,7 +157,7 @@ func run(cfg config) error {
 	}()
 
 	fmt.Fprintf(os.Stderr, "rdserver: serving %s queries (landmark %d) on %s\n",
-		method, srv.engine.Landmark(), cfg.addr)
+		method, srv.eng().Landmark(), cfg.addr)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

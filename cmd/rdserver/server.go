@@ -29,6 +29,7 @@ type serverConfig struct {
 	maxInflight  int           // concurrent query cap; 0 means 16
 	workers      int           // batch engine workers (0 = GOMAXPROCS)
 	indexMode    string        // "exact", "mc", "sketch", or "none"
+	portfolioK   int           // portfolio size; 0 serves the single-landmark paths
 	snapshot     string        // index snapshot path; load if present, else build and save
 	retries      int           // per-query attempt budget for transient failures (0 = 1)
 	degradeBelow time.Duration // degrade queries with less deadline than this left
@@ -43,6 +44,12 @@ func (c *serverConfig) validate() error {
 	}
 	if c.maxInflight < 0 {
 		return fmt.Errorf("rdserver: -max-inflight must be >= 0, got %d", c.maxInflight)
+	}
+	if c.portfolioK < 0 {
+		return fmt.Errorf("rdserver: -portfolio must be >= 0, got %d", c.portfolioK)
+	}
+	if c.portfolioK > 0 && (c.indexMode == "" || c.indexMode == "none") && c.snapshot == "" {
+		return fmt.Errorf("rdserver: -portfolio %d needs -index-mode exact|mc|sketch (or a -snapshot to load)", c.portfolioK)
 	}
 	if c.retries < 0 {
 		return fmt.Errorf("rdserver: -retries must be >= 0, got %d", c.retries)
@@ -74,15 +81,24 @@ const (
 // bounded admission semaphore.
 type queryServer struct {
 	g       *landmarkrd.Graph
-	engine  *landmarkrd.BatchEngine
 	metrics *landmarkrd.Metrics
 	cfg     serverConfig
+
+	// engine answers pair/batch queries. It is behind an atomic pointer
+	// because a portfolio reload swaps in a fresh engine routing through
+	// the new portfolio; in-flight batches drain on the engine they loaded.
+	engine atomic.Pointer[landmarkrd.BatchEngine]
 
 	// idx is the current landmark index (nil when -index-mode is none and
 	// no snapshot is configured). Readers LoadIndex it once per request and
 	// keep the pointer, so a concurrent reload never swaps an index out from
 	// under a running query.
 	idx atomic.Pointer[landmarkrd.LandmarkIndex]
+
+	// pf is the current portfolio (nil unless -portfolio is set). Same
+	// hot-swap discipline as idx: SIGHUP builds/loads a new portfolio, then
+	// stores pf and a fresh engine atomically.
+	pf atomic.Pointer[landmarkrd.PortfolioIndex]
 
 	// ready gates /readyz: false until the engine and index are built, and
 	// false again while a reload is in progress. Queries are still answered
@@ -115,30 +131,34 @@ func newQueryServer(g *landmarkrd.Graph, cfg serverConfig) (*queryServer, error)
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	metrics := &landmarkrd.Metrics{}
-	engine, err := landmarkrd.NewBatchEngine(g, cfg.method, landmarkrd.BatchOptions{
-		Options:      landmarkrd.Options{Seed: cfg.seed, Walks: cfg.walks, Theta: cfg.theta},
-		Workers:      cfg.workers,
-		Metrics:      metrics,
-		MaxAttempts:  cfg.retries,
-		DegradeBelow: cfg.degradeBelow,
-	})
-	if err != nil {
-		return nil, err
-	}
 	s := &queryServer{
 		g:       g,
-		engine:  engine,
-		metrics: metrics,
+		metrics: &landmarkrd.Metrics{},
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(int64(cfg.seed))),
 	}
-	idx, err := s.loadOrBuildIndex()
+	var pf *landmarkrd.PortfolioIndex
+	if cfg.portfolioK > 0 {
+		var err error
+		pf, err = s.loadOrBuildPortfolio()
+		if err != nil {
+			return nil, err
+		}
+		s.pf.Store(pf)
+	}
+	engine, err := s.newEngine(pf)
 	if err != nil {
 		return nil, err
 	}
-	if idx != nil {
-		s.idx.Store(idx)
+	s.engine.Store(engine)
+	if cfg.portfolioK == 0 {
+		idx, err := s.loadOrBuildIndex()
+		if err != nil {
+			return nil, err
+		}
+		if idx != nil {
+			s.idx.Store(idx)
+		}
 	}
 	inflight := cfg.maxInflight
 	if inflight <= 0 {
@@ -149,11 +169,66 @@ func newQueryServer(g *landmarkrd.Graph, cfg serverConfig) (*queryServer, error)
 	return s, nil
 }
 
+// eng returns the current batch engine.
+func (s *queryServer) eng() *landmarkrd.BatchEngine { return s.engine.Load() }
+
+// newEngine builds the batch engine, routing through pf when non-nil.
+func (s *queryServer) newEngine(pf *landmarkrd.PortfolioIndex) (*landmarkrd.BatchEngine, error) {
+	return landmarkrd.NewBatchEngine(s.g, s.cfg.method, landmarkrd.BatchOptions{
+		Options:      landmarkrd.Options{Seed: s.cfg.seed, Walks: s.cfg.walks, Theta: s.cfg.theta},
+		Workers:      s.cfg.workers,
+		Metrics:      s.metrics,
+		MaxAttempts:  s.cfg.retries,
+		DegradeBelow: s.cfg.degradeBelow,
+		Portfolio:    pf,
+	})
+}
+
 // diagModes maps the -index-mode flag values to build modes.
 var diagModes = map[string]landmarkrd.DiagMode{
 	"exact":  landmarkrd.DiagExactCG,
 	"mc":     landmarkrd.DiagMC,
 	"sketch": landmarkrd.DiagSketch,
+}
+
+// loadOrBuildPortfolio resolves the portfolio configuration with the same
+// policy as loadOrBuildIndex: a configured snapshot is loaded if present
+// (v3, or a v2 single-landmark file upgraded to K=1; corruption/mismatch
+// is a hard error), otherwise a portfolio of -portfolio landmarks is built
+// by -index-mode and saved back to the snapshot path.
+func (s *queryServer) loadOrBuildPortfolio() (*landmarkrd.PortfolioIndex, error) {
+	if s.cfg.snapshot != "" {
+		p, err := landmarkrd.LoadPortfolioIndex(s.cfg.snapshot, s.g)
+		switch {
+		case err == nil:
+			fmt.Fprintf(os.Stderr, "rdserver: loaded portfolio snapshot %s (k=%d, landmarks %v, mode %s)\n",
+				s.cfg.snapshot, p.K(), p.Landmarks, p.Mode)
+			return p, nil
+		case errors.Is(err, os.ErrNotExist):
+			// Fall through to a fresh build (and save below).
+		default:
+			return nil, fmt.Errorf("rdserver: portfolio snapshot %s: %w", s.cfg.snapshot, err)
+		}
+	}
+	mode, ok := diagModes[s.cfg.indexMode]
+	if !ok {
+		return nil, fmt.Errorf("rdserver: -portfolio needs -index-mode exact, mc, or sketch (got %q)", s.cfg.indexMode)
+	}
+	p, err := landmarkrd.BuildPortfolioIndex(s.g, landmarkrd.PortfolioBuildOptions{
+		K: s.cfg.portfolioK, Mode: mode, Seed: s.cfg.seed, Metrics: s.metrics,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rdserver: building %s portfolio: %w", s.cfg.indexMode, err)
+	}
+	fmt.Fprintf(os.Stderr, "rdserver: built k=%d portfolio (landmarks %v) in %v\n",
+		p.K(), p.Landmarks, p.BuildTime)
+	if s.cfg.snapshot != "" {
+		if err := landmarkrd.SavePortfolioIndex(p, s.cfg.snapshot); err != nil {
+			return nil, fmt.Errorf("rdserver: saving portfolio snapshot: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "rdserver: saved portfolio snapshot to %s\n", s.cfg.snapshot)
+	}
+	return p, nil
 }
 
 // loadOrBuildIndex resolves the index configuration: load the snapshot if
@@ -186,7 +261,7 @@ func (s *queryServer) loadOrBuildIndex() (*landmarkrd.LandmarkIndex, error) {
 		}
 		return nil, fmt.Errorf("rdserver: unknown -index-mode %q (want exact, mc, sketch, or none)", s.cfg.indexMode)
 	}
-	idx, err := landmarkrd.BuildLandmarkIndexOpts(s.g, s.engine.Landmark(), landmarkrd.IndexBuildOptions{
+	idx, err := landmarkrd.BuildLandmarkIndexOpts(s.g, s.eng().Landmark(), landmarkrd.IndexBuildOptions{
 		Mode: mode, Seed: s.cfg.seed, Metrics: s.metrics,
 	})
 	if err != nil {
@@ -201,17 +276,34 @@ func (s *queryServer) loadOrBuildIndex() (*landmarkrd.LandmarkIndex, error) {
 	return idx, nil
 }
 
-// reload re-resolves the index (re-reading the snapshot file if configured,
-// rebuilding otherwise) and swaps it in atomically. In-flight queries keep
-// the pointer they loaded at request start and drain on the old index. On
-// failure the old index stays in place and the server returns to ready.
+// reload re-resolves the index or portfolio (re-reading the snapshot file
+// if configured, rebuilding otherwise) and swaps it in atomically. In
+// portfolio mode a fresh engine routing through the new portfolio is
+// swapped in with it. In-flight queries keep the pointers they loaded at
+// request start and drain on the old state. On failure the old state stays
+// in place and the server returns to ready.
 func (s *queryServer) reload() error {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	s.ready.Store(false)
-	idx, err := s.loadOrBuildIndex()
-	if err == nil && idx != nil {
-		s.idx.Store(idx)
+	var err error
+	if s.cfg.portfolioK > 0 {
+		var pf *landmarkrd.PortfolioIndex
+		pf, err = s.loadOrBuildPortfolio()
+		if err == nil && pf != nil {
+			var engine *landmarkrd.BatchEngine
+			engine, err = s.newEngine(pf)
+			if err == nil {
+				s.pf.Store(pf)
+				s.engine.Store(engine)
+			}
+		}
+	} else {
+		var idx *landmarkrd.LandmarkIndex
+		idx, err = s.loadOrBuildIndex()
+		if err == nil && idx != nil {
+			s.idx.Store(idx)
+		}
 	}
 	s.ready.Store(true)
 	if s.onReload != nil {
@@ -353,10 +445,13 @@ func (s *queryServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // batchPairs runs the batch through the engine, honoring a load-shedding
 // degrade flag set at admission.
 func (s *queryServer) batchPairs(ctx context.Context, queries []landmarkrd.PairQuery) ([]landmarkrd.PairResult, error) {
+	// Load the engine once per request so a concurrent portfolio reload
+	// never swaps it mid-batch.
+	engine := s.eng()
 	if forceDegrade(ctx) {
-		return s.engine.DegradedPairsContext(ctx, queries)
+		return engine.DegradedPairsContext(ctx, queries)
 	}
-	return s.engine.PairsContext(ctx, queries)
+	return engine.PairsContext(ctx, queries)
 }
 
 type pairResponse struct {
@@ -394,12 +489,16 @@ func (s *queryServer) handlePair(w http.ResponseWriter, r *http.Request) {
 		pairResponse
 		Method    string  `json:"method"`
 		Landmark  int     `json:"landmark"`
+		Portfolio []int   `json:"portfolio,omitempty"`
 		ElapsedMS float64 `json:"elapsed_ms"`
 	}{
 		pairResponse: toPairResponse(res),
 		Method:       s.cfg.method.String(),
-		Landmark:     s.engine.Landmark(),
+		Landmark:     s.eng().Landmark(),
 		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	if pf := s.pf.Load(); pf != nil {
+		resp.Portfolio = pf.Landmarks
 	}
 	writeJSON(w, resp)
 }
@@ -457,11 +556,15 @@ func (s *queryServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	out := struct {
 		Landmark  int            `json:"landmark"`
+		Portfolio []int          `json:"portfolio,omitempty"`
 		ElapsedMS float64        `json:"elapsed_ms"`
 		Results   []pairResponse `json:"results"`
 	}{
-		Landmark:  s.engine.Landmark(),
+		Landmark:  s.eng().Landmark(),
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	if pf := s.pf.Load(); pf != nil {
+		out.Portfolio = pf.Landmarks
 	}
 	for _, res := range results {
 		out.Results = append(out.Results, toPairResponse(res))
@@ -470,10 +573,12 @@ func (s *queryServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *queryServer) handleSingleSource(w http.ResponseWriter, r *http.Request) {
-	// Load the pointer once: a concurrent reload swaps the index for later
-	// requests, while this one drains on the snapshot it started with.
+	// Load the pointers once: a concurrent reload swaps the index/portfolio
+	// for later requests, while this one drains on the snapshot it started
+	// with.
 	idx := s.idx.Load()
-	if idx == nil {
+	pf := s.pf.Load()
+	if idx == nil && pf == nil {
 		writeError(w, http.StatusNotImplemented, "no_index",
 			"no landmark index configured (start with -index-mode exact|mc|sketch)")
 		return
@@ -488,7 +593,16 @@ func (s *queryServer) handleSingleSource(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	start := time.Now()
-	values, err := landmarkrd.SingleSourceContext(r.Context(), idx, src)
+	var values []float64
+	landmark := 0
+	if pf != nil {
+		// Portfolio mode: route to the cheapest landmark for this source and
+		// report which one served the query.
+		values, landmark, err = landmarkrd.PortfolioSingleSourceContext(r.Context(), pf, src)
+	} else {
+		landmark = idx.Landmark
+		values, err = landmarkrd.SingleSourceContext(r.Context(), idx, src)
+	}
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
@@ -500,7 +614,7 @@ func (s *queryServer) handleSingleSource(w http.ResponseWriter, r *http.Request)
 		Values    []float64 `json:"values"`
 	}{
 		S:         src,
-		Landmark:  idx.Landmark,
+		Landmark:  landmark,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
 		Values:    values,
 	})

@@ -589,7 +589,7 @@ func TestDegradedUnderPressure(t *testing.T) {
 	if out.Value <= 0 || out.ErrorBound <= 0 {
 		t.Errorf("degraded answer value=%g bound=%g, want both positive", out.Value, out.ErrorBound)
 	}
-	if got := srv.engine.Stats().Degraded; got == 0 {
+	if got := srv.eng().Stats().Degraded; got == 0 {
 		t.Error("Degraded metric not incremented")
 	}
 }
@@ -602,7 +602,7 @@ func TestSnapshotStartup(t *testing.T) {
 	cfg := serverConfig{indexMode: "exact", snapshot: path, timeout: 30 * time.Second}
 
 	first := newTestServer(t, cfg)
-	builds := first.engine.Stats().IndexBuilds
+	builds := first.eng().Stats().IndexBuilds
 	if builds == 0 {
 		t.Fatal("first server did not build the index")
 	}
@@ -611,7 +611,7 @@ func TestSnapshotStartup(t *testing.T) {
 	}
 
 	second := newTestServer(t, cfg)
-	if second.engine.Stats().IndexBuilds != 0 {
+	if second.eng().Stats().IndexBuilds != 0 {
 		t.Error("second server rebuilt the index instead of loading the snapshot")
 	}
 	a, err := landmarkrd.SingleSource(first.idx.Load(), 3)
@@ -793,7 +793,7 @@ func TestPanicIsolation(t *testing.T) {
 	if body.Error.Code != "internal" {
 		t.Errorf("panicking query: code %q, want internal", body.Error.Code)
 	}
-	if srv.engine.Stats().Panics == 0 {
+	if srv.eng().Stats().Panics == 0 {
 		t.Error("Panics metric not incremented")
 	}
 
@@ -806,5 +806,87 @@ func TestPanicIsolation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("request after disarming: status %d, want 200 (server should survive the panic)", resp.StatusCode)
+	}
+}
+
+// TestPortfolioSnapshotStartup: a -portfolio server writes a v3 snapshot on
+// first start, a second server loads it instead of rebuilding, and the
+// single-source endpoint reports the routed landmark from the portfolio.
+func TestPortfolioSnapshotStartup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pf.snap")
+	cfg := serverConfig{indexMode: "exact", portfolioK: 2, snapshot: path, timeout: 30 * time.Second}
+
+	first := newTestServer(t, cfg)
+	pf := first.pf.Load()
+	if pf == nil || pf.K() != 2 {
+		t.Fatalf("first server portfolio = %v, want K=2", pf)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("portfolio snapshot not written: %v", err)
+	}
+
+	second := newTestServer(t, cfg)
+	pf2 := second.pf.Load()
+	if pf2 == nil || pf2.K() != 2 {
+		t.Fatalf("second server portfolio = %v, want K=2", pf2)
+	}
+	for j, v := range pf.Landmarks {
+		if pf2.Landmarks[j] != v {
+			t.Fatalf("snapshot-loaded landmarks %v, want %v", pf2.Landmarks, pf.Landmarks)
+		}
+	}
+
+	ts := httptest.NewServer(second.routes())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/singlesource?s=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		S        int
+		Landmark int
+		Values   []float64
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	routed := false
+	for _, v := range pf2.Landmarks {
+		if v == out.Landmark {
+			routed = true
+		}
+	}
+	if !routed {
+		t.Errorf("served landmark %d not in portfolio %v", out.Landmark, pf2.Landmarks)
+	}
+	if out.Values[3] != 0 {
+		t.Errorf("r(3,3) = %g, want 0", out.Values[3])
+	}
+
+	// Pair queries route through the same portfolio-backed engine.
+	pairResp, err := http.Get(ts.URL + "/v1/pair?s=0&t=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pairResp.Body.Close()
+	if pairResp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(pairResp.Body)
+		t.Fatalf("pair status %d: %s", pairResp.StatusCode, raw)
+	}
+}
+
+// TestPortfolioStartupValidation: -portfolio with neither an index mode nor
+// a snapshot cannot build columns and must fail fast.
+func TestPortfolioStartupValidation(t *testing.T) {
+	if _, err := newQueryServer(loadTestGraph(t), serverConfig{portfolioK: 3}); err == nil {
+		t.Error("-portfolio without -index-mode or -snapshot accepted")
+	}
+	if _, err := newQueryServer(loadTestGraph(t), serverConfig{portfolioK: -1, indexMode: "exact"}); err == nil {
+		t.Error("negative -portfolio accepted")
 	}
 }

@@ -223,6 +223,68 @@ func FuzzDynamicDifferential(f *testing.F) {
 	})
 }
 
+// FuzzPortfolioDifferential builds a K-landmark portfolio on arbitrary
+// parsed graphs and cross-checks the routed single-source answer against
+// a DiagExactCG index grounded at the source — an exact differential
+// oracle for the whole portfolio path (selection, column build, routing),
+// not just a crash check.
+func FuzzPortfolioDifferential(f *testing.F) {
+	seedCorpus(f, func(data []byte) {
+		f.Add(data, uint8(2), uint16(3), uint64(13))
+	})
+	f.Fuzz(func(t *testing.T, data []byte, kRaw uint8, srcRaw uint16, seed uint64) {
+		g, ok := fuzzGraph(data)
+		if !ok || g.N() < 3 || g.N() > 128 {
+			t.Skip()
+		}
+		// Same conditioning guard as the dynamic differential target: with
+		// extreme conductance ratios the CG bound κ·tol swamps the diff.
+		minW, maxW := math.Inf(1), 0.0
+		g.ForEachEdge(func(_, _ int32, w float64) {
+			minW = math.Min(minW, w)
+			maxW = math.Max(maxW, w)
+		})
+		if maxW/minW > 1e8 {
+			t.Skip()
+		}
+		k := int(kRaw)%4 + 1
+		p, err := BuildPortfolioIndex(g, PortfolioBuildOptions{K: k, Mode: DiagExactCG, Seed: seed})
+		if err != nil {
+			if !errors.Is(err, ErrDisconnected) {
+				t.Fatalf("BuildPortfolioIndex: unexpected error %v", err)
+			}
+			return
+		}
+		s := int(srcRaw) % g.N()
+		got, served, err := PortfolioSingleSource(p, s)
+		if err != nil {
+			t.Fatalf("PortfolioSingleSource(%d): %v", s, err)
+		}
+		inPortfolio := false
+		for _, v := range p.Landmarks {
+			if v == served {
+				inPortfolio = true
+			}
+		}
+		if !inPortfolio {
+			t.Fatalf("served landmark %d not in portfolio %v", served, p.Landmarks)
+		}
+		// Ground truth: a DiagExactCG index at the source IS the exact
+		// single-source vector r(s, ·).
+		ref, err := BuildLandmarkIndex(g, s, DiagExactCG, 1)
+		if err != nil {
+			t.Fatalf("reference index: %v", err)
+		}
+		for v, r := range got {
+			checkEstimate(t, "portfolio single-source entry", r)
+			if diff := math.Abs(r - ref.Diag[v]); diff > 1e-5*math.Max(1, ref.Diag[v]) {
+				t.Fatalf("portfolio r(%d,%d) = %v via landmark %d, exact = %v (diff %g)",
+					s, v, r, served, ref.Diag[v], diff)
+			}
+		}
+	})
+}
+
 // FuzzExactPair hammers the exact CG path (the reference everything else
 // leans on) with arbitrary parsed graphs, including pathological weights.
 func FuzzExactPair(f *testing.F) {

@@ -148,9 +148,17 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 	if magic == indexMagicV1 {
 		return nil, fmt.Errorf("%w: v1 snapshot (rebuild the index to upgrade)", ErrSnapshotVersion)
 	}
+	if magic == portfolioMagic {
+		return nil, fmt.Errorf("%w: v3 portfolio snapshot (load with ReadPortfolio)", ErrSnapshotVersion)
+	}
 	if magic != indexMagic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrSnapshotCorrupt, magic[:])
 	}
+	return readIndexV2Body(cr, g)
+}
+
+// readIndexV2Body parses a v2 snapshot after the magic has been consumed.
+func readIndexV2Body(cr *checksumReader, g *graph.Graph) (*Index, error) {
 	var version, flags uint32
 	if err := binary.Read(cr, binary.LittleEndian, &version); err != nil {
 		return nil, fmt.Errorf("%w: reading version: %v", ErrSnapshotCorrupt, err)

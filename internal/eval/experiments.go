@@ -98,7 +98,7 @@ func (c ExpConfig) withDefaults() ExpConfig {
 
 // ExperimentIDs lists the runnable experiment ids in order.
 func ExperimentIDs() []string {
-	return []string{"stats", "e1a", "e1b", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
+	return []string{"stats", "e1a", "e1b", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"}
 }
 
 // RunExperiment dispatches one experiment by id.
@@ -127,6 +127,8 @@ func RunExperiment(id string, cfg ExpConfig) error {
 		return ExpIdentities(cfg)
 	case "e9":
 		return ExpLanczos(cfg)
+	case "e10":
+		return ExpPortfolio(cfg)
 	default:
 		return fmt.Errorf("eval: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
@@ -880,6 +882,144 @@ func ExpIdentities(cfg ExpConfig) error {
 func ExpLanczos(cfg ExpConfig) error {
 	cfg = cfg.withDefaults()
 	return ExpQuerySweep(cfg, []string{"er", "road"}, "E9: Lanczos comparators")
+}
+
+// ExpPortfolio is E10: the portfolio-routing experiment. On the
+// large-condition-number graphs (grid, small-world, path) it compares a
+// single-landmark Push estimator against K-landmark portfolios at the SAME
+// accuracy band: every query runs through PairWithTarget with one fixed
+// eps, so the push threshold is derived from the a-priori bound
+// theta = eps / (2(h(s,l)+h(t,l))) and the deterministic error is at most
+// eps for every K. The only variable is which landmark the cost-law router
+// sends each query to — push work scales with the hitting time to the
+// landmark, so spreading K landmarks and routing to the cheapest one cuts
+// mean query time on path-like graphs. Every K answers the same fixed
+// query set; eps is set to 1% of the mean true resistance of that set.
+func ExpPortfolio(cfg ExpConfig) error {
+	cfg = cfg.withDefaults()
+	ks := []int{1, 2, 4}
+	type namedGraph struct {
+		name string
+		gen  func() (*graph.Graph, error)
+	}
+	gens := []namedGraph{
+		{"road", func() (*graph.Graph, error) {
+			d, err := DatasetByName("road")
+			if err != nil {
+				return nil, err
+			}
+			return d.Generate(cfg.Scale, cfg.Seed)
+		}},
+		{"ws", func() (*graph.Graph, error) {
+			d, err := DatasetByName("ws")
+			if err != nil {
+				return nil, err
+			}
+			return d.Generate(cfg.Scale, cfg.Seed)
+		}},
+		// A long anisotropic grid: resistance grows linearly along the
+		// length (quasi-1D), the regime where landmark placement matters.
+		{"grid-long", func() (*graph.Graph, error) {
+			return graph.Grid2D(maxInt(2, cfg.Scale.n()/4), 4, 0, nil)
+		}},
+		{"path", func() (*graph.Graph, error) { return graph.Path(cfg.Scale.n()) }},
+	}
+	for _, ng := range gens {
+		g, err := ng.gen()
+		if err != nil {
+			return err
+		}
+		rng := randx.New(cfg.Seed + 13)
+
+		// Build every portfolio first so the shared query set can exclude
+		// pairs touching any chosen landmark (those would route to the
+		// free column-copy path and skew the timing comparison).
+		pfs := make([]*core.Portfolio, len(ks))
+		builds := make([]time.Duration, len(ks))
+		isLandmark := make(map[int]bool)
+		for i, k := range ks {
+			start := time.Now()
+			p, err := core.BuildPortfolio(g, core.PortfolioOptions{
+				K: k, Mode: core.DiagSketch, SketchEpsilon: 0.25, Workers: cfg.Workers,
+			}, rng.Split())
+			if err != nil {
+				return err
+			}
+			builds[i] = time.Since(start)
+			pfs[i] = p
+			for _, v := range p.Landmarks {
+				isLandmark[v] = true
+			}
+		}
+		queries, err := MakeQueries(g, cfg.Queries, UniformPairs, randx.New(cfg.Seed+107))
+		if err != nil {
+			return err
+		}
+		kept := queries[:0]
+		for _, q := range queries {
+			if !isLandmark[q.S] && !isLandmark[q.T] {
+				kept = append(kept, q)
+			}
+		}
+		queries = kept
+		truth := make([]float64, len(queries))
+		var meanTruth float64
+		for i, q := range queries {
+			truth[i], err = lap.ResistanceCG(g, q.S, q.T)
+			if err != nil {
+				return err
+			}
+			meanTruth += truth[i]
+		}
+		meanTruth /= float64(len(queries))
+		eps := 0.01 * meanTruth
+
+		t := NewTable(fmt.Sprintf("E10: portfolio routing, push at eps=%.3g on %s (n=%d, %d queries)", eps, ng.name, g.N(), len(queries)),
+			"k", "landmarks", "build-time", "mean-query-time", "mean-abs-err", "speedup-vs-k1")
+		var baseTime time.Duration
+		for i, k := range ks {
+			p := pfs[i]
+			ests := make([]*core.PushEstimator, p.K())
+			for j, v := range p.Landmarks {
+				ests[j], err = core.NewPushEstimator(g, v, core.PushOptions{MaxOps: 1 << 30})
+				if err != nil {
+					return err
+				}
+				// Warm the estimator's exact hitting-time cache (one
+				// grounded solve, part of setup) outside the timed loop.
+				warm := time.Now()
+				if _, err := ests[j].PairWithTarget(queries[0].S, queries[0].T, eps); err != nil {
+					return err
+				}
+				builds[i] += time.Since(warm)
+			}
+			var total time.Duration
+			var meanErr float64
+			for qi, q := range queries {
+				j := p.Route(q.S, q.T)[0]
+				start := time.Now()
+				r, err := ests[j].PairWithTarget(q.S, q.T, eps)
+				if err != nil {
+					return err
+				}
+				total += time.Since(start)
+				meanErr += math.Abs(r.Value - truth[qi])
+			}
+			mean := total / time.Duration(len(queries))
+			meanErr /= float64(len(queries))
+			speedup := "1.00x"
+			if i == 0 {
+				baseTime = mean
+			} else if mean > 0 {
+				speedup = fmt.Sprintf("%.2fx", float64(baseTime)/float64(mean))
+			}
+			t.AddRow(k, fmt.Sprintf("%v", p.Landmarks), builds[i], mean, meanErr, speedup)
+		}
+		if err := cfg.emit(t); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SortPointsByError orders curve points by mean absolute error (useful for

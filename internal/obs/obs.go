@@ -179,13 +179,17 @@ type Metrics struct {
 	EstimatorBuilds Counter // estimator constructions (pool misses)
 	IndexBuilds     Counter // landmark index constructions
 
+	PortfolioQueries Counter // queries routed through a portfolio index
+	RouterFallbacks  Counter // routed landmarks skipped on conflict with s or t
+
 	CGSolves     Counter // grounded CG solves
 	CGIterations Counter // total CG iterations across solves
 
-	QueryTime      Histogram // per-query wall time, nanoseconds
-	PushWork       Histogram // per-query push edge relaxations
-	WalkWork       Histogram // per-query walk steps
-	IndexBuildTime Histogram // per-BuildIndex wall time, nanoseconds
+	QueryTime       Histogram // per-query wall time, nanoseconds
+	PushWork        Histogram // per-query push edge relaxations
+	WalkWork        Histogram // per-query walk steps
+	IndexBuildTime  Histogram // per-BuildIndex wall time, nanoseconds
+	ColumnBuildTime Histogram // per-landmark portfolio column build time, ns
 }
 
 // Merge folds src's counters and histograms into m. The index builder uses
@@ -217,6 +221,9 @@ func (m *Metrics) Merge(src *Metrics) {
 	m.EstimatorBuilds.Add(src.EstimatorBuilds.Load())
 	m.IndexBuilds.Add(src.IndexBuilds.Load())
 
+	m.PortfolioQueries.Add(src.PortfolioQueries.Load())
+	m.RouterFallbacks.Add(src.RouterFallbacks.Load())
+
 	m.CGSolves.Add(src.CGSolves.Load())
 	m.CGIterations.Add(src.CGIterations.Load())
 
@@ -224,6 +231,7 @@ func (m *Metrics) Merge(src *Metrics) {
 	m.PushWork.Merge(&src.PushWork)
 	m.WalkWork.Merge(&src.WalkWork)
 	m.IndexBuildTime.Merge(&src.IndexBuildTime)
+	m.ColumnBuildTime.Merge(&src.ColumnBuildTime)
 }
 
 // QueryObservation carries everything one pair query contributes to the
@@ -303,13 +311,17 @@ type Snapshot struct {
 	EstimatorBuilds int64 `json:"estimator_builds"`
 	IndexBuilds     int64 `json:"index_builds"`
 
+	PortfolioQueries int64 `json:"portfolio_queries"`
+	RouterFallbacks  int64 `json:"router_fallbacks"`
+
 	CGSolves     int64 `json:"cg_solves"`
 	CGIterations int64 `json:"cg_iterations"`
 
-	QueryTime      HistSnapshot `json:"query_time_ns"`
-	PushWork       HistSnapshot `json:"push_work"`
-	WalkWork       HistSnapshot `json:"walk_work"`
-	IndexBuildTime HistSnapshot `json:"index_build_time_ns"`
+	QueryTime       HistSnapshot `json:"query_time_ns"`
+	PushWork        HistSnapshot `json:"push_work"`
+	WalkWork        HistSnapshot `json:"walk_work"`
+	IndexBuildTime  HistSnapshot `json:"index_build_time_ns"`
+	ColumnBuildTime HistSnapshot `json:"column_build_time_ns"`
 }
 
 // Snapshot returns the current state. Safe on a nil receiver (zero
@@ -340,13 +352,17 @@ func (m *Metrics) Snapshot() Snapshot {
 		EstimatorBuilds: m.EstimatorBuilds.Load(),
 		IndexBuilds:     m.IndexBuilds.Load(),
 
+		PortfolioQueries: m.PortfolioQueries.Load(),
+		RouterFallbacks:  m.RouterFallbacks.Load(),
+
 		CGSolves:     m.CGSolves.Load(),
 		CGIterations: m.CGIterations.Load(),
 
-		QueryTime:      m.QueryTime.Snapshot(),
-		PushWork:       m.PushWork.Snapshot(),
-		WalkWork:       m.WalkWork.Snapshot(),
-		IndexBuildTime: m.IndexBuildTime.Snapshot(),
+		QueryTime:       m.QueryTime.Snapshot(),
+		PushWork:        m.PushWork.Snapshot(),
+		WalkWork:        m.WalkWork.Snapshot(),
+		IndexBuildTime:  m.IndexBuildTime.Snapshot(),
+		ColumnBuildTime: m.ColumnBuildTime.Snapshot(),
 	}
 }
 

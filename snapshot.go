@@ -51,3 +51,34 @@ func LoadLandmarkIndex(path string, g *Graph) (*LandmarkIndex, error) {
 	}
 	return core.LoadIndex(path, g)
 }
+
+// Portfolio snapshots use the v3 format: the v2 layout generalized to K
+// landmark columns (magic "LRDIDX3\n", same CRC-64 trailer and graph
+// fingerprint binding). A PortfolioIndex serializes with its WriteTo
+// method; ReadPortfolioFrom / LoadPortfolioIndex also accept a v2
+// single-landmark snapshot and upgrade it to a K=1 portfolio, so existing
+// snapshot files keep working when a server flips to portfolio mode.
+
+// ReadPortfolioFrom deserializes a portfolio snapshot (v3, or v2 upgraded
+// to K=1) from r and binds it to g, with the same verification as
+// ReadIndexFrom. Failures match the ErrSnapshot* sentinels.
+func ReadPortfolioFrom(r io.Reader, g *Graph) (*PortfolioIndex, error) {
+	if err := requireGraph(g); err != nil {
+		return nil, err
+	}
+	return core.ReadPortfolio(r, g)
+}
+
+// SavePortfolioIndex writes the portfolio snapshot (v3) to a file.
+func SavePortfolioIndex(p *PortfolioIndex, path string) error {
+	return core.SavePortfolio(p, path)
+}
+
+// LoadPortfolioIndex reads a portfolio snapshot file (v3, or v2 upgraded
+// to K=1) and binds it to g.
+func LoadPortfolioIndex(path string, g *Graph) (*PortfolioIndex, error) {
+	if err := requireGraph(g); err != nil {
+		return nil, err
+	}
+	return core.LoadPortfolio(path, g)
+}
