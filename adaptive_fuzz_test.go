@@ -1,0 +1,134 @@
+package landmarkrd
+
+// Fuzz target for the adaptive batch allocator: on arbitrary graphs and
+// query pairs the adaptive path must (a) never panic, hang, or emit a
+// non-finite or negative resistance, (b) stay byte-identical across worker
+// counts, (c) conserve the walk budget exactly, and (d) agree with the
+// fixed-budget Monte Carlo estimator to within the two runs' combined
+// reported error bands — the differencing check that catches a broken
+// allocator (lost moments, double-counted walks, misallocated budget) even
+// when each run looks individually plausible.
+//
+// Run continuously with:
+//
+//	go test -fuzz=FuzzAdaptiveBatch -fuzztime=60s .
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func FuzzAdaptiveBatch(f *testing.F) {
+	seedCorpus(f, func(data []byte) {
+		f.Add(data, uint16(1), uint16(5), uint16(9), uint16(3), uint64(7))
+	})
+	f.Fuzz(func(t *testing.T, data []byte, s1Raw, t1Raw, s2Raw, t2Raw uint16, seed uint64) {
+		g, ok := fuzzGraph(data)
+		if !ok {
+			t.Skip()
+		}
+		opts := BatchOptions{
+			Options: Options{Seed: seed, Walks: 128, MaxSteps: 4096},
+			Workers: 2,
+		}
+		engine, err := NewBatchEngine(g, AbWalk, opts)
+		if err != nil {
+			if !errors.Is(err, ErrDisconnected) {
+				t.Fatalf("engine: unexpected error %v", err)
+			}
+			return
+		}
+		queries := []PairQuery{
+			{S: int(s1Raw) % g.N(), T: int(t1Raw) % g.N()},
+			{S: int(s2Raw) % g.N(), T: int(t2Raw) % g.N()},
+		}
+		const totalWalks, pilotWalks = 256, 16
+		aopts := AdaptiveBatchOptions{TotalWalks: totalWalks, PilotWalks: pilotWalks}
+		res, err := engine.AdaptivePairs(queries, aopts)
+		if err != nil {
+			// Engine construction defers the connectivity check for walk
+			// methods; the batch call must surface it as the typed sentinel.
+			if !errors.Is(err, ErrDisconnected) {
+				t.Fatalf("AdaptivePairs: unexpected error %v", err)
+			}
+			return
+		}
+
+		spent, sampled := 0, false
+		for i, r := range res {
+			if r.Err != nil {
+				// Per-pair failures must be the typed conflict sentinel (the
+				// default ConflictExact policy resolves them, so this only
+				// survives when the exact fallback itself hit the conflict).
+				if !errors.Is(r.Err, ErrLandmarkConflict) {
+					t.Fatalf("query %d: unexpected error %v", i, r.Err)
+				}
+				continue
+			}
+			checkEstimate(t, "AdaptivePairs", r.Estimate.Value)
+			if r.Estimate.ErrBound < 0 || math.IsNaN(r.Estimate.ErrBound) {
+				t.Fatalf("query %d: bad error bound %v", i, r.Estimate.ErrBound)
+			}
+			if r.S == r.T && r.Estimate.Value != 0 {
+				t.Fatalf("query %d: r(s,s) = %v, want 0", i, r.Estimate.Value)
+			}
+			if r.Estimate.Walks > 0 {
+				sampled = true
+				spent += r.Estimate.Walks / 2
+			}
+		}
+		// The allocator must spend the budget exactly across the sampled
+		// pairs (conflict and s==t pairs are excluded before allocation).
+		if sampled && spent != totalWalks {
+			t.Fatalf("budget: spent %d walk-pairs, want %d", spent, totalWalks)
+		}
+
+		// Worker-count determinism: a fresh single-worker engine with the
+		// same seed must reproduce every estimate bit for bit.
+		seqOpts := opts
+		seqOpts.Workers = 1
+		seqEngine, err := NewBatchEngine(g, AbWalk, seqOpts)
+		if err != nil {
+			t.Fatalf("sequential engine: %v", err)
+		}
+		seqRes, err := seqEngine.AdaptivePairs(queries, aopts)
+		if err != nil {
+			t.Fatalf("sequential AdaptivePairs: %v", err)
+		}
+		for i := range res {
+			if (res[i].Err == nil) != (seqRes[i].Err == nil) ||
+				math.Float64bits(res[i].Estimate.Value) != math.Float64bits(seqRes[i].Estimate.Value) ||
+				res[i].Estimate.Walks != seqRes[i].Estimate.Walks {
+				t.Fatalf("query %d differs across worker counts: %+v vs %+v",
+					i, res[i].Estimate, seqRes[i].Estimate)
+			}
+		}
+
+		// Differencing: the fixed-budget estimator answers the same queries
+		// from an independent stream; the two estimates must land within
+		// their combined error bands (plus slack for the bands' own
+		// estimation noise at these small sample sizes). Both runs share
+		// MaxSteps, so truncation bias cancels in the difference.
+		fixed, err := Pairs(g, AbWalk, queries, BatchOptions{
+			Options: Options{Seed: seed ^ 0xa5a5a5a5, Walks: 128, MaxSteps: 4096},
+		})
+		if err != nil {
+			t.Fatalf("fixed-budget Pairs: %v", err)
+		}
+		for i := range queries {
+			if res[i].Err != nil || fixed[i].Err != nil {
+				continue
+			}
+			a, b := res[i].Estimate, fixed[i].Estimate
+			if a.Walks == 0 || b.Walks == 0 {
+				continue // answered exactly (conflict fallback) or s == t
+			}
+			band := 6*(a.ErrBound+b.ErrBound) + 0.25*math.Max(1, b.Value)
+			if diff := math.Abs(a.Value - b.Value); diff > band {
+				t.Fatalf("query %d: adaptive %v vs fixed-budget %v — off by %v, band %v",
+					i, a.Value, b.Value, diff, band)
+			}
+		}
+	})
+}

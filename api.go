@@ -406,6 +406,26 @@ const (
 	DiagSketch  = core.DiagSketch
 )
 
+// PrecondMode selects the preconditioner the grounded CG solves use — in
+// exact index builds and in every SingleSource query solve.
+type PrecondMode = core.PrecondMode
+
+// Preconditioner modes. PrecondJacobi (the zero value) is the historical
+// default; PrecondChol trades one approximate-Cholesky factorization and
+// O(n + fill) memory per landmark for drastically fewer CG iterations on
+// large-κ graphs; PrecondAuto picks between them from the landmark's BFS
+// eccentricity (a cheap diameter/κ proxy).
+const (
+	PrecondJacobi = core.PrecondJacobi
+	PrecondNone   = core.PrecondNone
+	PrecondChol   = core.PrecondChol
+	PrecondAuto   = core.PrecondAuto
+)
+
+// ParsePrecondMode parses "none", "jacobi", "chol", or "auto" (the -precond
+// flag syntax of the cmd tools).
+func ParsePrecondMode(s string) (PrecondMode, error) { return core.ParsePrecondMode(s) }
+
 // BuildLandmarkIndex precomputes r(t, landmark) for all t so that
 // single-source queries need only one grounded column computation. The
 // build parallelizes across GOMAXPROCS workers; use BuildLandmarkIndexOpts
@@ -425,6 +445,11 @@ type IndexBuildOptions struct {
 	// (default GOMAXPROCS; 1 forces a sequential build). For a fixed seed
 	// the resulting index is byte-identical regardless of worker count.
 	Workers int
+	// Precond selects the CG preconditioner for the exact build and all
+	// subsequent SingleSource query solves (default PrecondJacobi; see
+	// PrecondMode). The resolved choice is recorded in the index's Precond
+	// field.
+	Precond PrecondMode
 	// Metrics, when non-nil, receives the build observability: an
 	// IndexBuilds increment, the build wall time in the IndexBuildTime
 	// histogram, and (for DiagMC) walk-work counters merged from the
@@ -443,9 +468,11 @@ func BuildLandmarkIndexOpts(g *Graph, landmark int, opts IndexBuildOptions) (*La
 		seed = 1
 	}
 	return core.BuildIndex(g, landmark, core.IndexOptions{
-		Mode:    opts.Mode,
-		Workers: opts.Workers,
-		Metrics: opts.Metrics,
+		Mode:        opts.Mode,
+		Workers:     opts.Workers,
+		Metrics:     opts.Metrics,
+		Precond:     opts.Precond,
+		PrecondSeed: seed,
 	}, randx.New(seed))
 }
 

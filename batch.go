@@ -12,6 +12,7 @@ import (
 	"landmarkrd/internal/core"
 	"landmarkrd/internal/faultinject"
 	"landmarkrd/internal/guard"
+	"landmarkrd/internal/lap"
 	"landmarkrd/internal/randx"
 	"landmarkrd/internal/retry"
 )
@@ -461,24 +462,11 @@ func (e *BatchEngine) runQuery(ctx context.Context, w *batchWorker, fi *faultinj
 		// the caller's deadline has passed.
 		return err
 	}
-	// Sentinels may arrive wrapped (see the ErrDisconnected contract in
-	// api.go), so match with errors.Is rather than ==.
-	if errors.Is(err, ErrLandmarkConflict) && e.opts.OnConflict == ConflictExact {
-		v, exErr := ExactContext(ctx, e.g, q.S, q.T)
-		if exErr != nil {
-			// The fallback itself failed: surface its error with a zero
-			// estimate — not a Converged result.
-			res, err = Estimate{}, exErr
-			e.metrics.FallbackErrors.Inc()
-			if errors.Is(exErr, ErrCanceled) {
-				return exErr
-			}
-		} else {
-			res, err = Estimate{Value: v, Converged: true}, nil
-			e.metrics.ExactFallbacks.Inc()
-			degraded = false // the conflict fallback answered exactly
-		}
-	}
+	// Landmark conflicts under ConflictExact are NOT resolved here: the
+	// worker leaves the conflict error in the result and pairs() answers
+	// all of them afterwards in one grouped multi-RHS exact solve (see
+	// resolveConflictsExact). Sentinels may arrive wrapped, so downstream
+	// matching uses errors.Is rather than ==.
 	if degraded && err == nil {
 		out.Degraded = true
 		e.metrics.Degraded.Inc()
@@ -545,6 +533,19 @@ func (e *BatchEngine) pairs(ctx context.Context, queries []PairQuery, forceDegra
 			defer wg.Done()
 			bw := &batchWorker{e: e}
 			defer bw.close()
+			if e.portfolio == nil && !forceDegraded {
+				// Acquire the worker's estimator up front rather than on its
+				// first query. Lazy acquisition lets a fast-finishing sibling
+				// return its estimator to the pool before a late-starting
+				// worker's first Get, making the build count (and the "one
+				// build per worker per cold batch" invariant) depend on
+				// goroutine scheduling. Portfolio engines stay lazy: they
+				// only build the positions routing actually touches.
+				if _, err := bw.estimator(0); err != nil {
+					errs[worker] = err
+					return
+				}
+			}
 			for i := worker; i < len(queries); i += workers {
 				if done != nil {
 					select {
@@ -568,6 +569,131 @@ func (e *BatchEngine) pairs(ctx context.Context, queries []PairQuery, forceDegra
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			return nil, err
+		}
+	}
+	if e.opts.OnConflict == ConflictExact {
+		if err := e.resolveConflictsExact(ctx, results); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// resolveConflictsExact answers every pending landmark-conflict result with
+// the exact CG solver, grouping queries that share a grounding vertex into
+// one multi-RHS block solve (one operator sweep per iteration for the whole
+// group) instead of one independent solve per query. Each answer is
+// bit-for-bit what the inline ExactContext fallback would have produced:
+// the grounding vertex, right-hand side, tolerance, and CG recurrence are
+// identical per pair. Groups are processed in first-appearance order, so
+// the pass is deterministic. It returns a non-nil error only for
+// batch-fatal conditions (cancellation).
+func (e *BatchEngine) resolveConflictsExact(ctx context.Context, results []PairResult) error {
+	groups := make(map[int][]int)
+	var order []int
+	for i := range results {
+		if results[i].Err == nil || !errors.Is(results[i].Err, ErrLandmarkConflict) {
+			continue
+		}
+		v := lap.GroundVertex(e.g, results[i].S, results[i].T)
+		if _, ok := groups[v]; !ok {
+			order = append(order, v)
+		}
+		groups[v] = append(groups[v], i)
+	}
+	for _, v := range order {
+		idxs := groups[v]
+		pairs := make([][2]int, len(idxs))
+		for k, i := range idxs {
+			pairs[k] = [2]int{results[i].S, results[i].T}
+		}
+		values, perrs, err := lap.ResistanceBatchCG(ctx, e.g, v, pairs, 0)
+		if err != nil {
+			if errors.Is(err, ErrCanceled) {
+				// A mid-solve abort fails the whole batch: the caller's
+				// deadline has passed.
+				return err
+			}
+			// The whole group failed (disconnected graph, injected fault):
+			// surface the error on each pending query with a zero estimate.
+			for _, i := range idxs {
+				results[i].Estimate, results[i].Err = Estimate{}, err
+				results[i].Degraded = false
+				e.metrics.FallbackErrors.Inc()
+			}
+			continue
+		}
+		for k, i := range idxs {
+			if perrs[k] != nil {
+				results[i].Estimate, results[i].Err = Estimate{}, perrs[k]
+				results[i].Degraded = false
+				e.metrics.FallbackErrors.Inc()
+				continue
+			}
+			results[i].Estimate = Estimate{Value: values[k], Converged: true}
+			results[i].Err = nil
+			results[i].Degraded = false // the conflict fallback answered exactly
+			e.metrics.ExactFallbacks.Inc()
+		}
+	}
+	return nil
+}
+
+// AdaptiveBatchOptions configures AdaptivePairs.
+type AdaptiveBatchOptions struct {
+	// TotalWalks is the batch-wide walk-pair budget shared across all
+	// queries (default 2000 per query — the fixed-budget estimator's
+	// per-pair default, now allocated where the variance is).
+	TotalWalks int
+	// PilotWalks is the per-query pilot round size (default 64).
+	PilotWalks int
+}
+
+// AdaptivePairs answers a batch of queries with the adaptive Monte Carlo
+// allocator: a pilot round measures every pair's per-walk variance, then
+// the remaining walk budget goes to the hard (high-variance) pairs so all
+// pairs finish at approximately equal 95% error bands (reported in
+// Estimate.ErrBound). Easy pairs stop at the pilot instead of spending the
+// same budget as hard ones. Results are byte-identical for a fixed engine
+// seed at any worker count. Landmark-conflict queries follow the engine's
+// OnConflict policy (grouped exact solves under ConflictExact).
+func (e *BatchEngine) AdaptivePairs(queries []PairQuery, opts AdaptiveBatchOptions) ([]PairResult, error) {
+	return e.AdaptivePairsContext(context.Background(), queries, opts)
+}
+
+// AdaptivePairsContext is AdaptivePairs with cancellation: once ctx is done
+// the walk loops abort and the call returns a nil slice and an error
+// matching ErrCanceled.
+func (e *BatchEngine) AdaptivePairsContext(ctx context.Context, queries []PairQuery, opts AdaptiveBatchOptions) ([]PairResult, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	pairs := make([]core.AdaptivePair, len(queries))
+	for i, q := range queries {
+		pairs[i] = core.AdaptivePair{S: q.S, T: q.T}
+	}
+	ares, err := core.AdaptiveBatch(ctx, e.g, e.landmark, pairs, core.AdaptiveOptions{
+		TotalWalks: opts.TotalWalks,
+		PilotWalks: opts.PilotWalks,
+		MaxSteps:   e.opts.Options.MaxSteps,
+		Workers:    e.opts.Workers,
+		Metrics:    e.metrics,
+	}, e.seed)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]PairResult, len(queries))
+	for i, r := range ares {
+		results[i] = PairResult{
+			PairQuery: queries[i],
+			Estimate:  r.Estimate,
+			Err:       r.Err,
+			Attempts:  1,
+		}
+	}
+	if e.opts.OnConflict == ConflictExact {
+		if err := e.resolveConflictsExact(ctx, results); err != nil {
 			return nil, err
 		}
 	}

@@ -313,6 +313,7 @@ func BenchmarkBuildPortfolio(b *testing.B) {
 		name string
 		opts core.PortfolioOptions
 	}{
+		{"exact", core.PortfolioOptions{K: 4, Mode: core.DiagExactCG}},
 		{"mc", core.PortfolioOptions{K: 4, Mode: core.DiagMC, WalksPerVertex: 64}},
 		{"sketch", core.PortfolioOptions{K: 4, Mode: core.DiagSketch, SketchEpsilon: 0.3}},
 	} {
@@ -326,6 +327,35 @@ func BenchmarkBuildPortfolio(b *testing.B) {
 		})
 	}
 }
+
+// benchPrecondGrounded builds the exact-CG index on a perturbed grid — the
+// ill-conditioned, high-diameter regime where preconditioning matters — under
+// one preconditioner mode, reporting total CG iterations per build alongside
+// wall time. Workers is left at 0, so -cpu 1,4 also exercises the shared
+// read-only factor across parallel column builds.
+func benchPrecondGrounded(b *testing.B, mode core.PrecondMode) {
+	g, err := graph.Grid2D(32, 32, 0.1, randx.New(40))
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := g.MaxDegreeVertex()
+	before := lap.SolverMetrics().Snapshot().CGIterations
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildIndex(g, v, core.IndexOptions{
+			Mode: core.DiagExactCG, Precond: mode,
+		}, randx.New(41)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	after := lap.SolverMetrics().Snapshot().CGIterations
+	b.ReportMetric(float64(after-before)/float64(b.N), "cg-iters/op")
+}
+
+func BenchmarkPrecondGroundedJacobi(b *testing.B) { benchPrecondGrounded(b, core.PrecondJacobi) }
+func BenchmarkPrecondGroundedChol(b *testing.B)   { benchPrecondGrounded(b, core.PrecondChol) }
 
 // BenchmarkPortfolioRoute isolates the per-query router: sorting K=4
 // column costs for a random pair.

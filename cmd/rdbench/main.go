@@ -45,11 +45,17 @@ func main() {
 		snapGraph   = flag.String("snapshot-graph", "", "snapshot utility mode: edge-list graph to index")
 		snapMode    = flag.String("snapshot-mode", "exact", "snapshot utility mode: diagonal builder (exact, mc, or sketch)")
 		snapK       = flag.Int("snapshot-k", 0, "snapshot utility mode: build a K-landmark portfolio snapshot (0 = single-landmark index)")
+		precondFlag = flag.String("precond", "jacobi", "CG preconditioner for exact builds: none, jacobi, chol, or auto")
 	)
 	flag.Parse()
 
+	precond, err := landmarkrd.ParsePrecondMode(*precondFlag)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *snapFlag != "" {
-		if err := runSnapshot(*snapFlag, *snapGraph, *snapMode, *snapK, *seedFlag, *workersFlag, os.Stdout); err != nil {
+		if err := runSnapshot(*snapFlag, *snapGraph, *snapMode, *snapK, *seedFlag, *workersFlag, precond, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
@@ -114,7 +120,7 @@ func runExperiments(ids []string, cfg eval.ExpConfig, out io.Writer) error {
 // k > 0, a K-landmark portfolio) for graph and save it to path, or — when
 // path already exists — load it back and verify the checksum and graph
 // binding.
-func runSnapshot(path, graphPath, mode string, k int, seed uint64, workers int, out io.Writer) error {
+func runSnapshot(path, graphPath, mode string, k int, seed uint64, workers int, precond landmarkrd.PrecondMode, out io.Writer) error {
 	if graphPath == "" {
 		return fmt.Errorf("-snapshot requires -snapshot-graph")
 	}
@@ -131,7 +137,7 @@ func runSnapshot(path, graphPath, mode string, k int, seed uint64, workers int, 
 	fmt.Fprintf(out, "loaded graph: n=%d m=%d weighted=%v\n", g.N(), g.M(), g.Weighted())
 
 	if k > 0 {
-		return runPortfolioSnapshot(path, g, diagMode, mode, k, seed, workers, out)
+		return runPortfolioSnapshot(path, g, diagMode, mode, k, seed, workers, precond, out)
 	}
 
 	if _, err := os.Stat(path); err == nil {
@@ -151,7 +157,7 @@ func runSnapshot(path, graphPath, mode string, k int, seed uint64, workers int, 
 	}
 	start := time.Now()
 	idx, err := landmarkrd.BuildLandmarkIndexOpts(g, landmark, landmarkrd.IndexBuildOptions{
-		Mode: diagMode, Seed: seed, Workers: workers,
+		Mode: diagMode, Seed: seed, Workers: workers, Precond: precond,
 	})
 	if err != nil {
 		return err
@@ -160,14 +166,14 @@ func runSnapshot(path, graphPath, mode string, k int, seed uint64, workers int, 
 	if err := landmarkrd.SaveLandmarkIndex(idx, path); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "built %s index in %s (landmark=%d), saved to %s\n",
-		mode, build.Round(time.Millisecond), landmark, path)
+	fmt.Fprintf(out, "built %s index in %s (landmark=%d precond=%s), saved to %s\n",
+		mode, build.Round(time.Millisecond), landmark, idx.Precond, path)
 	return nil
 }
 
 // runPortfolioSnapshot is the -snapshot-k branch of the snapshot utility:
 // build (or verify) a K-landmark portfolio snapshot in the v3 format.
-func runPortfolioSnapshot(path string, g *landmarkrd.Graph, diagMode landmarkrd.DiagMode, mode string, k int, seed uint64, workers int, out io.Writer) error {
+func runPortfolioSnapshot(path string, g *landmarkrd.Graph, diagMode landmarkrd.DiagMode, mode string, k int, seed uint64, workers int, precond landmarkrd.PrecondMode, out io.Writer) error {
 	if _, err := os.Stat(path); err == nil {
 		start := time.Now()
 		p, err := landmarkrd.LoadPortfolioIndex(path, g)
@@ -181,7 +187,7 @@ func runPortfolioSnapshot(path string, g *landmarkrd.Graph, diagMode landmarkrd.
 
 	start := time.Now()
 	p, err := landmarkrd.BuildPortfolioIndex(g, landmarkrd.PortfolioBuildOptions{
-		K: k, Mode: diagMode, Seed: seed, Workers: workers,
+		K: k, Mode: diagMode, Seed: seed, Workers: workers, Precond: precond,
 	})
 	if err != nil {
 		return err
@@ -190,8 +196,8 @@ func runPortfolioSnapshot(path string, g *landmarkrd.Graph, diagMode landmarkrd.
 	if err := landmarkrd.SavePortfolioIndex(p, path); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "built %s portfolio in %s (k=%d landmarks=%v), saved to %s\n",
-		mode, build.Round(time.Millisecond), p.K(), p.Landmarks, path)
+	fmt.Fprintf(out, "built %s portfolio in %s (k=%d landmarks=%v precond=%v), saved to %s\n",
+		mode, build.Round(time.Millisecond), p.K(), p.Landmarks, p.PrecondModes, path)
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	landmarkrd "landmarkrd"
 	"landmarkrd/internal/eval"
 	"landmarkrd/internal/graph"
 )
@@ -45,14 +46,14 @@ func TestRunSnapshotUtility(t *testing.T) {
 	t.Run("SingleLandmark", func(t *testing.T) {
 		snap := filepath.Join(dir, "idx.snap")
 		var out bytes.Buffer
-		if err := runSnapshot(snap, graphPath, "exact", 0, 7, 1, &out); err != nil {
+		if err := runSnapshot(snap, graphPath, "exact", 0, 7, 1, landmarkrd.PrecondJacobi, &out); err != nil {
 			t.Fatal(err)
 		}
 		if !strings.Contains(out.String(), "saved to") {
 			t.Errorf("build run missing save line:\n%s", out.String())
 		}
 		out.Reset()
-		if err := runSnapshot(snap, graphPath, "exact", 0, 7, 1, &out); err != nil {
+		if err := runSnapshot(snap, graphPath, "exact", 0, 7, 1, landmarkrd.PrecondJacobi, &out); err != nil {
 			t.Fatal(err)
 		}
 		if !strings.Contains(out.String(), "checksum and graph binding OK") {
@@ -63,14 +64,14 @@ func TestRunSnapshotUtility(t *testing.T) {
 	t.Run("Portfolio", func(t *testing.T) {
 		snap := filepath.Join(dir, "pf.snap")
 		var out bytes.Buffer
-		if err := runSnapshot(snap, graphPath, "exact", 3, 7, 1, &out); err != nil {
+		if err := runSnapshot(snap, graphPath, "exact", 3, 7, 1, landmarkrd.PrecondJacobi, &out); err != nil {
 			t.Fatal(err)
 		}
 		if !strings.Contains(out.String(), "built exact portfolio") {
 			t.Errorf("build run missing portfolio line:\n%s", out.String())
 		}
 		out.Reset()
-		if err := runSnapshot(snap, graphPath, "exact", 3, 7, 1, &out); err != nil {
+		if err := runSnapshot(snap, graphPath, "exact", 3, 7, 1, landmarkrd.PrecondJacobi, &out); err != nil {
 			t.Fatal(err)
 		}
 		if !strings.Contains(out.String(), "k=3") || !strings.Contains(out.String(), "checksum and graph binding OK") {
@@ -80,10 +81,10 @@ func TestRunSnapshotUtility(t *testing.T) {
 
 	t.Run("Errors", func(t *testing.T) {
 		var out bytes.Buffer
-		if err := runSnapshot(filepath.Join(dir, "x.snap"), "", "exact", 0, 7, 1, &out); err == nil {
+		if err := runSnapshot(filepath.Join(dir, "x.snap"), "", "exact", 0, 7, 1, landmarkrd.PrecondJacobi, &out); err == nil {
 			t.Error("missing -snapshot-graph accepted")
 		}
-		if err := runSnapshot(filepath.Join(dir, "x.snap"), graphPath, "bogus", 0, 7, 1, &out); err == nil {
+		if err := runSnapshot(filepath.Join(dir, "x.snap"), graphPath, "bogus", 0, 7, 1, landmarkrd.PrecondJacobi, &out); err == nil {
 			t.Error("unknown -snapshot-mode accepted")
 		}
 	})

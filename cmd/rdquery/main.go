@@ -41,6 +41,7 @@ type config struct {
 	topk      int
 	workers   int
 	portfolio int
+	precond   string
 	snapshot  string
 	stats     bool
 	debugAddr string
@@ -59,6 +60,7 @@ func main() {
 	flag.IntVar(&cfg.topk, "topk", 10, "single-source mode: closest vertices to print")
 	flag.IntVar(&cfg.workers, "workers", 0, "index-build worker count (0 = GOMAXPROCS, 1 = sequential; results are seed-deterministic either way)")
 	flag.IntVar(&cfg.portfolio, "portfolio", 0, "route through a K-landmark portfolio (0 = single landmark)")
+	flag.StringVar(&cfg.precond, "precond", "jacobi", "CG preconditioner for index builds and solves: none, jacobi, chol, or auto")
 	flag.StringVar(&cfg.snapshot, "snapshot", "", "single-source mode: index snapshot file (load if present, else build and save)")
 	flag.BoolVar(&cfg.stats, "stats", false, "print estimator/solver metrics after the query")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
@@ -73,6 +75,9 @@ func main() {
 func run(cfg config, out io.Writer) error {
 	if cfg.graphPath == "" {
 		return fmt.Errorf("-graph is required")
+	}
+	if _, err := landmarkrd.ParsePrecondMode(cfg.precond); err != nil {
+		return err
 	}
 	landmarkrd.PublishMetrics("landmarkrd.solver", landmarkrd.SolverMetrics())
 	dbg, err := debugsrv.Start(cfg.debugAddr)
@@ -276,13 +281,18 @@ func singleSourceIndex(g *landmarkrd.Graph, cfg config, out io.Writer) (*landmar
 		v = (v + 1) % g.N()
 	}
 	start := time.Now()
+	precond, err := landmarkrd.ParsePrecondMode(cfg.precond)
+	if err != nil {
+		return nil, 0, err
+	}
 	idx, err := landmarkrd.BuildLandmarkIndexOpts(g, v, landmarkrd.IndexBuildOptions{
-		Mode: landmarkrd.DiagSketch, Seed: cfg.seed, Workers: cfg.workers,
+		Mode: landmarkrd.DiagSketch, Seed: cfg.seed, Workers: cfg.workers, Precond: precond,
 	})
 	if err != nil {
 		return nil, 0, err
 	}
 	build := time.Since(start)
+	fmt.Fprintf(out, "preconditioner: %s\n", idx.Precond)
 	if cfg.snapshot != "" {
 		if err := landmarkrd.SaveLandmarkIndex(idx, cfg.snapshot); err != nil {
 			return nil, 0, err
@@ -310,14 +320,19 @@ func portfolioIndex(g *landmarkrd.Graph, cfg config, out io.Writer) (*landmarkrd
 			return nil, 0, err
 		}
 	}
+	precond, err := landmarkrd.ParsePrecondMode(cfg.precond)
+	if err != nil {
+		return nil, 0, err
+	}
 	start := time.Now()
 	p, err := landmarkrd.BuildPortfolioIndex(g, landmarkrd.PortfolioBuildOptions{
-		K: cfg.portfolio, Mode: landmarkrd.DiagSketch, Seed: cfg.seed, Workers: cfg.workers,
+		K: cfg.portfolio, Mode: landmarkrd.DiagSketch, Seed: cfg.seed, Workers: cfg.workers, Precond: precond,
 	})
 	if err != nil {
 		return nil, 0, err
 	}
 	build := time.Since(start)
+	fmt.Fprintf(out, "preconditioners: %v\n", p.PrecondModes)
 	if cfg.snapshot != "" {
 		if err := landmarkrd.SavePortfolioIndex(p, cfg.snapshot); err != nil {
 			return nil, 0, err

@@ -56,6 +56,7 @@ func main() {
 		inflightFlag = flag.Int("max-inflight", 16, "max concurrent queries before 429")
 		workersFlag  = flag.Int("workers", 0, "batch workers per request (0 = GOMAXPROCS)")
 		indexFlag    = flag.String("index-mode", "none", "landmark index for /v1/singlesource: exact, mc, sketch, or none")
+		precondFlag  = flag.String("precond", "jacobi", "CG preconditioner for index builds and solves: none, jacobi, chol, or auto")
 		portfolioKey = flag.Int("portfolio", 0, "serve a K-landmark portfolio with cost-law routing (0 = single landmark); needs -index-mode or -snapshot")
 		snapshotFlag = flag.String("snapshot", "", "index snapshot file: load if present, else build and save; SIGHUP reloads it")
 		retriesFlag  = flag.Int("retries", 3, "per-query attempt budget for transient failures (1 disables retries)")
@@ -79,6 +80,7 @@ func main() {
 			maxInflight:  *inflightFlag,
 			workers:      *workersFlag,
 			indexMode:    *indexFlag,
+			precond:      *precondFlag,
 			portfolioK:   *portfolioKey,
 			snapshot:     *snapshotFlag,
 			retries:      *retriesFlag,

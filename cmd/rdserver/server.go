@@ -29,6 +29,7 @@ type serverConfig struct {
 	maxInflight  int           // concurrent query cap; 0 means 16
 	workers      int           // batch engine workers (0 = GOMAXPROCS)
 	indexMode    string        // "exact", "mc", "sketch", or "none"
+	precond      string        // CG preconditioner: "none", "jacobi", "chol", or "auto"
 	portfolioK   int           // portfolio size; 0 serves the single-landmark paths
 	snapshot     string        // index snapshot path; load if present, else build and save
 	retries      int           // per-query attempt budget for transient failures (0 = 1)
@@ -59,6 +60,9 @@ func (c *serverConfig) validate() error {
 	}
 	if c.maxBody < 0 {
 		return fmt.Errorf("rdserver: -max-body must be >= 0, got %d", c.maxBody)
+	}
+	if _, err := landmarkrd.ParsePrecondMode(c.precond); err != nil {
+		return fmt.Errorf("rdserver: -precond: %w", err)
 	}
 	if c.degradeBelow > 0 && c.timeout > 0 && c.degradeBelow >= c.timeout {
 		return fmt.Errorf("rdserver: -degrade-below (%v) must be below -timeout (%v), or every query would degrade", c.degradeBelow, c.timeout)
@@ -165,8 +169,25 @@ func newQueryServer(g *landmarkrd.Graph, cfg serverConfig) (*queryServer, error)
 		inflight = 16
 	}
 	s.sem = make(chan struct{}, inflight)
+	s.publishPrecond()
 	s.ready.Store(true)
 	return s, nil
+}
+
+// publishPrecond records the serving index's resolved preconditioner mode(s)
+// in /debug/vars. A snapshot-loaded index reports its own (persisted-default)
+// mode, not the flag, so the variable always reflects what is actually
+// serving.
+func (s *queryServer) publishPrecond() {
+	if p := s.pf.Load(); p != nil {
+		precondVar.Set(fmt.Sprintf("%v", p.PrecondModes))
+		return
+	}
+	if idx := s.idx.Load(); idx != nil {
+		precondVar.Set(idx.Precond.String())
+		return
+	}
+	precondVar.Set(s.cfg.precondMode().String())
 }
 
 // eng returns the current batch engine.
@@ -183,6 +204,16 @@ func (s *queryServer) newEngine(pf *landmarkrd.PortfolioIndex) (*landmarkrd.Batc
 		Portfolio:    pf,
 	})
 }
+
+// precondMode parses the validated -precond flag value.
+func (c *serverConfig) precondMode() landmarkrd.PrecondMode {
+	m, _ := landmarkrd.ParsePrecondMode(c.precond)
+	return m
+}
+
+// precondVar snapshots the resolved preconditioner mode(s) of the serving
+// index into /debug/vars; set at startup and on every successful reload.
+var precondVar = expvar.NewString("landmarkrd.precond")
 
 // diagModes maps the -index-mode flag values to build modes.
 var diagModes = map[string]landmarkrd.DiagMode{
@@ -216,12 +247,13 @@ func (s *queryServer) loadOrBuildPortfolio() (*landmarkrd.PortfolioIndex, error)
 	}
 	p, err := landmarkrd.BuildPortfolioIndex(s.g, landmarkrd.PortfolioBuildOptions{
 		K: s.cfg.portfolioK, Mode: mode, Seed: s.cfg.seed, Metrics: s.metrics,
+		Precond: s.cfg.precondMode(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("rdserver: building %s portfolio: %w", s.cfg.indexMode, err)
 	}
-	fmt.Fprintf(os.Stderr, "rdserver: built k=%d portfolio (landmarks %v) in %v\n",
-		p.K(), p.Landmarks, p.BuildTime)
+	fmt.Fprintf(os.Stderr, "rdserver: built k=%d portfolio (landmarks %v, precond %v) in %v\n",
+		p.K(), p.Landmarks, p.PrecondModes, p.BuildTime)
 	if s.cfg.snapshot != "" {
 		if err := landmarkrd.SavePortfolioIndex(p, s.cfg.snapshot); err != nil {
 			return nil, fmt.Errorf("rdserver: saving portfolio snapshot: %w", err)
@@ -262,11 +294,13 @@ func (s *queryServer) loadOrBuildIndex() (*landmarkrd.LandmarkIndex, error) {
 		return nil, fmt.Errorf("rdserver: unknown -index-mode %q (want exact, mc, sketch, or none)", s.cfg.indexMode)
 	}
 	idx, err := landmarkrd.BuildLandmarkIndexOpts(s.g, s.eng().Landmark(), landmarkrd.IndexBuildOptions{
-		Mode: mode, Seed: s.cfg.seed, Metrics: s.metrics,
+		Mode: mode, Seed: s.cfg.seed, Metrics: s.metrics, Precond: s.cfg.precondMode(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("rdserver: building %s index: %w", s.cfg.indexMode, err)
 	}
+	fmt.Fprintf(os.Stderr, "rdserver: built %s index (landmark %d, precond %s)\n",
+		s.cfg.indexMode, idx.Landmark, idx.Precond)
 	if s.cfg.snapshot != "" {
 		if err := landmarkrd.SaveLandmarkIndex(idx, s.cfg.snapshot); err != nil {
 			return nil, fmt.Errorf("rdserver: saving index snapshot: %w", err)
@@ -304,6 +338,9 @@ func (s *queryServer) reload() error {
 		if err == nil && idx != nil {
 			s.idx.Store(idx)
 		}
+	}
+	if err == nil {
+		s.publishPrecond()
 	}
 	s.ready.Store(true)
 	if s.onReload != nil {

@@ -13,6 +13,7 @@ import (
 	"landmarkrd/internal/graph"
 	"landmarkrd/internal/guard"
 	"landmarkrd/internal/lap"
+	"landmarkrd/internal/linalg"
 	"landmarkrd/internal/obs"
 	"landmarkrd/internal/randx"
 	"landmarkrd/internal/sketch"
@@ -60,6 +61,17 @@ type IndexOptions struct {
 	SketchEpsilon float64
 	// Tol is the DiagExactCG solver tolerance (default lap.ExactTol).
 	Tol float64
+	// Precond selects the CG preconditioner for the exact diagonal build
+	// and all subsequent SingleSource query solves (default PrecondJacobi,
+	// the zero value). PrecondAuto resolves to jacobi or chol from the
+	// landmark's BFS eccentricity; the resolved mode is recorded in
+	// Index.Precond. A chol factor is built once and shared read-only
+	// across build workers and pooled query solvers.
+	Precond PrecondMode
+	// PrecondSeed drives the approximate-Cholesky factorization's internal
+	// tie-breaking (0 means the chol package default), keeping the factor
+	// deterministic.
+	PrecondSeed uint64
 	// Workers shards the per-vertex diagonal work across a worker pool
 	// (default GOMAXPROCS; 1 forces a sequential build). The Diag array is
 	// byte-identical for a fixed seed regardless of the worker count:
@@ -87,8 +99,17 @@ type Index struct {
 	// Diag[t] ≈ r(t, v); Diag[v] = 0.
 	Diag []float64
 	Mode DiagMode
-	// BuildTime is the wall time BuildIndex took (not persisted).
+	// Precond is the resolved preconditioner mode (PrecondAuto is replaced
+	// by the mode it picked). Not persisted in snapshots; loaded indices
+	// default to Jacobi.
+	Precond PrecondMode
+	// BuildTime is the wall time BuildIndex took, including preconditioner
+	// factorization (not persisted).
 	BuildTime time.Duration
+
+	// precond is the shared concrete preconditioner query solvers use; nil
+	// means the solver's built-in Jacobi default.
+	precond linalg.Preconditioner
 
 	// solvers recycles GroundedSolvers (rhs/x/CG scratch vectors) across
 	// SingleSource calls so repeated queries do not allocate per solve.
@@ -167,10 +188,16 @@ func BuildIndex(g *graph.Graph, landmark int, opts IndexOptions, rng *randx.RNG)
 	start := time.Now()
 	n := g.N()
 	idx := &Index{G: g, Landmark: landmark, Diag: make([]float64, n), Mode: opts.Mode}
+	pc, resolved, err := resolvePrecond(g, landmark, opts.Precond, opts.PrecondSeed, opts.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	idx.Precond = resolved
+	idx.precond = pc
 	workers := indexWorkers(opts, n)
 	switch opts.Mode {
 	case DiagExactCG:
-		if err := buildDiagExact(g, landmark, idx.Diag, opts, workers); err != nil {
+		if err := buildDiagExact(g, landmark, idx.Diag, opts, workers, pc); err != nil {
 			return nil, err
 		}
 	case DiagMC:
@@ -201,13 +228,23 @@ func BuildIndex(g *graph.Graph, landmark int, opts IndexOptions, rng *randx.RNG)
 	return idx, nil
 }
 
-// buildDiagExact fills diag[t] = L_v⁻¹[t,t] with one grounded CG solve per
-// vertex, sharded across the worker pool in stride-workers order. Each
-// worker owns a GroundedSolver (rhs/x/CG scratch, Jacobi preconditioner)
-// recording into a worker-local sink; the sinks merge into the process-wide
-// lap.SolverMetrics when the pool joins, exactly as the sequential build
-// recorded there solve by solve.
-func buildDiagExact(g *graph.Graph, landmark int, diag []float64, opts IndexOptions, workers int) error {
+// diagBlockRHS is the number of right-hand sides an exact diagonal build
+// advances through one block CG solve. Eight columns amortize the CSR
+// traversal well while keeping the per-worker scratch (8 extra vectors per
+// CG state) modest.
+const diagBlockRHS = 8
+
+// buildDiagExact fills diag[t] = L_v⁻¹[t,t] with grounded CG solves, batched
+// diagBlockRHS right-hand sides at a time through a block solver so the CSR
+// structure is swept once per iteration instead of once per column, and
+// sharded across the worker pool in stride-workers order. Each worker owns a
+// GroundedBlockSolver recording into a worker-local sink; the sinks merge
+// into the process-wide lap.SolverMetrics when the pool joins. Every
+// diagonal entry depends only on (g, landmark, tol, pc) — block columns are
+// bit-identical to independent solves — so the Diag array stays
+// byte-identical at any worker count. pc, when non-nil, replaces the
+// built-in Jacobi preconditioner and is shared read-only across workers.
+func buildDiagExact(g *graph.Graph, landmark int, diag []float64, opts IndexOptions, workers int, pc linalg.Preconditioner) error {
 	tol := opts.Tol
 	if tol <= 0 {
 		tol = lap.ExactTol
@@ -216,12 +253,31 @@ func buildDiagExact(g *graph.Graph, landmark int, diag []float64, opts IndexOpti
 	// Fault hook, fired once per vertex across all workers; nil unless armed.
 	fi := faultinject.At(faultinject.SiteIndexBuild)
 	return runIndexWorkers(workers, lap.SolverMetrics(), func(worker int, local *obs.Metrics) error {
-		solver := lap.NewGroundedSolver(g, landmark)
+		solver := lap.NewGroundedBlockSolver(g, landmark, diagBlockRHS)
 		solver.Metrics = local
+		solver.SetPreconditioner(pc)
 		// A pool of solvers already saturates the cores; with a single
 		// worker, let the solve's applies row-parallelize instead (the
 		// result is bit-identical either way).
 		solver.Op.NoParallel = workers > 1
+		batch := make([]int, 0, diagBlockRHS)
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			xs, _, colErrs, err := solver.SolveUnits(context.Background(), batch, tol)
+			if err != nil {
+				return fmt.Errorf("core: index diag solve at %d: %w", batch[0], err)
+			}
+			for c, t := range batch {
+				if colErrs[c] != nil {
+					return fmt.Errorf("core: index diag solve at %d: %w", t, colErrs[c])
+				}
+				diag[t] = xs[c][t]
+			}
+			batch = batch[:0]
+			return nil
+		}
 		for t := worker; t < n; t += workers {
 			if t == landmark {
 				continue
@@ -229,13 +285,14 @@ func buildDiagExact(g *graph.Graph, landmark int, diag []float64, opts IndexOpti
 			if err := fi.Fire(); err != nil {
 				return err
 			}
-			x, _, err := solver.SolveUnit(t, tol)
-			if err != nil {
-				return fmt.Errorf("core: index diag solve at %d: %w", t, err)
+			batch = append(batch, t)
+			if len(batch) == diagBlockRHS {
+				if err := flush(); err != nil {
+					return err
+				}
 			}
-			diag[t] = x[t]
 		}
-		return nil
+		return flush()
 	})
 }
 
@@ -303,12 +360,15 @@ func buildDiagMC(g *graph.Graph, landmark int, diag []float64, opts IndexOptions
 func (idx *Index) MemoryBytes() int64 { return int64(len(idx.Diag)) * 8 }
 
 // acquireSolver returns a pooled grounded solver bound to the index
-// landmark, creating one on a pool miss.
+// landmark, creating one on a pool miss. New solvers inherit the index's
+// resolved preconditioner (shared read-only; nil keeps the Jacobi default).
 func (idx *Index) acquireSolver() *lap.GroundedSolver {
 	if v := idx.solvers.Get(); v != nil {
 		return v.(*lap.GroundedSolver)
 	}
-	return lap.NewGroundedSolver(idx.G, idx.Landmark)
+	s := lap.NewGroundedSolver(idx.G, idx.Landmark)
+	s.SetPreconditioner(idx.precond)
+	return s
 }
 
 // SingleSourceOptions configures single-source queries against an index.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"landmarkrd/internal/graph"
+	"landmarkrd/internal/linalg"
 	"landmarkrd/internal/obs"
 	"landmarkrd/internal/randx"
 	"landmarkrd/internal/sketch"
@@ -40,6 +41,10 @@ type Portfolio struct {
 	// the shared sketch construction is amortized into BuildTime and each
 	// entry covers only that column's extraction.
 	ColBuildTimes []time.Duration
+	// PrecondModes[j] is the resolved preconditioner mode of landmark j
+	// (PrecondAuto replaced by its pick). Empty for loaded snapshots, which
+	// default to Jacobi.
+	PrecondModes []PrecondMode
 
 	indices   []*Index
 	routed    []obs.Counter
@@ -62,6 +67,15 @@ type PortfolioOptions struct {
 	MaxSteps       int
 	SketchEpsilon  float64
 	Tol            float64
+	// Precond selects the CG preconditioner per landmark column (see
+	// IndexOptions.Precond). PrecondAuto resolves independently for each
+	// landmark from its BFS eccentricity; the resolved modes are recorded
+	// in Portfolio.PrecondModes.
+	Precond PrecondMode
+	// PrecondSeed seeds the approximate-Cholesky factorizations; landmark
+	// j's factor uses PrecondSeed + j·golden so factors stay distinct yet
+	// reproducible.
+	PrecondSeed uint64
 	// Workers shards each column build (default GOMAXPROCS). Columns are
 	// byte-identical for a fixed seed regardless of the worker count: every
 	// column draws from its own random stream derived from the root seed.
@@ -284,12 +298,19 @@ func BuildPortfolio(g *graph.Graph, opts PortfolioOptions, rng *randx.RNG) (*Por
 			return nil, fmt.Errorf("core: portfolio sketch: %w", err)
 		}
 	}
+	precs := make([]linalg.Preconditioner, k)
+	modes := make([]PrecondMode, k)
 	for j, v := range landmarks {
 		colStart := time.Now()
 		cols[j] = make([]float64, n)
+		pc, resolved, err := resolvePrecond(g, v, opts.Precond, opts.PrecondSeed+uint64(j)*0x9e3779b97f4a7c15, opts.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		precs[j], modes[j] = pc, resolved
 		switch opts.Mode {
 		case DiagExactCG:
-			if err := buildDiagExact(g, v, cols[j], iopts, workers); err != nil {
+			if err := buildDiagExact(g, v, cols[j], iopts, workers, pc); err != nil {
 				return nil, err
 			}
 		case DiagMC:
@@ -313,6 +334,11 @@ func BuildPortfolio(g *graph.Graph, opts PortfolioOptions, rng *randx.RNG) (*Por
 	p := NewPortfolio(g, opts.Mode, landmarks, cols)
 	p.BuildTime = time.Since(start)
 	p.ColBuildTimes = times
+	p.PrecondModes = modes
+	for j := range p.indices {
+		p.indices[j].Precond = modes[j]
+		p.indices[j].precond = precs[j]
+	}
 	if opts.Metrics != nil {
 		opts.Metrics.IndexBuilds.Inc()
 		opts.Metrics.IndexBuildTime.Observe(p.BuildTime.Nanoseconds())
@@ -398,6 +424,9 @@ type PortfolioStats struct {
 	Fallbacks     int64           `json:"fallbacks"`
 	BuildTime     time.Duration   `json:"build_time_ns"`
 	ColBuildTimes []time.Duration `json:"col_build_times_ns"`
+	// PrecondModes are the resolved per-landmark preconditioner modes in
+	// textual form (empty for loaded snapshots).
+	PrecondModes []string `json:"precond_modes,omitempty"`
 }
 
 // Stats snapshots the per-landmark routed-query counters and the conflict
@@ -409,6 +438,9 @@ func (p *Portfolio) Stats() PortfolioStats {
 		Fallbacks:     p.fallbacks.Load(),
 		BuildTime:     p.BuildTime,
 		ColBuildTimes: append([]time.Duration(nil), p.ColBuildTimes...),
+	}
+	for _, m := range p.PrecondModes {
+		s.PrecondModes = append(s.PrecondModes, m.String())
 	}
 	for j := range p.routed {
 		s.Routed[j] = p.routed[j].Load()

@@ -1,0 +1,114 @@
+// External test package: chol imports lap, so chol-preconditioned solver
+// tests cannot live inside package lap without an import cycle.
+package lap_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"landmarkrd/internal/chol"
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/lap"
+	"landmarkrd/internal/linalg"
+	"landmarkrd/internal/randx"
+)
+
+// TestBlockSolverCholMatchesSingle: under a shared approximate-Cholesky
+// preconditioner, SolveUnits must still be bit-for-bit the single-column
+// SolveUnit — the factor is applied in the same per-column order.
+func TestBlockSolverCholMatchesSingle(t *testing.T) {
+	graphs := map[string]*graph.Graph{}
+	if g, err := graph.Grid2D(9, 9, 0.3, randx.New(8)); err == nil {
+		graphs["grid_w"] = g
+	} else {
+		t.Fatal(err)
+	}
+	if g, err := graph.Path(50); err == nil {
+		graphs["path"] = g
+	} else {
+		t.Fatal(err)
+	}
+	for name, g := range graphs {
+		landmark := 0
+		factor, err := chol.NewFactor(g, landmark, chol.Options{})
+		if err != nil {
+			t.Fatalf("%s: chol factor: %v", name, err)
+		}
+		single := lap.NewGroundedSolver(g, landmark)
+		single.SetPreconditioner(factor)
+		bs := lap.NewGroundedBlockSolver(g, landmark, 4)
+		bs.SetPreconditioner(factor)
+		ts := []int{1, g.N() / 2, g.N() - 1, 3}
+		refX := make([][]float64, len(ts))
+		refRes := make([]linalg.CGResult, len(ts))
+		for c, tt := range ts {
+			x, res, err := single.SolveUnit(tt, lap.ExactTol)
+			if err != nil {
+				t.Fatalf("%s: single solve %d: %v", name, tt, err)
+			}
+			refX[c] = append([]float64(nil), x...)
+			refRes[c] = res
+		}
+		xs, results, colErrs, err := bs.SolveUnits(context.Background(), ts, lap.ExactTol)
+		if err != nil {
+			t.Fatalf("%s: block solve: %v", name, err)
+		}
+		for c := range ts {
+			if colErrs[c] != nil {
+				t.Fatalf("%s col %d: %v", name, c, colErrs[c])
+			}
+			if results[c].Iterations != refRes[c].Iterations {
+				t.Errorf("%s col %d: iterations %d, want %d",
+					name, c, results[c].Iterations, refRes[c].Iterations)
+			}
+			for i := range xs[c] {
+				if xs[c][i] != refX[c][i] {
+					t.Fatalf("%s col %d row %d: %v != %v (bitwise)",
+						name, c, i, xs[c][i], refX[c][i])
+				}
+			}
+		}
+	}
+}
+
+// TestCholPrecondCutsIterations is the tentpole's acceptance property at the
+// solver level: on a high-κ path graph, the chol-preconditioned grounded
+// solve must need at most half the CG iterations of the Jacobi default at
+// the same tolerance — while agreeing with the closed-form answer
+// (r(0,t) = t on a path).
+func TestCholPrecondCutsIterations(t *testing.T) {
+	g, err := graph.Path(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	landmark := 0
+	tt := 399
+
+	jac := lap.NewGroundedSolver(g, landmark)
+	xj, resJ, err := jac.SolveUnit(tt, lap.ExactTol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(xj[tt]-float64(tt)) > 1e-6 {
+		t.Fatalf("jacobi solve wrong: %v", xj[tt])
+	}
+
+	factor, err := chol.NewFactor(g, landmark, chol.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := lap.NewGroundedSolver(g, landmark)
+	ch.SetPreconditioner(factor)
+	xc, resC, err := ch.SolveUnit(tt, lap.ExactTol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(xc[tt]-float64(tt)) > 1e-6 {
+		t.Fatalf("chol solve wrong: %v", xc[tt])
+	}
+	if 2*resC.Iterations > resJ.Iterations {
+		t.Errorf("chol iterations %d vs jacobi %d: want >= 2x reduction",
+			resC.Iterations, resJ.Iterations)
+	}
+}

@@ -68,6 +68,77 @@ func PotentialCG(g *graph.Graph, s, t int) ([]float64, error) {
 	return x, nil
 }
 
+// GroundVertex returns the grounding vertex ResistanceCG would use for the
+// pair (s, t): the first vertex distinct from both, or t itself when n == 2.
+// Batch callers group pairs by this vertex so pairs sharing a ground can be
+// solved as one multi-RHS block.
+func GroundVertex(g *graph.Graph, s, t int) int { return pickGround(g, s, t) }
+
+// ResistanceBatchCG computes r(s,t) for a batch of pairs that share the
+// grounding vertex ground (each must satisfy GroundVertex(g, s, t) ==
+// ground, and s != t), using one block CG solve — one operator sweep per
+// iteration across all pairs instead of one solve per pair. Every returned
+// value is bit-for-bit what ResistanceCGContext would produce for that pair.
+//
+// errs[i] carries a per-pair failure (invalid vertex, breakdown,
+// non-convergence); err is reserved for whole-batch failures — a
+// disconnected graph, cancellation, or injected faults. tol <= 0 means
+// ExactTol.
+func ResistanceBatchCG(ctx context.Context, g *graph.Graph, ground int, pairs [][2]int, tol float64) (values []float64, errs []error, err error) {
+	if tol <= 0 {
+		tol = ExactTol
+	}
+	values = make([]float64, len(pairs))
+	errs = make([]error, len(pairs))
+	if len(pairs) == 0 {
+		return values, errs, nil
+	}
+	if !g.IsConnected() {
+		return nil, nil, graph.ErrNotConnected
+	}
+	// Validate up front; invalid pairs get their error and drop out of the
+	// block, valid ones keep their batch position via cols.
+	cols := make([]int, 0, len(pairs))
+	bs := make([][]float64, 0, len(pairs))
+	n := g.N()
+	for i, pr := range pairs {
+		s, t := pr[0], pr[1]
+		if verr := validatePair(g, s, t); verr != nil {
+			errs[i] = verr
+			continue
+		}
+		if s == t {
+			continue // values[i] stays 0
+		}
+		if pickGround(g, s, t) != ground {
+			errs[i] = fmt.Errorf("lap: pair (%d,%d) grounds at %d, not %d", s, t, pickGround(g, s, t), ground)
+			continue
+		}
+		b := make([]float64, n)
+		b[s] = 1
+		b[t] = -1
+		cols = append(cols, i)
+		bs = append(bs, b)
+	}
+	if len(cols) == 0 {
+		return values, errs, nil
+	}
+	solver := NewGroundedBlockSolver(g, ground, len(cols))
+	xs, _, colErrs, serr := solver.SolveRHS(ctx, bs, tol)
+	if serr != nil {
+		return nil, nil, fmt.Errorf("lap: exact resistance solve failed: %w", serr)
+	}
+	for c, i := range cols {
+		if colErrs[c] != nil {
+			errs[i] = fmt.Errorf("lap: exact resistance solve failed: %w", colErrs[c])
+			continue
+		}
+		s, t := pairs[i][0], pairs[i][1]
+		values[i] = xs[c][s] - xs[c][t]
+	}
+	return values, errs, nil
+}
+
 // pickGround chooses a grounding vertex different from s and t.
 func pickGround(g *graph.Graph, s, t int) int {
 	for v := 0; v < g.N(); v++ {

@@ -122,6 +122,169 @@ func (l *Grounded) Apply(dst, x []float64) {
 	dst[v] = 0
 }
 
+// ApplyBlock computes dst[c] = L_v x[c] for every column c with edge-
+// balanced sweeps over the CSR structure that amortize each row's offsets,
+// adjacency and weights across several columns at once. Columns are
+// dispatched to unrolled kernels in chunks of 8, 4 and 2 whose accumulators
+// live in registers; per column the accumulation order is exactly
+// laplacianSweep's, so every column's result is bit-for-bit what Apply would
+// have produced. It implements linalg.BlockOperator. x is mutated (the
+// landmark entries are zeroed for the sweep) but restored before returning.
+func (l *Grounded) ApplyBlock(dst, x [][]float64) {
+	k := len(x)
+	if k == 1 {
+		l.Apply(dst[0], x[0])
+		return
+	}
+	g := l.G
+	n := g.N()
+	v := l.Landmark
+	offsets, adj, w := g.RawCSR()
+	deg := g.WeightedDegrees()
+	saved := make([]float64, k)
+	for c, xc := range x {
+		saved[c] = xc[v]
+		xc[v] = 0
+	}
+	if !l.NoParallel && parallelApplyWorthwhile(n, len(adj)*k) {
+		parallelRows(n, offsets, func(lo, hi int) {
+			laplacianSweepBlock(dst, x, offsets, adj, w, deg, lo, hi)
+		})
+	} else {
+		laplacianSweepBlock(dst, x, offsets, adj, w, deg, 0, n)
+	}
+	for c, xc := range x {
+		xc[v] = saved[c]
+		dst[c][v] = 0
+	}
+}
+
+// laplacianSweepBlock sweeps rows [lo, hi) for every column, peeling the
+// columns into unrolled chunks: 8-wide and 4-wide kernels whose per-column
+// accumulators are scalar locals (registers), then a 2-wide kernel, then the
+// plain single-column sweep for a final odd column. Each chunk re-traverses
+// the adjacency, so the amortization factor is the chunk width — still far
+// cheaper than one traversal per column, without the cache-hostile k-way
+// indirection of a fully generic inner loop.
+func laplacianSweepBlock(dst, x [][]float64, offsets []int64, adj []int32, w, deg []float64, lo, hi int) {
+	for len(x) >= 8 {
+		laplacianSweepBlock8(dst, x, offsets, adj, w, deg, lo, hi)
+		dst, x = dst[8:], x[8:]
+	}
+	if len(x) >= 4 {
+		laplacianSweepBlock4(dst, x, offsets, adj, w, deg, lo, hi)
+		dst, x = dst[4:], x[4:]
+	}
+	if len(x) >= 2 {
+		laplacianSweepBlock2(dst[0], dst[1], x[0], x[1], offsets, adj, w, deg, lo, hi)
+		dst, x = dst[2:], x[2:]
+	}
+	if len(x) == 1 {
+		laplacianSweep(dst[0], x[0], offsets, adj, w, deg, lo, hi)
+	}
+}
+
+func laplacianSweepBlock2(dst0, dst1, x0, x1 []float64, offsets []int64, adj []int32, w, deg []float64, lo, hi int) {
+	for u := lo; u < hi; u++ {
+		du := deg[u]
+		a0 := du * x0[u]
+		a1 := du * x1[u]
+		b, e := offsets[u], offsets[u+1]
+		row := adj[b:e]
+		if w == nil {
+			for _, v := range row {
+				a0 -= x0[v]
+				a1 -= x1[v]
+			}
+		} else {
+			wts := w[b:e:e]
+			for j, v := range row {
+				wv := wts[j]
+				a0 -= wv * x0[v]
+				a1 -= wv * x1[v]
+			}
+		}
+		dst0[u] = a0
+		dst1[u] = a1
+	}
+}
+
+func laplacianSweepBlock4(dst, x [][]float64, offsets []int64, adj []int32, w, deg []float64, lo, hi int) {
+	dst0, dst1, dst2, dst3 := dst[0], dst[1], dst[2], dst[3]
+	x0, x1, x2, x3 := x[0], x[1], x[2], x[3]
+	for u := lo; u < hi; u++ {
+		du := deg[u]
+		a0 := du * x0[u]
+		a1 := du * x1[u]
+		a2 := du * x2[u]
+		a3 := du * x3[u]
+		b, e := offsets[u], offsets[u+1]
+		row := adj[b:e]
+		if w == nil {
+			for _, v := range row {
+				a0 -= x0[v]
+				a1 -= x1[v]
+				a2 -= x2[v]
+				a3 -= x3[v]
+			}
+		} else {
+			wts := w[b:e:e]
+			for j, v := range row {
+				wv := wts[j]
+				a0 -= wv * x0[v]
+				a1 -= wv * x1[v]
+				a2 -= wv * x2[v]
+				a3 -= wv * x3[v]
+			}
+		}
+		dst0[u] = a0
+		dst1[u] = a1
+		dst2[u] = a2
+		dst3[u] = a3
+	}
+}
+
+func laplacianSweepBlock8(dst, x [][]float64, offsets []int64, adj []int32, w, deg []float64, lo, hi int) {
+	dst0, dst1, dst2, dst3 := dst[0], dst[1], dst[2], dst[3]
+	dst4, dst5, dst6, dst7 := dst[4], dst[5], dst[6], dst[7]
+	x0, x1, x2, x3 := x[0], x[1], x[2], x[3]
+	x4, x5, x6, x7 := x[4], x[5], x[6], x[7]
+	for u := lo; u < hi; u++ {
+		du := deg[u]
+		a0, a1, a2, a3 := du*x0[u], du*x1[u], du*x2[u], du*x3[u]
+		a4, a5, a6, a7 := du*x4[u], du*x5[u], du*x6[u], du*x7[u]
+		b, e := offsets[u], offsets[u+1]
+		row := adj[b:e]
+		if w == nil {
+			for _, v := range row {
+				a0 -= x0[v]
+				a1 -= x1[v]
+				a2 -= x2[v]
+				a3 -= x3[v]
+				a4 -= x4[v]
+				a5 -= x5[v]
+				a6 -= x6[v]
+				a7 -= x7[v]
+			}
+		} else {
+			wts := w[b:e:e]
+			for j, v := range row {
+				wv := wts[j]
+				a0 -= wv * x0[v]
+				a1 -= wv * x1[v]
+				a2 -= wv * x2[v]
+				a3 -= wv * x3[v]
+				a4 -= wv * x4[v]
+				a5 -= wv * x5[v]
+				a6 -= wv * x6[v]
+				a7 -= wv * x7[v]
+			}
+		}
+		dst0[u], dst1[u], dst2[u], dst3[u] = a0, a1, a2, a3
+		dst4[u], dst5[u], dst6[u], dst7[u] = a4, a5, a6, a7
+	}
+}
+
 // Diagonal implements linalg.DiagonalProvider.
 func (l *Grounded) Diagonal() []float64 {
 	g := l.G

@@ -28,7 +28,7 @@ type GroundedSolver struct {
 	// point it at a worker-local sink and merge when they join.
 	Metrics *obs.Metrics
 
-	precond linalg.JacobiPreconditioner
+	precond linalg.Preconditioner
 	rhs     []float64
 	x       []float64
 	work    linalg.CGWorkspace
@@ -48,9 +48,22 @@ func NewGroundedSolver(g *graph.Graph, landmark int) *GroundedSolver {
 	inv[landmark] = 1 // pinned coordinate, matching Grounded.Diagonal
 	return &GroundedSolver{
 		Op:      Grounded{G: g, Landmark: landmark},
-		precond: linalg.JacobiPreconditioner{InvDiag: inv},
+		precond: &linalg.JacobiPreconditioner{InvDiag: inv},
 		rhs:     make([]float64, n),
 		x:       make([]float64, n),
+	}
+}
+
+// SetPreconditioner replaces the solver's preconditioner (Jacobi by
+// default). Nil is ignored — pass linalg.IdentityPreconditioner{} for
+// "none". The preconditioner must treat the landmark coordinate as pinned
+// (map it to itself or zero); both the approximate-Cholesky factor and
+// Jacobi with InvDiag[landmark] = 1 satisfy this. A preconditioner shared
+// across solvers must be safe for concurrent Precondition calls (read-only
+// state), which the Cholesky factor is.
+func (s *GroundedSolver) SetPreconditioner(p linalg.Preconditioner) {
+	if p != nil {
+		s.precond = p
 	}
 }
 
@@ -93,7 +106,7 @@ func (s *GroundedSolver) run(ctx context.Context, tol float64) ([]float64, linal
 	linalg.Zero(s.x)
 	res, err := linalg.CG(&s.Op, s.x, s.rhs, linalg.CGOptions{
 		Tol:     tol,
-		Precond: &s.precond,
+		Precond: s.precond,
 		Work:    &s.work,
 		Ctx:     ctx,
 	})

@@ -41,6 +41,30 @@ type IdentityPreconditioner struct{}
 // Precondition implements Preconditioner.
 func (IdentityPreconditioner) Precondition(dst, x []float64) { copy(dst, x) }
 
+// ErrBadDiagonal is returned (wrapped — test with errors.Is) by
+// NewJacobiFromDiagonal when a diagonal entry cannot be inverted for Jacobi
+// preconditioning: zero, negative, NaN, or infinite. Inverting such an
+// entry would plant an Inf/NaN (or a singular scale) in InvDiag that CG
+// then propagates into every iterate.
+var ErrBadDiagonal = errors.New("linalg: diagonal entry unusable for Jacobi preconditioning")
+
+// NewJacobiFromDiagonal builds the Jacobi preconditioner 1/diag, validating
+// that every entry is finite and strictly positive — the preconditioner of
+// an SPD operator must itself be SPD. The first offending entry is reported
+// in an error matching ErrBadDiagonal; callers that can proceed without
+// preconditioning (CG's and BlockCG's default selection do) fall back to
+// the identity instead.
+func NewJacobiFromDiagonal(diag []float64) (*JacobiPreconditioner, error) {
+	inv := make([]float64, len(diag))
+	for i, d := range diag {
+		if !(d > 0) || math.IsInf(d, 1) { // !(d > 0) also catches NaN
+			return nil, fmt.Errorf("linalg: diagonal[%d] = %v: %w", i, d, ErrBadDiagonal)
+		}
+		inv[i] = 1 / d
+	}
+	return &JacobiPreconditioner{InvDiag: inv}, nil
+}
+
 // CGOptions controls the conjugate-gradient solver.
 type CGOptions struct {
 	// Tol is the relative residual tolerance ‖r‖₂ ≤ Tol·‖b‖₂ (default 1e-10).
@@ -124,19 +148,15 @@ func CG(a Operator, x, b []float64, opts CGOptions) (CGResult, error) {
 		opts.MaxIter = 10*n + 100
 	}
 	if opts.Precond == nil {
+		// Default Jacobi from the operator's diagonal — but only when every
+		// entry is invertible. A zero/NaN/Inf entry (a buggy or merely
+		// honest DiagonalProvider) would otherwise seed InvDiag with a value
+		// that turns the solve into NaNs; identity is always safe.
+		opts.Precond = IdentityPreconditioner{}
 		if dp, ok := a.(DiagonalProvider); ok {
-			diag := dp.Diagonal()
-			inv := make([]float64, n)
-			for i, d := range diag {
-				if d > 0 {
-					inv[i] = 1 / d
-				} else {
-					inv[i] = 1
-				}
+			if jac, jerr := NewJacobiFromDiagonal(dp.Diagonal()); jerr == nil {
+				opts.Precond = jac
 			}
-			opts.Precond = &JacobiPreconditioner{InvDiag: inv}
-		} else {
-			opts.Precond = IdentityPreconditioner{}
 		}
 	}
 

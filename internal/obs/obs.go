@@ -178,6 +178,7 @@ type Metrics struct {
 
 	EstimatorBuilds Counter // estimator constructions (pool misses)
 	IndexBuilds     Counter // landmark index constructions
+	PrecondBuilds   Counter // approximate-Cholesky preconditioner factorizations
 
 	PortfolioQueries Counter // queries routed through a portfolio index
 	RouterFallbacks  Counter // routed landmarks skipped on conflict with s or t
@@ -185,11 +186,12 @@ type Metrics struct {
 	CGSolves     Counter // grounded CG solves
 	CGIterations Counter // total CG iterations across solves
 
-	QueryTime       Histogram // per-query wall time, nanoseconds
-	PushWork        Histogram // per-query push edge relaxations
-	WalkWork        Histogram // per-query walk steps
-	IndexBuildTime  Histogram // per-BuildIndex wall time, nanoseconds
-	ColumnBuildTime Histogram // per-landmark portfolio column build time, ns
+	QueryTime        Histogram // per-query wall time, nanoseconds
+	PushWork         Histogram // per-query push edge relaxations
+	WalkWork         Histogram // per-query walk steps
+	IndexBuildTime   Histogram // per-BuildIndex wall time, nanoseconds
+	ColumnBuildTime  Histogram // per-landmark portfolio column build time, ns
+	PrecondBuildTime Histogram // per-factorization preconditioner build time, ns
 }
 
 // Merge folds src's counters and histograms into m. The index builder uses
@@ -220,6 +222,7 @@ func (m *Metrics) Merge(src *Metrics) {
 
 	m.EstimatorBuilds.Add(src.EstimatorBuilds.Load())
 	m.IndexBuilds.Add(src.IndexBuilds.Load())
+	m.PrecondBuilds.Add(src.PrecondBuilds.Load())
 
 	m.PortfolioQueries.Add(src.PortfolioQueries.Load())
 	m.RouterFallbacks.Add(src.RouterFallbacks.Load())
@@ -232,6 +235,7 @@ func (m *Metrics) Merge(src *Metrics) {
 	m.WalkWork.Merge(&src.WalkWork)
 	m.IndexBuildTime.Merge(&src.IndexBuildTime)
 	m.ColumnBuildTime.Merge(&src.ColumnBuildTime)
+	m.PrecondBuildTime.Merge(&src.PrecondBuildTime)
 }
 
 // QueryObservation carries everything one pair query contributes to the
@@ -287,6 +291,16 @@ func (m *Metrics) ObserveSolve(iterations int, d time.Duration) {
 	m.QueryTime.Observe(d.Nanoseconds())
 }
 
+// ObservePrecondBuild records one preconditioner factorization. Safe on a
+// nil receiver.
+func (m *Metrics) ObservePrecondBuild(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.PrecondBuilds.Inc()
+	m.PrecondBuildTime.Observe(d.Nanoseconds())
+}
+
 // Snapshot is a point-in-time copy of a Metrics, with JSON tags so it can
 // be served over expvar or printed directly.
 type Snapshot struct {
@@ -310,6 +324,7 @@ type Snapshot struct {
 
 	EstimatorBuilds int64 `json:"estimator_builds"`
 	IndexBuilds     int64 `json:"index_builds"`
+	PrecondBuilds   int64 `json:"precond_builds"`
 
 	PortfolioQueries int64 `json:"portfolio_queries"`
 	RouterFallbacks  int64 `json:"router_fallbacks"`
@@ -317,11 +332,12 @@ type Snapshot struct {
 	CGSolves     int64 `json:"cg_solves"`
 	CGIterations int64 `json:"cg_iterations"`
 
-	QueryTime       HistSnapshot `json:"query_time_ns"`
-	PushWork        HistSnapshot `json:"push_work"`
-	WalkWork        HistSnapshot `json:"walk_work"`
-	IndexBuildTime  HistSnapshot `json:"index_build_time_ns"`
-	ColumnBuildTime HistSnapshot `json:"column_build_time_ns"`
+	QueryTime        HistSnapshot `json:"query_time_ns"`
+	PushWork         HistSnapshot `json:"push_work"`
+	WalkWork         HistSnapshot `json:"walk_work"`
+	IndexBuildTime   HistSnapshot `json:"index_build_time_ns"`
+	ColumnBuildTime  HistSnapshot `json:"column_build_time_ns"`
+	PrecondBuildTime HistSnapshot `json:"precond_build_time_ns"`
 }
 
 // Snapshot returns the current state. Safe on a nil receiver (zero
@@ -351,6 +367,7 @@ func (m *Metrics) Snapshot() Snapshot {
 
 		EstimatorBuilds: m.EstimatorBuilds.Load(),
 		IndexBuilds:     m.IndexBuilds.Load(),
+		PrecondBuilds:   m.PrecondBuilds.Load(),
 
 		PortfolioQueries: m.PortfolioQueries.Load(),
 		RouterFallbacks:  m.RouterFallbacks.Load(),
@@ -358,11 +375,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		CGSolves:     m.CGSolves.Load(),
 		CGIterations: m.CGIterations.Load(),
 
-		QueryTime:       m.QueryTime.Snapshot(),
-		PushWork:        m.PushWork.Snapshot(),
-		WalkWork:        m.WalkWork.Snapshot(),
-		IndexBuildTime:  m.IndexBuildTime.Snapshot(),
-		ColumnBuildTime: m.ColumnBuildTime.Snapshot(),
+		QueryTime:        m.QueryTime.Snapshot(),
+		PushWork:         m.PushWork.Snapshot(),
+		WalkWork:         m.WalkWork.Snapshot(),
+		IndexBuildTime:   m.IndexBuildTime.Snapshot(),
+		ColumnBuildTime:  m.ColumnBuildTime.Snapshot(),
+		PrecondBuildTime: m.PrecondBuildTime.Snapshot(),
 	}
 }
 

@@ -43,6 +43,11 @@ type PortfolioBuildOptions struct {
 	Seed uint64
 	// Workers shards each column build (default GOMAXPROCS).
 	Workers int
+	// Precond selects the CG preconditioner per landmark column (default
+	// PrecondJacobi; see PrecondMode). PrecondAuto resolves independently
+	// per landmark; the resolved modes appear in the portfolio's
+	// PrecondModes field and Stats.
+	Precond PrecondMode
 	// Metrics, when non-nil, receives one IndexBuilds increment, the total
 	// build time (IndexBuildTime), and per-column ColumnBuildTime
 	// observations.
@@ -62,12 +67,14 @@ func BuildPortfolioIndex(g *Graph, opts PortfolioBuildOptions) (*PortfolioIndex,
 		seed = 1
 	}
 	return core.BuildPortfolio(g, core.PortfolioOptions{
-		K:         opts.K,
-		Strategy:  opts.Strategy,
-		Landmarks: opts.Landmarks,
-		Mode:      opts.Mode,
-		Workers:   opts.Workers,
-		Metrics:   opts.Metrics,
+		K:           opts.K,
+		Strategy:    opts.Strategy,
+		Landmarks:   opts.Landmarks,
+		Mode:        opts.Mode,
+		Workers:     opts.Workers,
+		Metrics:     opts.Metrics,
+		Precond:     opts.Precond,
+		PrecondSeed: seed,
 	}, randx.New(seed))
 }
 
