@@ -204,6 +204,9 @@ func NewBatchEngine(g *Graph, m Method, opts BatchOptions) (*BatchEngine, error)
 // queries may route elsewhere.
 func (e *BatchEngine) Landmark() int { return e.landmark }
 
+// Graph returns the graph the engine was built on.
+func (e *BatchEngine) Graph() *Graph { return e.g }
+
 // Portfolio returns the portfolio the engine routes through, or nil.
 func (e *BatchEngine) Portfolio() *PortfolioIndex { return e.portfolio }
 

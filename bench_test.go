@@ -10,6 +10,8 @@ package landmarkrd_test
 // reproduction tables recorded in EXPERIMENTS.md.
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"testing"
 
@@ -567,5 +569,50 @@ func BenchmarkElectricFlow(b *testing.B) {
 		if _, err := landmarkrd.ComputeElectricFlow(g, s, t); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkQueryUnderUpdates measures the fresh-read path of the live
+// epoch layer: one grounded solve plus O(1) Sherman-Morrison work per
+// pending patch. The patch-depth subtests map the cost law that drives
+// the re-base threshold (patches·n/(4m+n) extra sweeps per query).
+func BenchmarkQueryUnderUpdates(b *testing.B) {
+	for _, patches := range []int{0, 8, 32} {
+		b.Run(fmt.Sprintf("patches=%d", patches), func(b *testing.B) {
+			g, err := landmarkrd.Grid(40, 40, 0.05, 41)
+			if err != nil {
+				b.Fatal(err)
+			}
+			li, err := landmarkrd.NewLiveIndex(g, landmarkrd.LiveOptions{
+				Method: landmarkrd.BiPush,
+				Batch:  landmarkrd.BatchOptions{Options: landmarkrd.Options{Seed: 41}},
+				Mode:   landmarkrd.DiagExactCG,
+				// Benchmarks pin the patch depth; never auto-rebase.
+				MaxPatches:       -1,
+				MaxPatchOverhead: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			for i := 0; i < patches; i++ {
+				u := landmarkrd.GraphUpdate{
+					Op: landmarkrd.UpdateAddEdge, S: i, T: i + 43, Weight: 0.5,
+				}
+				if _, err := li.ApplyUpdate(ctx, u); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ep := li.Pin()
+			defer ep.Release()
+			rng := randx.New(42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, t := pairOn(g, rng, -1)
+				if _, err := ep.FreshPairContext(ctx, s, t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

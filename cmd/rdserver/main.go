@@ -9,6 +9,7 @@
 //	GET  /v1/pair?s=12&t=99          one pair estimate
 //	POST /v1/batch                   {"pairs":[{"s":12,"t":99},...]}
 //	GET  /v1/singlesource?s=12       r(s, t) for every t (needs -index-mode)
+//	POST /v1/update                  {"op":"add","s":12,"t":99,"weight":1.5}
 //	GET  /healthz                    liveness probe (process is up)
 //	GET  /readyz                     readiness probe (index built, not reloading)
 //	GET  /debug/vars                 expvar, including engine metrics
@@ -24,9 +25,17 @@
 // with the smallest cost-law score r(s,ℓ)+r(t,ℓ) and /v1/singlesource
 // reports which landmark answered. -snapshot loads/saves the landmark
 // index (or v3 portfolio) from a checksummed snapshot file, and
-// SIGHUP hot-reloads it without dropping in-flight queries. SIGINT or
-// SIGTERM stops accepting new queries and drains the in-flight ones before
-// exiting.
+// SIGHUP hot-reloads it without dropping in-flight queries.
+//
+// The serving state is epoch-versioned: POST /v1/update streams edge
+// insertions and deletions onto the current epoch as Sherman-Morrison
+// patches without blocking queries, every query pins the epoch it started
+// on, and a background re-base folds the patch stack into a freshly built
+// index once -max-patches accumulate (or every -rebase-interval, if set),
+// publishing the result as a new epoch. A superseded epoch is retired only
+// after its last in-flight query completes. SIGHUP reloads share the same
+// epoch lifecycle. SIGINT or SIGTERM stops accepting new queries and
+// drains the in-flight ones before exiting.
 package main
 
 import (
@@ -62,6 +71,8 @@ func main() {
 		retriesFlag  = flag.Int("retries", 3, "per-query attempt budget for transient failures (1 disables retries)")
 		degradeFlag  = flag.Duration("degrade-below", 0, "answer with the degraded Monte Carlo tier when less than this budget remains (0 disables)")
 		maxBodyFlag  = flag.Int64("max-body", 1<<20, "max batch request body bytes")
+		patchesFlag  = flag.Int("max-patches", 0, "re-base the index after this many live updates (0 = default 64, negative disables)")
+		rebaseFlag   = flag.Duration("rebase-interval", 0, "also re-base pending live updates on this interval (0 disables)")
 		drainFlag    = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 		debugFlag    = flag.String("debug-addr", "", "also serve expvar and pprof on this address")
 	)
@@ -86,6 +97,8 @@ func main() {
 			retries:      *retriesFlag,
 			degradeBelow: *degradeFlag,
 			maxBody:      *maxBodyFlag,
+			maxPatches:   *patchesFlag,
+			rebaseInt:    *rebaseFlag,
 		},
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "rdserver:", err)
@@ -145,6 +158,12 @@ func run(cfg config) error {
 	defer signal.Stop(hup)
 	go srv.watchReload(hup)
 
+	// Optional periodic re-base of streamed updates, alongside the
+	// -max-patches count trigger.
+	if cfg.server.rebaseInt > 0 {
+		go srv.rebaseLoop(ctx, cfg.server.rebaseInt)
+	}
+
 	shutdownErr := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
@@ -152,6 +171,7 @@ func run(cfg config) error {
 		drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 		defer cancel()
 		err := httpSrv.Shutdown(drainCtx)
+		srv.live.Quiesce() // let an in-flight background re-base finish
 		if dbgErr := dbg.Shutdown(drainCtx); err == nil {
 			err = dbgErr
 		}

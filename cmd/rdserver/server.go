@@ -6,6 +6,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -35,6 +36,8 @@ type serverConfig struct {
 	retries      int           // per-query attempt budget for transient failures (0 = 1)
 	degradeBelow time.Duration // degrade queries with less deadline than this left
 	maxBody      int64         // batch body byte cap; 0 means 1 MiB
+	maxPatches   int           // re-base after this many live updates (0 = 64, <0 disables)
+	rebaseInt    time.Duration // periodic re-base interval; 0 disables the ticker
 }
 
 // validate rejects nonsensical configurations at startup rather than
@@ -61,6 +64,9 @@ func (c *serverConfig) validate() error {
 	if c.maxBody < 0 {
 		return fmt.Errorf("rdserver: -max-body must be >= 0, got %d", c.maxBody)
 	}
+	if c.rebaseInt < 0 {
+		return fmt.Errorf("rdserver: -rebase-interval must be >= 0, got %v", c.rebaseInt)
+	}
 	if _, err := landmarkrd.ParsePrecondMode(c.precond); err != nil {
 		return fmt.Errorf("rdserver: -precond: %w", err)
 	}
@@ -78,35 +84,28 @@ const (
 	retryAfterMax = 3
 )
 
-// queryServer owns the query-serving state: one BatchEngine answering
-// every /v1/pair and /v1/batch request from pooled estimators, an optional
-// landmark index for /v1/singlesource behind an atomic pointer (so SIGHUP
-// can hot-swap it while in-flight queries drain on the old one), and a
-// bounded admission semaphore.
+// queryServer owns the query-serving state: one epoch-versioned LiveIndex
+// answering every /v1/pair, /v1/batch, /v1/singlesource, and /v1/update
+// request, plus a bounded admission semaphore. Each query pins the current
+// epoch for its whole lifetime, so streamed updates, background re-bases,
+// and SIGHUP reloads never swap state out from under a running query —
+// the superseded epoch retires only after its last pinned query releases
+// it (one lifecycle for hot reloads and live updates alike).
 type queryServer struct {
 	g       *landmarkrd.Graph
 	metrics *landmarkrd.Metrics
 	cfg     serverConfig
 
-	// engine answers pair/batch queries. It is behind an atomic pointer
-	// because a portfolio reload swaps in a fresh engine routing through
-	// the new portfolio; in-flight batches drain on the engine they loaded.
-	engine atomic.Pointer[landmarkrd.BatchEngine]
+	// live is the epoch-versioned serving state: graph + engine +
+	// index/portfolio per epoch, a Sherman-Morrison patch stack for
+	// streamed edge updates, and a background re-baser.
+	live *landmarkrd.LiveIndex
 
-	// idx is the current landmark index (nil when -index-mode is none and
-	// no snapshot is configured). Readers LoadIndex it once per request and
-	// keep the pointer, so a concurrent reload never swaps an index out from
-	// under a running query.
-	idx atomic.Pointer[landmarkrd.LandmarkIndex]
-
-	// pf is the current portfolio (nil unless -portfolio is set). Same
-	// hot-swap discipline as idx: SIGHUP builds/loads a new portfolio, then
-	// stores pf and a fresh engine atomically.
-	pf atomic.Pointer[landmarkrd.PortfolioIndex]
-
-	// ready gates /readyz: false until the engine and index are built, and
-	// false again while a reload is in progress. Queries are still answered
-	// during a reload — readiness is advisory, for load balancers.
+	// ready gates /readyz and /v1/update: false until the first epoch is
+	// built, and false again while a reload is in progress. Queries are
+	// still answered during a reload — readiness is advisory, for load
+	// balancers — but updates are rejected with 503 so the reload's
+	// snapshot stays authoritative.
 	ready atomic.Bool
 
 	// reloadMu serializes reloads (rapid SIGHUPs must not race each other).
@@ -141,29 +140,57 @@ func newQueryServer(g *landmarkrd.Graph, cfg serverConfig) (*queryServer, error)
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(int64(cfg.seed))),
 	}
-	var pf *landmarkrd.PortfolioIndex
+	lo := landmarkrd.LiveOptions{
+		Method: cfg.method,
+		Batch: landmarkrd.BatchOptions{
+			Options:      landmarkrd.Options{Seed: cfg.seed, Walks: cfg.walks, Theta: cfg.theta},
+			Workers:      cfg.workers,
+			MaxAttempts:  cfg.retries,
+			DegradeBelow: cfg.degradeBelow,
+		},
+		Metrics:    s.metrics,
+		MaxPatches: cfg.maxPatches,
+		Precond:    cfg.precondMode(),
+		OnRebase: func(seq uint64, err error) {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rdserver: background rebase failed:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "rdserver: rebased onto epoch %d\n", seq)
+		},
+	}
 	if cfg.portfolioK > 0 {
-		var err error
-		pf, err = s.loadOrBuildPortfolio()
+		pf, err := s.loadOrBuildPortfolio()
 		if err != nil {
 			return nil, err
 		}
-		s.pf.Store(pf)
-	}
-	engine, err := s.newEngine(pf)
-	if err != nil {
-		return nil, err
-	}
-	s.engine.Store(engine)
-	if cfg.portfolioK == 0 {
+		lo.PortfolioK = cfg.portfolioK
+		lo.InitialPortfolio = pf
+		if mode, ok := diagModes[cfg.indexMode]; ok {
+			lo.Mode = mode
+		} else {
+			lo.Mode = pf.Mode // snapshot-only start: re-bases reuse its mode
+		}
+	} else {
 		idx, err := s.loadOrBuildIndex()
 		if err != nil {
 			return nil, err
 		}
 		if idx != nil {
-			s.idx.Store(idx)
+			lo.InitialIndex = idx
+			lo.Mode = idx.Mode
+		} else {
+			// No index configured: fresh reads fall back to full
+			// pseudo-inverse solves and /v1/singlesource answers 501.
+			lo.NoIndex = true
 		}
 	}
+	live, err := landmarkrd.NewLiveIndex(g, lo)
+	if err != nil {
+		return nil, err
+	}
+	s.live = live
+	liveServer.Store(live)
 	inflight := cfg.maxInflight
 	if inflight <= 0 {
 		inflight = 16
@@ -174,35 +201,44 @@ func newQueryServer(g *landmarkrd.Graph, cfg serverConfig) (*queryServer, error)
 	return s, nil
 }
 
+// eng returns the batch engine of the current epoch (a peek, for startup
+// logs and tests; query handlers pin a full epoch instead).
+func (s *queryServer) eng() *landmarkrd.BatchEngine {
+	ep := s.live.Pin()
+	defer ep.Release()
+	return ep.Engine()
+}
+
+// currentIndex peeks at the current epoch's landmark index (nil without
+// one).
+func (s *queryServer) currentIndex() *landmarkrd.LandmarkIndex {
+	ep := s.live.Pin()
+	defer ep.Release()
+	return ep.Index()
+}
+
+// currentPortfolio peeks at the current epoch's portfolio (nil outside
+// portfolio mode).
+func (s *queryServer) currentPortfolio() *landmarkrd.PortfolioIndex {
+	ep := s.live.Pin()
+	defer ep.Release()
+	return ep.Portfolio()
+}
+
 // publishPrecond records the serving index's resolved preconditioner mode(s)
 // in /debug/vars. A snapshot-loaded index reports its own (persisted-default)
 // mode, not the flag, so the variable always reflects what is actually
 // serving.
 func (s *queryServer) publishPrecond() {
-	if p := s.pf.Load(); p != nil {
+	if p := s.currentPortfolio(); p != nil {
 		precondVar.Set(fmt.Sprintf("%v", p.PrecondModes))
 		return
 	}
-	if idx := s.idx.Load(); idx != nil {
+	if idx := s.currentIndex(); idx != nil {
 		precondVar.Set(idx.Precond.String())
 		return
 	}
 	precondVar.Set(s.cfg.precondMode().String())
-}
-
-// eng returns the current batch engine.
-func (s *queryServer) eng() *landmarkrd.BatchEngine { return s.engine.Load() }
-
-// newEngine builds the batch engine, routing through pf when non-nil.
-func (s *queryServer) newEngine(pf *landmarkrd.PortfolioIndex) (*landmarkrd.BatchEngine, error) {
-	return landmarkrd.NewBatchEngine(s.g, s.cfg.method, landmarkrd.BatchOptions{
-		Options:      landmarkrd.Options{Seed: s.cfg.seed, Walks: s.cfg.walks, Theta: s.cfg.theta},
-		Workers:      s.cfg.workers,
-		Metrics:      s.metrics,
-		MaxAttempts:  s.cfg.retries,
-		DegradeBelow: s.cfg.degradeBelow,
-		Portfolio:    pf,
-	})
 }
 
 // precondMode parses the validated -precond flag value.
@@ -214,6 +250,26 @@ func (c *serverConfig) precondMode() landmarkrd.PrecondMode {
 // precondVar snapshots the resolved preconditioner mode(s) of the serving
 // index into /debug/vars; set at startup and on every successful reload.
 var precondVar = expvar.NewString("landmarkrd.precond")
+
+// liveServer points expvar at the newest live index in the process (tests
+// build several servers; production has one). Registered once in init —
+// expvar panics on duplicate names.
+var liveServer atomic.Pointer[landmarkrd.LiveIndex]
+
+func init() {
+	expvar.Publish("landmarkrd.epoch", expvar.Func(func() any {
+		if li := liveServer.Load(); li != nil {
+			return li.Epoch()
+		}
+		return uint64(0)
+	}))
+	expvar.Publish("landmarkrd.patches", expvar.Func(func() any {
+		if li := liveServer.Load(); li != nil {
+			return li.PendingPatches()
+		}
+		return 0
+	}))
+}
 
 // diagModes maps the -index-mode flag values to build modes.
 var diagModes = map[string]landmarkrd.DiagMode{
@@ -267,7 +323,7 @@ func (s *queryServer) loadOrBuildPortfolio() (*landmarkrd.PortfolioIndex, error)
 // one is configured and present (any snapshot corruption/mismatch is a hard
 // error — silently rebuilding would mask operational problems), otherwise
 // build by -index-mode, saving the result back to the snapshot path so the
-// next start is fast.
+// next start is fast. Returns nil with -index-mode none and no snapshot.
 func (s *queryServer) loadOrBuildIndex() (*landmarkrd.LandmarkIndex, error) {
 	if s.cfg.snapshot != "" {
 		idx, err := landmarkrd.LoadLandmarkIndex(s.cfg.snapshot, s.g)
@@ -293,7 +349,12 @@ func (s *queryServer) loadOrBuildIndex() (*landmarkrd.LandmarkIndex, error) {
 		}
 		return nil, fmt.Errorf("rdserver: unknown -index-mode %q (want exact, mc, sketch, or none)", s.cfg.indexMode)
 	}
-	idx, err := landmarkrd.BuildLandmarkIndexOpts(s.g, s.eng().Landmark(), landmarkrd.IndexBuildOptions{
+	var strat landmarkrd.Strategy // zero value matches the engine default
+	landmark, err := landmarkrd.SelectLandmark(s.g, strat, s.cfg.seed)
+	if err != nil {
+		return nil, fmt.Errorf("rdserver: selecting landmark: %w", err)
+	}
+	idx, err := landmarkrd.BuildLandmarkIndexOpts(s.g, landmark, landmarkrd.IndexBuildOptions{
 		Mode: mode, Seed: s.cfg.seed, Metrics: s.metrics, Precond: s.cfg.precondMode(),
 	})
 	if err != nil {
@@ -310,34 +371,40 @@ func (s *queryServer) loadOrBuildIndex() (*landmarkrd.LandmarkIndex, error) {
 	return idx, nil
 }
 
-// reload re-resolves the index or portfolio (re-reading the snapshot file
-// if configured, rebuilding otherwise) and swaps it in atomically. In
-// portfolio mode a fresh engine routing through the new portfolio is
-// swapped in with it. In-flight queries keep the pointers they loaded at
-// request start and drain on the old state. On failure the old state stays
-// in place and the server returns to ready.
+// reload re-resolves the serving state and publishes it as a new epoch:
+// with a snapshot or index mode configured the re-read/rebuilt index (or
+// portfolio, with a fresh engine routing through it) is published and any
+// pending live patches are dropped — the snapshot is authoritative;
+// without one, reload folds the pending patch stack through a re-base.
+// In-flight queries keep the epoch they pinned at request start and drain
+// on the old state. On failure the old epoch stays current and the server
+// returns to ready.
 func (s *queryServer) reload() error {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	s.ready.Store(false)
+	_, hasMode := diagModes[s.cfg.indexMode]
 	var err error
-	if s.cfg.portfolioK > 0 {
+	switch {
+	case s.cfg.portfolioK > 0:
 		var pf *landmarkrd.PortfolioIndex
 		pf, err = s.loadOrBuildPortfolio()
 		if err == nil && pf != nil {
-			var engine *landmarkrd.BatchEngine
-			engine, err = s.newEngine(pf)
-			if err == nil {
-				s.pf.Store(pf)
-				s.engine.Store(engine)
-			}
+			_, err = s.live.PublishPortfolio(pf)
 		}
-	} else {
+	case s.cfg.snapshot != "" || hasMode:
 		var idx *landmarkrd.LandmarkIndex
 		idx, err = s.loadOrBuildIndex()
 		if err == nil && idx != nil {
-			s.idx.Store(idx)
+			_, err = s.live.PublishIndex(idx)
+		} else if err == nil {
+			// No index configured: a reload still folds pending patches.
+			_, err = s.live.Rebase(context.Background())
 		}
+	default:
+		// No snapshot and no index mode: reload folds the pending patch
+		// stack into a fresh epoch rather than reverting to the base graph.
+		_, err = s.live.Rebase(context.Background())
 	}
 	if err == nil {
 		s.publishPrecond()
@@ -360,6 +427,27 @@ func (s *queryServer) watchReload(ch <-chan os.Signal) {
 	}
 }
 
+// rebaseLoop periodically folds the pending patch stack into a fresh epoch
+// (the -rebase-interval ticker; threshold-triggered re-bases run
+// regardless). Stops when ctx is done.
+func (s *queryServer) rebaseLoop(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if s.live.PendingPatches() == 0 {
+				continue
+			}
+			if _, err := s.live.Rebase(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "rdserver: periodic rebase failed:", err)
+			}
+		}
+	}
+}
+
 // routes builds the server mux. The debug expvar page is mounted here too,
 // so the query port alone is enough to scrape engine stats.
 func (s *queryServer) routes() http.Handler {
@@ -369,6 +457,7 @@ func (s *queryServer) routes() http.Handler {
 	mux.HandleFunc("/v1/pair", s.admit(s.handlePair))
 	mux.HandleFunc("/v1/batch", s.admit(s.handleBatch))
 	mux.HandleFunc("/v1/singlesource", s.admit(s.handleSingleSource))
+	mux.HandleFunc("/v1/update", s.admit(s.handleUpdate))
 	mux.Handle("/debug/vars", expvar.Handler())
 	return s.recoverer(mux)
 }
@@ -479,16 +568,13 @@ func (s *queryServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
-// batchPairs runs the batch through the engine, honoring a load-shedding
-// degrade flag set at admission.
-func (s *queryServer) batchPairs(ctx context.Context, queries []landmarkrd.PairQuery) ([]landmarkrd.PairResult, error) {
-	// Load the engine once per request so a concurrent portfolio reload
-	// never swaps it mid-batch.
-	engine := s.eng()
+// batchPairs runs the batch through the pinned epoch's engine, honoring a
+// load-shedding degrade flag set at admission.
+func batchPairs(ctx context.Context, ep *landmarkrd.LiveEpoch, queries []landmarkrd.PairQuery) ([]landmarkrd.PairResult, error) {
 	if forceDegrade(ctx) {
-		return engine.DegradedPairsContext(ctx, queries)
+		return ep.DegradedPairsContext(ctx, queries)
 	}
-	return engine.PairsContext(ctx, queries)
+	return ep.PairsContext(ctx, queries)
 }
 
 type pairResponse struct {
@@ -504,13 +590,18 @@ type pairResponse struct {
 }
 
 func (s *queryServer) handlePair(w http.ResponseWriter, r *http.Request) {
-	st, err := s.parsePair(r)
+	// Pin the current epoch for the whole request: a concurrent update,
+	// re-base, or reload publishes a new epoch for later requests while
+	// this one drains on a consistent snapshot.
+	ep := s.live.Pin()
+	defer ep.Release()
+	st, err := parsePair(r, ep.Graph())
 	if err != nil {
 		s.writeRequestError(w, err)
 		return
 	}
 	start := time.Now()
-	results, err := s.batchPairs(r.Context(), []landmarkrd.PairQuery{st})
+	results, err := batchPairs(r.Context(), ep, []landmarkrd.PairQuery{st})
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
@@ -526,15 +617,17 @@ func (s *queryServer) handlePair(w http.ResponseWriter, r *http.Request) {
 		pairResponse
 		Method    string  `json:"method"`
 		Landmark  int     `json:"landmark"`
+		Epoch     uint64  `json:"epoch"`
 		Portfolio []int   `json:"portfolio,omitempty"`
 		ElapsedMS float64 `json:"elapsed_ms"`
 	}{
 		pairResponse: toPairResponse(res),
 		Method:       s.cfg.method.String(),
-		Landmark:     s.eng().Landmark(),
+		Landmark:     ep.Landmark(),
+		Epoch:        ep.Seq(),
 		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1e3,
 	}
-	if pf := s.pf.Load(); pf != nil {
+	if pf := ep.Portfolio(); pf != nil {
 		resp.Portfolio = pf.Landmarks
 	}
 	writeJSON(w, resp)
@@ -553,6 +646,8 @@ func (s *queryServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 			"POST a JSON body: {\"pairs\":[{\"s\":0,\"t\":1},...]}")
 		return
 	}
+	ep := s.live.Pin()
+	defer ep.Release()
 	maxBody := s.cfg.maxBody
 	if maxBody <= 0 {
 		maxBody = 1 << 20 // 1 MiB default
@@ -575,32 +670,34 @@ func (s *queryServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	queries := make([]landmarkrd.PairQuery, len(req.Pairs))
 	for i, p := range req.Pairs {
-		if err := s.validVertex(p.S); err != nil {
+		if err := validVertex(ep.Graph(), p.S); err != nil {
 			s.writeRequestError(w, fmt.Errorf("pairs[%d].s: %w", i, err))
 			return
 		}
-		if err := s.validVertex(p.T); err != nil {
+		if err := validVertex(ep.Graph(), p.T); err != nil {
 			s.writeRequestError(w, fmt.Errorf("pairs[%d].t: %w", i, err))
 			return
 		}
 		queries[i] = landmarkrd.PairQuery{S: p.S, T: p.T}
 	}
 	start := time.Now()
-	results, err := s.batchPairs(r.Context(), queries)
+	results, err := batchPairs(r.Context(), ep, queries)
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
 	}
 	out := struct {
 		Landmark  int            `json:"landmark"`
+		Epoch     uint64         `json:"epoch"`
 		Portfolio []int          `json:"portfolio,omitempty"`
 		ElapsedMS float64        `json:"elapsed_ms"`
 		Results   []pairResponse `json:"results"`
 	}{
-		Landmark:  s.eng().Landmark(),
+		Landmark:  ep.Landmark(),
+		Epoch:     ep.Seq(),
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
 	}
-	if pf := s.pf.Load(); pf != nil {
+	if pf := ep.Portfolio(); pf != nil {
 		out.Portfolio = pf.Landmarks
 	}
 	for _, res := range results {
@@ -610,11 +707,13 @@ func (s *queryServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *queryServer) handleSingleSource(w http.ResponseWriter, r *http.Request) {
-	// Load the pointers once: a concurrent reload swaps the index/portfolio
-	// for later requests, while this one drains on the snapshot it started
+	// Pin the epoch once: a concurrent reload publishes a new epoch for
+	// later requests, while this one drains on the snapshot it started
 	// with.
-	idx := s.idx.Load()
-	pf := s.pf.Load()
+	ep := s.live.Pin()
+	defer ep.Release()
+	idx := ep.Index()
+	pf := ep.Portfolio()
 	if idx == nil && pf == nil {
 		writeError(w, http.StatusNotImplemented, "no_index",
 			"no landmark index configured (start with -index-mode exact|mc|sketch)")
@@ -625,7 +724,7 @@ func (s *queryServer) handleSingleSource(w http.ResponseWriter, r *http.Request)
 		s.writeRequestError(w, err)
 		return
 	}
-	if err := s.validVertex(src); err != nil {
+	if err := validVertex(ep.Graph(), src); err != nil {
 		s.writeRequestError(w, err)
 		return
 	}
@@ -647,13 +746,117 @@ func (s *queryServer) handleSingleSource(w http.ResponseWriter, r *http.Request)
 	writeJSON(w, struct {
 		S         int       `json:"s"`
 		Landmark  int       `json:"landmark"`
+		Epoch     uint64    `json:"epoch"`
 		ElapsedMS float64   `json:"elapsed_ms"`
 		Values    []float64 `json:"values"`
 	}{
 		S:         src,
 		Landmark:  landmark,
+		Epoch:     ep.Seq(),
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
 		Values:    values,
+	})
+}
+
+// updateRequest is the /v1/update body.
+type updateRequest struct {
+	Op     string  `json:"op"` // "add" or "remove"
+	S      int     `json:"s"`
+	T      int     `json:"t"`
+	Weight float64 `json:"weight"` // conductance delta; 0 means 1
+}
+
+// handleUpdate applies one streamed edge mutation: POST
+// {"op":"add"|"remove","s":0,"t":1,"weight":1.5}. The mutation lands on
+// the current epoch's patch stack without blocking queries; crossing the
+// -max-patches threshold triggers a background re-base. Removing a bridge
+// is rejected with 422 ("disconnecting"); updates during a reload are
+// rejected with 503 so the incoming snapshot stays authoritative.
+func (s *queryServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"POST a JSON body: {\"op\":\"add\",\"s\":0,\"t\":1,\"weight\":1}")
+		return
+	}
+	if !s.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable, "not_ready",
+			"reload in progress; retry the update once the server is ready")
+		return
+	}
+	maxBody := s.cfg.maxBody
+	if maxBody <= 0 {
+		maxBody = 1 << 20
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "bad JSON body: "+err.Error())
+		return
+	}
+	var op landmarkrd.UpdateOp
+	switch req.Op {
+	case "add":
+		op = landmarkrd.UpdateAddEdge
+	case "remove":
+		op = landmarkrd.UpdateRemoveEdge
+	default:
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("unknown op %q (want \"add\" or \"remove\")", req.Op))
+		return
+	}
+	if req.Weight == 0 {
+		req.Weight = 1
+	}
+	if !(req.Weight > 0) || math.IsInf(req.Weight, 0) {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("weight must be positive and finite, got %v", req.Weight))
+		return
+	}
+	// Vertex validation against the current epoch's graph: well-formed but
+	// unanswerable input is 422, matching the query paths.
+	ep := s.live.Pin()
+	n := ep.Graph().N()
+	ep.Release()
+	if req.S < 0 || req.S >= n || req.T < 0 || req.T >= n {
+		writeError(w, http.StatusUnprocessableEntity, "vertex_out_of_range",
+			fmt.Sprintf("vertices (%d,%d) not in [0, %d)", req.S, req.T, n))
+		return
+	}
+	if req.S == req.T {
+		writeError(w, http.StatusUnprocessableEntity, "self_loop",
+			fmt.Sprintf("self loop (%d,%d)", req.S, req.T))
+		return
+	}
+	start := time.Now()
+	res, err := s.live.ApplyUpdate(r.Context(), landmarkrd.GraphUpdate{
+		Op: op, S: req.S, T: req.T, Weight: req.Weight,
+	})
+	if err != nil {
+		if errors.Is(err, landmarkrd.ErrDisconnecting) {
+			writeError(w, http.StatusUnprocessableEntity, "disconnecting", err.Error())
+			return
+		}
+		s.writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, struct {
+		Op              string  `json:"op"`
+		S               int     `json:"s"`
+		T               int     `json:"t"`
+		Weight          float64 `json:"weight"`
+		Epoch           uint64  `json:"epoch"`
+		Patches         int     `json:"patches"`
+		RebaseTriggered bool    `json:"rebase_triggered"`
+		ElapsedMS       float64 `json:"elapsed_ms"`
+	}{
+		Op:              req.Op,
+		S:               req.S,
+		T:               req.T,
+		Weight:          req.Weight,
+		Epoch:           res.Epoch,
+		Patches:         res.Patches,
+		RebaseTriggered: res.RebaseTriggered,
+		ElapsedMS:       float64(time.Since(start).Microseconds()) / 1e3,
 	})
 }
 
@@ -695,7 +898,7 @@ func (s *queryServer) writeQueryError(w http.ResponseWriter, err error) {
 	}
 }
 
-func (s *queryServer) parsePair(r *http.Request) (landmarkrd.PairQuery, error) {
+func parsePair(r *http.Request, g *landmarkrd.Graph) (landmarkrd.PairQuery, error) {
 	sv, err := intParam(r, "s")
 	if err != nil {
 		return landmarkrd.PairQuery{}, err
@@ -704,18 +907,18 @@ func (s *queryServer) parsePair(r *http.Request) (landmarkrd.PairQuery, error) {
 	if err != nil {
 		return landmarkrd.PairQuery{}, err
 	}
-	if err := s.validVertex(sv); err != nil {
+	if err := validVertex(g, sv); err != nil {
 		return landmarkrd.PairQuery{}, err
 	}
-	if err := s.validVertex(tv); err != nil {
+	if err := validVertex(g, tv); err != nil {
 		return landmarkrd.PairQuery{}, err
 	}
 	return landmarkrd.PairQuery{S: sv, T: tv}, nil
 }
 
-func (s *queryServer) validVertex(v int) error {
-	if v < 0 || v >= s.g.N() {
-		return fmt.Errorf("%w: vertex %d not in [0, %d)", errOutOfRange, v, s.g.N())
+func validVertex(g *landmarkrd.Graph, v int) error {
+	if v < 0 || v >= g.N() {
+		return fmt.Errorf("%w: vertex %d not in [0, %d)", errOutOfRange, v, g.N())
 	}
 	return nil
 }

@@ -614,11 +614,11 @@ func TestSnapshotStartup(t *testing.T) {
 	if second.eng().Stats().IndexBuilds != 0 {
 		t.Error("second server rebuilt the index instead of loading the snapshot")
 	}
-	a, err := landmarkrd.SingleSource(first.idx.Load(), 3)
+	a, err := landmarkrd.SingleSource(first.currentIndex(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := landmarkrd.SingleSource(second.idx.Load(), 3)
+	b, err := landmarkrd.SingleSource(second.currentIndex(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -713,7 +713,7 @@ func TestSighupReloadUnderLoad(t *testing.T) {
 func TestReloadFailureKeepsServing(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "idx.snap")
 	srv := newTestServer(t, serverConfig{indexMode: "exact", snapshot: path, timeout: 30 * time.Second})
-	old := srv.idx.Load()
+	old := srv.currentIndex()
 	if old == nil {
 		t.Fatal("no index after construction")
 	}
@@ -724,7 +724,7 @@ func TestReloadFailureKeepsServing(t *testing.T) {
 	if err := srv.reload(); err == nil {
 		t.Fatal("reload of a corrupt snapshot succeeded")
 	}
-	if srv.idx.Load() != old {
+	if srv.currentIndex() != old {
 		t.Error("failed reload swapped the index")
 	}
 	if !srv.ready.Load() {
@@ -817,7 +817,7 @@ func TestPortfolioSnapshotStartup(t *testing.T) {
 	cfg := serverConfig{indexMode: "exact", portfolioK: 2, snapshot: path, timeout: 30 * time.Second}
 
 	first := newTestServer(t, cfg)
-	pf := first.pf.Load()
+	pf := first.currentPortfolio()
 	if pf == nil || pf.K() != 2 {
 		t.Fatalf("first server portfolio = %v, want K=2", pf)
 	}
@@ -826,7 +826,7 @@ func TestPortfolioSnapshotStartup(t *testing.T) {
 	}
 
 	second := newTestServer(t, cfg)
-	pf2 := second.pf.Load()
+	pf2 := second.currentPortfolio()
 	if pf2 == nil || pf2.K() != 2 {
 		t.Fatalf("second server portfolio = %v, want K=2", pf2)
 	}

@@ -13,16 +13,32 @@
 // O(n) per stored update. Intended for small update counts (the classic
 // "what if we add this link / close this road" analyses); for bulk changes
 // rebuild the graph.
+//
+// PatchedIndex applies the same identity to the grounded operator L_v of a
+// landmark index, which is what the live-serving epoch layer patches
+// between re-bases: the grounded restriction of δδᵀ is still rank one
+// (even when an endpoint is the landmark), and the denominator
+// 1 + w·δᵀL_v⁻¹δ = 1 + w·r(a,b) is identical to the full-Laplacian one, so
+// the disconnection guard transfers unchanged.
 package dynamic
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"landmarkrd/internal/graph"
 	"landmarkrd/internal/lap"
 	"landmarkrd/internal/linalg"
 )
+
+// ErrDisconnecting is returned (wrapped — match with errors.Is) when a
+// conductance removal would disconnect the graph: the Sherman-Morrison
+// denominator 1 + w·r(a,b) is non-positive exactly when the removal takes
+// out a bridge (or more conductance than the pair carries), since removing
+// w from a pair at effective resistance r is singular at w·r = 1.
+var ErrDisconnecting = errors.New("dynamic: update would disconnect the graph")
 
 // update is one applied rank-one modification.
 type update struct {
@@ -33,11 +49,16 @@ type update struct {
 }
 
 // Updater answers resistance queries on the base graph plus applied updates.
+//
+// Mutations (AddEdge, RemoveConductance) must be serialized by the caller,
+// but queries may run concurrently with them: the update log is an
+// immutable copy-on-write snapshot behind an atomic pointer, so a reader
+// sees either the log before or after an append, never a torn slice.
 type Updater struct {
 	g       *graph.Graph
 	op      *lap.Laplacian
 	tol     float64
-	updates []update
+	updates atomic.Pointer[[]update]
 }
 
 // New creates an updater over base graph g. tol is the CG tolerance of the
@@ -49,14 +70,30 @@ func New(g *graph.Graph, tol float64) (*Updater, error) {
 	if tol <= 0 {
 		tol = 1e-10
 	}
-	return &Updater{g: g, op: &lap.Laplacian{G: g}, tol: tol}, nil
+	u := &Updater{g: g, op: &lap.Laplacian{G: g}, tol: tol}
+	u.updates.Store(&[]update{})
+	return u, nil
+}
+
+// snapshot returns the current immutable update log.
+func (u *Updater) snapshot() []update { return *u.updates.Load() }
+
+// appendUpdate publishes a new log with up appended. Callers (the mutation
+// path) are externally serialized.
+func (u *Updater) appendUpdate(up update) {
+	cur := u.snapshot()
+	next := make([]update, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, up)
+	u.updates.Store(&next)
 }
 
 // Updates returns the number of applied modifications.
-func (u *Updater) Updates() int { return len(u.updates) }
+func (u *Updater) Updates() int { return len(u.snapshot()) }
 
-// applyPinv computes y = (current L)† x for x ⊥ 1.
-func (u *Updater) applyPinv(x []float64) ([]float64, error) {
+// applyPinv computes y = (current L)† x for x ⊥ 1 against the given update
+// log snapshot.
+func (u *Updater) applyPinv(x []float64, ups []update) ([]float64, error) {
 	y := make([]float64, u.g.N())
 	rhs := make([]float64, u.g.N())
 	copy(rhs, x)
@@ -64,7 +101,7 @@ func (u *Updater) applyPinv(x []float64) ([]float64, error) {
 	if _, err := linalg.CG(u.op, y, rhs, linalg.CGOptions{Tol: u.tol, ProjectConstant: true}); err != nil {
 		return nil, fmt.Errorf("dynamic: base solve: %w", err)
 	}
-	for _, up := range u.updates {
+	for _, up := range ups {
 		coef := up.w * linalg.Dot(up.z, x) / up.denom
 		linalg.Axpy(-coef, up.z, y)
 	}
@@ -84,7 +121,9 @@ func (u *Updater) validate(a, b int) error {
 	return nil
 }
 
-// Resistance returns r(s, t) on the current (base + updates) graph.
+// Resistance returns r(s, t) on the current (base + updates) graph. Safe
+// to call concurrently with mutations; the answer reflects a consistent
+// prefix of the update stream.
 func (u *Updater) Resistance(s, t int) (float64, error) {
 	if err := u.g.ValidateVertex(s); err != nil {
 		return 0, err
@@ -98,7 +137,7 @@ func (u *Updater) Resistance(s, t int) (float64, error) {
 	delta := make([]float64, u.g.N())
 	delta[s] = 1
 	delta[t] = -1
-	y, err := u.applyPinv(delta)
+	y, err := u.applyPinv(delta, u.snapshot())
 	if err != nil {
 		return 0, err
 	}
@@ -120,7 +159,7 @@ func (u *Updater) AddEdge(a, b int, w float64) error {
 // RemoveConductance subtracts w units of conductance from the pair {a, b}.
 // Removing a bridge (or more conductance than exists) disconnects the
 // graph; that is detected via the Sherman-Morrison denominator
-// 1 − w·r(a,b) ≤ 0 and rejected.
+// 1 − w·r(a,b) ≤ 0 and rejected with an error matching ErrDisconnecting.
 func (u *Updater) RemoveConductance(a, b int, w float64) error {
 	if err := u.validate(a, b); err != nil {
 		return err
@@ -132,25 +171,47 @@ func (u *Updater) RemoveConductance(a, b int, w float64) error {
 }
 
 func (u *Updater) applyRankOne(a, b int, w float64) error {
+	ups := u.snapshot()
 	delta := make([]float64, u.g.N())
 	delta[a] = 1
 	delta[b] = -1
-	z, err := u.applyPinv(delta)
+	z, err := u.applyPinv(delta, ups)
 	if err != nil {
 		return err
 	}
 	rab := z[a] - z[b]
 	denom := 1 + w*rab
 	if denom <= 1e-12 || math.IsNaN(denom) {
-		return fmt.Errorf("dynamic: update (%d,%d,%v) would disconnect the graph (1 + w·r = %v)", a, b, w, denom)
+		return fmt.Errorf("dynamic: update (%d,%d,%v): %w (1 + w·r = %v)", a, b, w, ErrDisconnecting, denom)
 	}
-	u.updates = append(u.updates, update{a: a, b: b, w: w, z: z, denom: denom})
+	u.appendUpdate(update{a: a, b: b, w: w, z: z, denom: denom})
 	return nil
 }
 
-// Materialize rebuilds a plain graph with all updates applied — useful to
-// reset the updater after many modifications, and for testing.
-func (u *Updater) Materialize() (*graph.Graph, error) {
+// Patch is one edge-delta against a base graph: W > 0 adds conductance
+// between A and B, W < 0 removes it.
+type Patch struct {
+	A, B int
+	W    float64
+}
+
+// Patches returns the applied modifications as edge-deltas, in application
+// order.
+func (u *Updater) Patches() []Patch {
+	ups := u.snapshot()
+	out := make([]Patch, len(ups))
+	for i, up := range ups {
+		out[i] = Patch{A: up.a, B: up.b, W: up.w}
+	}
+	return out
+}
+
+// MaterializeGraph rebuilds a plain graph from g with the patches applied —
+// the re-base step of the live-serving epoch layer, and the differential
+// oracle's ground truth. The result is deterministic in (g, patches): the
+// builder canonicalizes edge order, and per-edge weight accumulation
+// follows CSR order then patch order.
+func MaterializeGraph(g *graph.Graph, patches []Patch) (*graph.Graph, error) {
 	type key struct{ a, b int }
 	weights := map[key]float64{}
 	// absSum tracks the total magnitude that contributed to each edge, so
@@ -158,20 +219,20 @@ func (u *Updater) Materialize() (*graph.Graph, error) {
 	// conductance survives, while the float dust left by a full
 	// RemoveConductance (e.g. 1 − 1 → 1e-17 against absSum 2) is swept.
 	absSum := map[key]float64{}
-	u.g.ForEachEdge(func(a, b int32, w float64) {
+	g.ForEachEdge(func(a, b int32, w float64) {
 		k := key{int(a), int(b)}
 		weights[k] += w
 		absSum[k] += math.Abs(w)
 	})
-	for _, up := range u.updates {
-		a, b := up.a, up.b
+	for _, p := range patches {
+		a, b := p.A, p.B
 		if a > b {
 			a, b = b, a
 		}
-		weights[key{a, b}] += up.w
-		absSum[key{a, b}] += math.Abs(up.w)
+		weights[key{a, b}] += p.W
+		absSum[key{a, b}] += math.Abs(p.W)
 	}
-	bld := graph.NewBuilder(u.g.N())
+	bld := graph.NewBuilder(g.N())
 	for k, w := range weights {
 		switch {
 		case w > 1e-12*absSum[k]:
@@ -181,4 +242,10 @@ func (u *Updater) Materialize() (*graph.Graph, error) {
 		}
 	}
 	return bld.Build()
+}
+
+// Materialize rebuilds a plain graph with all updates applied — useful to
+// reset the updater after many modifications, and for testing.
+func (u *Updater) Materialize() (*graph.Graph, error) {
+	return MaterializeGraph(u.g, u.Patches())
 }

@@ -1,0 +1,267 @@
+package dynamic
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"landmarkrd/internal/core"
+	"landmarkrd/internal/linalg"
+	"landmarkrd/internal/obs"
+)
+
+// indexPatch is one rank-one correction to the grounded inverse L_v⁻¹:
+// after k patches the operator is
+//
+//	A_k⁻¹ = A_0⁻¹ − Σ_{j≤k} (w_j/denom_j)·z_j z_jᵀ,   z_j = A_{j-1}⁻¹ δ_j,
+//
+// with δ_j the grounded restriction of e_a − e_b (the landmark coordinate
+// dropped). Because z_j is computed against the operator with the previous
+// patches already applied, corrections apply in log order with no
+// re-sequencing, and each costs O(1) per resistance entry (two dot lookups)
+// or O(n) per full column.
+type indexPatch struct {
+	a, b  int
+	w     float64   // signed conductance delta
+	z     []float64 // A_{k-1}⁻¹ δ  (z[landmark] == 0)
+	denom float64   // 1 + w·δᵀz = 1 + w·r_{k-1}(a,b)
+}
+
+// PatchedIndex serves resistance queries from a landmark index plus a stack
+// of Sherman-Morrison patches for edges mutated since the index was built.
+// It is the fresh-read path of the live-serving epoch layer: the underlying
+// index answers at the epoch's base graph, the patch stack folds the
+// streamed mutations in.
+//
+// Concurrency contract: ApplyUpdateContext calls are serialized by an
+// internal mutex; queries never block and may run concurrently with
+// updates — the patch log is an immutable copy-on-write snapshot behind an
+// atomic pointer, so a query sees a consistent prefix of the update
+// stream, never a torn stack.
+type PatchedIndex struct {
+	idx     *core.Index
+	tol     float64
+	metrics *obs.Metrics
+
+	mu      sync.Mutex // serializes updates (not queries)
+	patches atomic.Pointer[[]indexPatch]
+}
+
+// NewPatchedIndex wraps idx. tol is the CG tolerance of the per-update
+// grounded solve (default 1e-10); m may be nil.
+func NewPatchedIndex(idx *core.Index, tol float64, m *obs.Metrics) *PatchedIndex {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	p := &PatchedIndex{idx: idx, tol: tol, metrics: m}
+	p.patches.Store(&[]indexPatch{})
+	return p
+}
+
+// Index returns the underlying unpatched index.
+func (p *PatchedIndex) Index() *core.Index { return p.idx }
+
+// Len returns the number of applied patches.
+func (p *PatchedIndex) Len() int { return len(*p.patches.Load()) }
+
+// groundedDelta returns δᵀy for δ the grounded restriction of e_a − e_b:
+// coordinates at the landmark v are dropped, so an endpoint equal to v
+// contributes nothing. This is why the patch stays rank one even when the
+// mutated edge touches the landmark.
+func groundedDelta(y []float64, a, b, v int) float64 {
+	d := 0.0
+	if a != v {
+		d += y[a]
+	}
+	if b != v {
+		d -= y[b]
+	}
+	return d
+}
+
+// ApplyUpdateContext applies the signed conductance delta w to the pair
+// {a, b}: w > 0 inserts conductance, w < 0 removes it. A removal that
+// would disconnect the graph fails the denominator guard
+// 1 + w·r(a,b) > 0 and returns an error matching ErrDisconnecting; the
+// patch stack is unchanged on any error. Callers may race
+// ApplyUpdateContext with queries but concurrent ApplyUpdateContext calls
+// are serialized internally.
+func (p *PatchedIndex) ApplyUpdateContext(ctx context.Context, a, b int, w float64) error {
+	g := p.idx.G
+	if err := g.ValidateVertex(a); err != nil {
+		return err
+	}
+	if err := g.ValidateVertex(b); err != nil {
+		return err
+	}
+	if a == b {
+		return fmt.Errorf("dynamic: self loop (%d,%d)", a, b)
+	}
+	if w == 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("dynamic: patch weight must be finite and nonzero, got %v", w)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v := p.idx.Landmark
+	rhs := make([]float64, g.N())
+	if a != v {
+		rhs[a] = 1
+	}
+	if b != v {
+		rhs[b] = -1
+	}
+	y, err := p.idx.SolveGroundedContext(ctx, rhs, p.tol)
+	if err != nil {
+		return err
+	}
+	cur := *p.patches.Load()
+	// Fold the existing corrections in: y becomes A_{k-1}⁻¹ δ.
+	for i := range cur {
+		up := &cur[i]
+		coef := up.w * groundedDelta(up.z, a, b, v) / up.denom
+		linalg.Axpy(-coef, up.z, y)
+	}
+	q := groundedDelta(y, a, b, v) // = r_{k-1}(a, b) against the grounded operator
+	denom := 1 + w*q
+	if denom <= 1e-12 || math.IsNaN(denom) {
+		return fmt.Errorf("dynamic: patch (%d,%d,%v): %w (1 + w·r = %v)", a, b, w, ErrDisconnecting, denom)
+	}
+	next := make([]indexPatch, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, indexPatch{a: a, b: b, w: w, z: y, denom: denom})
+	p.patches.Store(&next)
+	if p.metrics != nil {
+		p.metrics.LiveUpdates.Inc()
+	}
+	return nil
+}
+
+// PairContext returns r(s, t) on the base graph with all applied patches
+// folded in. One grounded column solve plus O(1) work per patch; answers
+// involving the landmark come straight from the (patched) index diagonal.
+func (p *PatchedIndex) PairContext(ctx context.Context, s, t int) (float64, error) {
+	g := p.idx.G
+	if err := g.ValidateVertex(s); err != nil {
+		return 0, err
+	}
+	if err := g.ValidateVertex(t); err != nil {
+		return 0, err
+	}
+	if s == t {
+		return 0, nil
+	}
+	if p.metrics != nil {
+		p.metrics.PatchedQueries.Inc()
+	}
+	ups := *p.patches.Load()
+	v := p.idx.Landmark
+	if s == v {
+		return p.patchedDiag(t, ups), nil
+	}
+	if t == v {
+		return p.patchedDiag(s, ups), nil
+	}
+	rhs := make([]float64, g.N())
+	rhs[s] = 1
+	col, err := p.idx.SolveGroundedContext(ctx, rhs, p.tol)
+	if err != nil {
+		return 0, err
+	}
+	// col'[u] = col[u] − Σ_k c_k z_k[s]·z_k[u]; only s and t entries needed.
+	colS, colT := col[s], col[t]
+	diagT := p.idx.Diag[t]
+	for i := range ups {
+		up := &ups[i]
+		c := up.w / up.denom
+		colS -= c * up.z[s] * up.z[s]
+		colT -= c * up.z[s] * up.z[t]
+		diagT -= c * up.z[t] * up.z[t]
+	}
+	r := colS - 2*colT + diagT
+	if r < 0 {
+		r = 0 // clamp float dust on near-zero distances
+	}
+	return r, nil
+}
+
+// patchedDiag returns r(v, t) = (patched L_v⁻¹)[t,t] for the landmark v.
+func (p *PatchedIndex) patchedDiag(t int, ups []indexPatch) float64 {
+	d := p.idx.Diag[t]
+	for i := range ups {
+		up := &ups[i]
+		d -= (up.w / up.denom) * up.z[t] * up.z[t]
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// SingleSourceContext returns r(s, t) for every t on the patched graph.
+// One grounded column solve plus O(n) work per patch.
+func (p *PatchedIndex) SingleSourceContext(ctx context.Context, s int) ([]float64, error) {
+	g := p.idx.G
+	if err := g.ValidateVertex(s); err != nil {
+		return nil, err
+	}
+	if p.metrics != nil {
+		p.metrics.PatchedQueries.Inc()
+	}
+	ups := *p.patches.Load()
+	v := p.idx.Landmark
+	n := g.N()
+	out := make([]float64, n)
+	if s == v {
+		for t := 0; t < n; t++ {
+			if t == v {
+				continue
+			}
+			out[t] = p.patchedDiag(t, ups)
+		}
+		return out, nil
+	}
+	rhs := make([]float64, n)
+	rhs[s] = 1
+	col, err := p.idx.SolveGroundedContext(ctx, rhs, p.tol)
+	if err != nil {
+		return nil, err
+	}
+	diagCorr := make([]float64, n)
+	for i := range ups {
+		up := &ups[i]
+		c := up.w / up.denom
+		linalg.Axpy(-c*up.z[s], up.z, col)
+		for t, zt := range up.z {
+			diagCorr[t] += c * zt * zt
+		}
+	}
+	colS := col[s]
+	for t := 0; t < n; t++ {
+		switch t {
+		case s:
+			out[t] = 0
+		case v:
+			out[t] = colS
+		default:
+			r := colS - 2*col[t] + p.idx.Diag[t] - diagCorr[t]
+			if r < 0 {
+				r = 0
+			}
+			out[t] = r
+		}
+	}
+	return out, nil
+}
+
+// Patches returns the applied edge-deltas in application order — the input
+// MaterializeGraph needs to rebuild the patched graph at re-base time.
+func (p *PatchedIndex) Patches() []Patch {
+	ups := *p.patches.Load()
+	out := make([]Patch, len(ups))
+	for i := range ups {
+		out[i] = Patch{A: ups[i].a, B: ups[i].b, W: ups[i].w}
+	}
+	return out
+}

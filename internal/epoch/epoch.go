@@ -1,0 +1,137 @@
+// Package epoch implements the RCU-style index versioning the serving
+// stack uses for live updates and hot reloads: readers pin a consistent
+// snapshot of the serving state (an Epoch) with one atomic increment,
+// writers publish a replacement without ever blocking readers, and a
+// superseded epoch runs its retire hook only after the last pinned reader
+// releases it — so no index, engine, or pooled scratch owned by an epoch
+// is ever recycled while a query still holds it.
+//
+// The protocol generalizes the SIGHUP drain-on-old-index machinery the
+// server grew ad hoc (atomic.Pointer per index, in-flight requests keeping
+// the pointer they loaded): an Epoch bundles the whole consistent state
+// behind one pointer, adds an in-flight refcount, and turns "the old index
+// is garbage-collected eventually" into the checkable guarantee "the old
+// epoch retires exactly once, and never while pinned".
+//
+// Memory ordering: all transitions use sync/atomic, which Go guarantees
+// sequentially consistent. The acquire path is load → increment →
+// revalidate: a reader that loses the race with a concurrent Publish
+// (pointer swapped between its load and increment) releases the stale
+// epoch and retries, so a returned epoch was current at the instant its
+// refcount covered it. The transient refcount a failed acquire leaves on a
+// superseded epoch is harmless — the failed acquirer never touches the
+// value and its release re-runs the drain check. Publish marks the old
+// epoch retired before checking the refcount, and Release checks the
+// retired flag after decrementing, so whichever of the two observes
+// "retired && refs == 0" last fires the hook; a compare-and-swap latch
+// makes it fire exactly once. Epoch sequence numbers strictly increase and
+// an epoch is never re-published, so there is no ABA hazard.
+package epoch
+
+import "sync/atomic"
+
+// Epoch is one immutable published version of the serving state. The value
+// itself must not be mutated in ways readers can observe without their own
+// synchronization; the epoch only governs its lifetime.
+type Epoch[T any] struct {
+	seq   uint64
+	value T
+
+	refs     atomic.Int64
+	retired  atomic.Bool
+	hookRan  atomic.Bool
+	onRetire func(seq uint64, value T)
+}
+
+// Seq returns the epoch's sequence number (the first published epoch is 1;
+// numbers strictly increase with each Publish).
+func (e *Epoch[T]) Seq() uint64 { return e.seq }
+
+// Value returns the state this epoch governs.
+func (e *Epoch[T]) Value() T { return e.value }
+
+// Refs returns the current pin count — diagnostic only, racy by nature.
+func (e *Epoch[T]) Refs() int64 { return e.refs.Load() }
+
+// Retired reports whether a later epoch has been published over this one.
+func (e *Epoch[T]) Retired() bool { return e.retired.Load() }
+
+// Release drops one pin. When the last pin on a superseded epoch drops,
+// the manager's retire hook runs (synchronously, on the releasing
+// goroutine) exactly once. Each Acquire must be paired with exactly one
+// Release; releasing more times than acquired corrupts the refcount.
+func (e *Epoch[T]) Release() {
+	if e.refs.Add(-1) == 0 && e.retired.Load() {
+		e.fireRetire()
+	}
+}
+
+// fireRetire runs the retire hook at most once.
+func (e *Epoch[T]) fireRetire() {
+	if e.onRetire != nil && e.hookRan.CompareAndSwap(false, true) {
+		e.onRetire(e.seq, e.value)
+	}
+}
+
+// Manager owns the current epoch pointer. Readers call Acquire/Release;
+// writers call Publish. Publishers must be externally serialized (the
+// serving layer holds a writer mutex); readers need no coordination at
+// all.
+type Manager[T any] struct {
+	cur      atomic.Pointer[Epoch[T]]
+	onRetire func(seq uint64, value T)
+}
+
+// NewManager creates a manager whose first epoch (seq 1) holds initial.
+// onRetire, when non-nil, runs exactly once per superseded epoch, after
+// its last pinned reader releases it — the place to return pooled
+// resources or count retirements. It must not call back into the manager's
+// Publish.
+func NewManager[T any](initial T, onRetire func(seq uint64, value T)) *Manager[T] {
+	m := &Manager[T]{onRetire: onRetire}
+	m.cur.Store(&Epoch[T]{seq: 1, value: initial, onRetire: onRetire})
+	return m
+}
+
+// Current returns the current epoch without pinning it — for peeking at
+// Seq or Value under the publisher's own serialization. State read through
+// Current may be retired at any moment; query paths must use Acquire.
+func (m *Manager[T]) Current() *Epoch[T] { return m.cur.Load() }
+
+// Seq returns the current epoch's sequence number.
+func (m *Manager[T]) Seq() uint64 { return m.cur.Load().seq }
+
+// Acquire pins and returns the current epoch. The caller must Release it
+// exactly once. The returned epoch was current at some instant during the
+// call and its value cannot retire while pinned, but a concurrent Publish
+// may supersede it immediately after — queries get a consistent snapshot,
+// not the newest one.
+func (m *Manager[T]) Acquire() *Epoch[T] {
+	for {
+		e := m.cur.Load()
+		e.refs.Add(1)
+		if m.cur.Load() == e {
+			return e
+		}
+		// Lost the race with a Publish: this pin landed on a superseded
+		// epoch after its drain check may have run. Undo and retry; the
+		// release re-runs the drain check so the retire hook cannot be
+		// lost.
+		e.Release()
+	}
+}
+
+// Publish installs value as the new current epoch and retires the old one:
+// the old epoch's retire hook runs once its pin count drains (immediately,
+// on this goroutine, if no reader holds it). It returns the new sequence
+// number. Publishers must be externally serialized.
+func (m *Manager[T]) Publish(value T) uint64 {
+	old := m.cur.Load()
+	next := &Epoch[T]{seq: old.seq + 1, value: value, onRetire: m.onRetire}
+	m.cur.Store(next)
+	old.retired.Store(true)
+	if old.refs.Load() == 0 {
+		old.fireRetire()
+	}
+	return next.seq
+}

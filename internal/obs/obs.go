@@ -183,6 +183,12 @@ type Metrics struct {
 	PortfolioQueries Counter // queries routed through a portfolio index
 	RouterFallbacks  Counter // routed landmarks skipped on conflict with s or t
 
+	LiveUpdates    Counter // edge mutations applied to a live index
+	PatchedQueries Counter // fresh queries answered through the patch stack
+	Rebases        Counter // live-index re-bases (full rebuilds folding patches in)
+	EpochPublishes Counter // serving epochs published (rebases + hot reloads)
+	EpochRetires   Counter // superseded epochs retired after their readers drained
+
 	CGSolves     Counter // grounded CG solves
 	CGIterations Counter // total CG iterations across solves
 
@@ -192,6 +198,7 @@ type Metrics struct {
 	IndexBuildTime   Histogram // per-BuildIndex wall time, nanoseconds
 	ColumnBuildTime  Histogram // per-landmark portfolio column build time, ns
 	PrecondBuildTime Histogram // per-factorization preconditioner build time, ns
+	RebaseTime       Histogram // per-rebase wall time, nanoseconds
 }
 
 // Merge folds src's counters and histograms into m. The index builder uses
@@ -227,6 +234,12 @@ func (m *Metrics) Merge(src *Metrics) {
 	m.PortfolioQueries.Add(src.PortfolioQueries.Load())
 	m.RouterFallbacks.Add(src.RouterFallbacks.Load())
 
+	m.LiveUpdates.Add(src.LiveUpdates.Load())
+	m.PatchedQueries.Add(src.PatchedQueries.Load())
+	m.Rebases.Add(src.Rebases.Load())
+	m.EpochPublishes.Add(src.EpochPublishes.Load())
+	m.EpochRetires.Add(src.EpochRetires.Load())
+
 	m.CGSolves.Add(src.CGSolves.Load())
 	m.CGIterations.Add(src.CGIterations.Load())
 
@@ -236,6 +249,7 @@ func (m *Metrics) Merge(src *Metrics) {
 	m.IndexBuildTime.Merge(&src.IndexBuildTime)
 	m.ColumnBuildTime.Merge(&src.ColumnBuildTime)
 	m.PrecondBuildTime.Merge(&src.PrecondBuildTime)
+	m.RebaseTime.Merge(&src.RebaseTime)
 }
 
 // QueryObservation carries everything one pair query contributes to the
@@ -291,6 +305,16 @@ func (m *Metrics) ObserveSolve(iterations int, d time.Duration) {
 	m.QueryTime.Observe(d.Nanoseconds())
 }
 
+// ObserveRebase records one live-index re-base (a full rebuild folding the
+// patch stack into a fresh epoch). Safe on a nil receiver.
+func (m *Metrics) ObserveRebase(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Rebases.Inc()
+	m.RebaseTime.Observe(d.Nanoseconds())
+}
+
 // ObservePrecondBuild records one preconditioner factorization. Safe on a
 // nil receiver.
 func (m *Metrics) ObservePrecondBuild(d time.Duration) {
@@ -329,6 +353,12 @@ type Snapshot struct {
 	PortfolioQueries int64 `json:"portfolio_queries"`
 	RouterFallbacks  int64 `json:"router_fallbacks"`
 
+	LiveUpdates    int64 `json:"live_updates"`
+	PatchedQueries int64 `json:"patched_queries"`
+	Rebases        int64 `json:"rebases"`
+	EpochPublishes int64 `json:"epoch_publishes"`
+	EpochRetires   int64 `json:"epoch_retires"`
+
 	CGSolves     int64 `json:"cg_solves"`
 	CGIterations int64 `json:"cg_iterations"`
 
@@ -338,6 +368,7 @@ type Snapshot struct {
 	IndexBuildTime   HistSnapshot `json:"index_build_time_ns"`
 	ColumnBuildTime  HistSnapshot `json:"column_build_time_ns"`
 	PrecondBuildTime HistSnapshot `json:"precond_build_time_ns"`
+	RebaseTime       HistSnapshot `json:"rebase_time_ns"`
 }
 
 // Snapshot returns the current state. Safe on a nil receiver (zero
@@ -372,6 +403,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		PortfolioQueries: m.PortfolioQueries.Load(),
 		RouterFallbacks:  m.RouterFallbacks.Load(),
 
+		LiveUpdates:    m.LiveUpdates.Load(),
+		PatchedQueries: m.PatchedQueries.Load(),
+		Rebases:        m.Rebases.Load(),
+		EpochPublishes: m.EpochPublishes.Load(),
+		EpochRetires:   m.EpochRetires.Load(),
+
 		CGSolves:     m.CGSolves.Load(),
 		CGIterations: m.CGIterations.Load(),
 
@@ -381,6 +418,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		IndexBuildTime:   m.IndexBuildTime.Snapshot(),
 		ColumnBuildTime:  m.ColumnBuildTime.Snapshot(),
 		PrecondBuildTime: m.PrecondBuildTime.Snapshot(),
+		RebaseTime:       m.RebaseTime.Snapshot(),
 	}
 }
 
