@@ -33,7 +33,7 @@ import (
 	"io"
 
 	"landmarkrd/internal/chol"
-	"landmarkrd/internal/cluster"
+	"landmarkrd/internal/clustering"
 	"landmarkrd/internal/core"
 	"landmarkrd/internal/dynamic"
 	"landmarkrd/internal/graph"
@@ -551,7 +551,7 @@ func (e *Estimator) PairWithinEps(s, t int, eps float64) (Estimate, error) {
 }
 
 // Clustering is the result of resistance-embedding k-means clustering.
-type Clustering = cluster.Result
+type Clustering = clustering.Result
 
 // ClusterGraph partitions g into k clusters by embedding every vertex with
 // its resistance distance to 2k pivot vertices and running k-means on the
@@ -560,7 +560,7 @@ func ClusterGraph(g *Graph, k int, seed uint64) (*Clustering, error) {
 	if err := requireGraph(g); err != nil {
 		return nil, err
 	}
-	return cluster.Cluster(g, cluster.Options{K: k, Seed: seed}, randx.New(seed))
+	return clustering.Cluster(g, clustering.Options{K: k, Seed: seed}, randx.New(seed))
 }
 
 // DynamicUpdater maintains resistance queries under edge insertions and

@@ -1,0 +1,690 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	landmarkrd "landmarkrd"
+	"landmarkrd/internal/cluster"
+	"landmarkrd/internal/rcache"
+)
+
+// Retry-After jitter band for 429 responses, matching rdserver's.
+const (
+	retryAfterMin = 1
+	retryAfterMax = 3
+)
+
+// proxyConfig is the coordinator's configuration, mirroring rdserver's
+// plain-struct style so tests can build proxies directly.
+type proxyConfig struct {
+	replicas    []string      // replica base URLs, e.g. http://host:8080
+	portfolioK  int           // fleet portfolio size (ignored when a snapshot is loaded)
+	indexMode   string        // portfolio column builder: exact, mc, or sketch
+	snapshot    string        // portfolio snapshot path shared with the replicas
+	seed        uint64        // portfolio build seed
+	cacheSize   int           // result cache entries; 0 disables
+	timeout     time.Duration // per-request budget; 0 disables
+	maxInflight int           // concurrent query cap; 0 means 64
+	healthInt   time.Duration // replica /readyz poll interval; 0 means 2s
+	vnodes      int           // ring virtual nodes per replica (0 = default)
+}
+
+func (c *proxyConfig) validate() error {
+	if len(c.replicas) == 0 {
+		return fmt.Errorf("rdproxy: -replicas is required")
+	}
+	seen := make(map[string]bool, len(c.replicas))
+	for _, r := range c.replicas {
+		u, err := url.Parse(r)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return fmt.Errorf("rdproxy: replica %q is not an absolute URL", r)
+		}
+		if seen[r] {
+			return fmt.Errorf("rdproxy: replica %q listed twice", r)
+		}
+		seen[r] = true
+	}
+	if c.timeout < 0 {
+		return fmt.Errorf("rdproxy: -timeout must be >= 0, got %v", c.timeout)
+	}
+	if c.maxInflight < 0 {
+		return fmt.Errorf("rdproxy: -max-inflight must be >= 0, got %d", c.maxInflight)
+	}
+	if c.cacheSize < 0 {
+		return fmt.Errorf("rdproxy: -cache must be >= 0, got %d", c.cacheSize)
+	}
+	if c.healthInt < 0 {
+		return fmt.Errorf("rdproxy: -health-interval must be >= 0, got %v", c.healthInt)
+	}
+	return nil
+}
+
+// proxyState is one immutable routing generation: the graph version, the
+// fleet portfolio whose cost law scores pair affinity, and the ring router
+// assigning its landmark positions to replicas. A SIGHUP rollout builds a
+// fresh state and swaps the pointer — queries in flight keep the one they
+// started with, and the new fingerprint retires every cached answer of the
+// old generation by construction.
+type proxyState struct {
+	g      *landmarkrd.Graph
+	pf     *landmarkrd.PortfolioIndex
+	router *cluster.Router
+	fp     uint64
+}
+
+// replica is one backend rdserver plus its health bit, flipped by the
+// /readyz poll loop. An unhealthy replica is skipped during routing (a
+// skip counts as a failover) until a poll sees it ready again.
+type replica struct {
+	name    string
+	healthy atomic.Bool
+}
+
+// proxyServer fans pair queries out over a fleet of rdserver replicas,
+// each serving a shard (subset of landmark positions) of one fleet-wide
+// portfolio. A query goes to the replica whose owned landmark minimizes
+// the routed cost r(s,ℓ)+r(t,ℓ); a down or saturated shard fails over to
+// the next-cheapest owner, then along the hash ring.
+type proxyServer struct {
+	cfg     proxyConfig
+	metrics *landmarkrd.Metrics
+	logger  *log.Logger
+	client  *http.Client
+
+	state    atomic.Pointer[proxyState]
+	replicas []*replica
+
+	cache *rcache.Cache
+
+	// reloadMu serializes SIGHUP rollouts; graphPath is re-read under it.
+	reloadMu  sync.Mutex
+	graphPath string
+
+	ready atomic.Bool
+
+	sem   chan struct{}
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+func newProxyServer(graphPath string, cfg proxyConfig) (*proxyServer, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.seed == 0 {
+		cfg.seed = 1
+	}
+	p := &proxyServer{
+		cfg:       cfg,
+		metrics:   &landmarkrd.Metrics{},
+		logger:    log.New(os.Stderr, "rdproxy: ", 0),
+		graphPath: graphPath,
+		rng:       rand.New(rand.NewSource(int64(cfg.seed))),
+	}
+	timeout := cfg.timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	p.client = &http.Client{Timeout: timeout}
+	for _, name := range cfg.replicas {
+		r := &replica{name: name}
+		r.healthy.Store(true) // optimistic until the first poll says otherwise
+		p.replicas = append(p.replicas, r)
+	}
+	inflight := cfg.maxInflight
+	if inflight <= 0 {
+		inflight = 64
+	}
+	p.sem = make(chan struct{}, inflight)
+	if cfg.cacheSize > 0 {
+		p.cache = rcache.New(cfg.cacheSize, p.metrics)
+	}
+	st, err := p.buildState()
+	if err != nil {
+		return nil, err
+	}
+	p.state.Store(st)
+	p.ready.Store(true)
+	return p, nil
+}
+
+// buildState loads the graph and resolves the fleet portfolio (snapshot
+// first, else a fresh build), then wires the consistent-hash router with
+// the portfolio's cost law as the affinity score.
+func (p *proxyServer) buildState() (*proxyState, error) {
+	g, _, err := landmarkrd.LoadEdgeList(p.graphPath)
+	if err != nil {
+		return nil, fmt.Errorf("rdproxy: loading graph: %w", err)
+	}
+	var pf *landmarkrd.PortfolioIndex
+	if p.cfg.snapshot != "" {
+		pf, err = landmarkrd.LoadPortfolioIndex(p.cfg.snapshot, g)
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("rdproxy: portfolio snapshot %s: %w", p.cfg.snapshot, err)
+		}
+	}
+	if pf == nil {
+		mode, ok := map[string]landmarkrd.DiagMode{
+			"exact": landmarkrd.DiagExactCG, "mc": landmarkrd.DiagMC, "sketch": landmarkrd.DiagSketch,
+		}[p.cfg.indexMode]
+		if !ok {
+			return nil, fmt.Errorf("rdproxy: need -snapshot or -index-mode exact|mc|sketch to resolve the fleet portfolio (got %q)", p.cfg.indexMode)
+		}
+		k := p.cfg.portfolioK
+		if k <= 0 {
+			k = len(p.cfg.replicas)
+		}
+		pf, err = landmarkrd.BuildPortfolioIndex(g, landmarkrd.PortfolioBuildOptions{
+			K: k, Mode: mode, Seed: p.cfg.seed, Metrics: p.metrics,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("rdproxy: building fleet portfolio: %w", err)
+		}
+	}
+	router, err := cluster.NewRouter(p.cfg.replicas, pf.K(), p.cfg.vnodes,
+		func(j, s, t int) float64 { return pf.RouteCost(j, s, t) })
+	if err != nil {
+		return nil, err
+	}
+	return &proxyState{g: g, pf: pf, router: router, fp: g.Fingerprint()}, nil
+}
+
+// reload is the SIGHUP rollout: re-read the graph (and snapshot, if
+// configured) and publish a fresh routing state. The graph fingerprint is
+// the fleet-wide version — when it changes, every cached answer of the old
+// version stops being looked up. On failure the old state stays current.
+func (p *proxyServer) reload() error {
+	p.reloadMu.Lock()
+	defer p.reloadMu.Unlock()
+	p.ready.Store(false)
+	defer p.ready.Store(true)
+	st, err := p.buildState()
+	if err != nil {
+		return err
+	}
+	old := p.state.Swap(st)
+	if old != nil && old.fp != st.fp {
+		p.logger.Printf("rolled out graph version %#x (was %#x)", st.fp, old.fp)
+	}
+	return nil
+}
+
+func (p *proxyServer) watchReload(ch <-chan os.Signal) {
+	for range ch {
+		p.logger.Printf("SIGHUP, rolling out new graph version")
+		if err := p.reload(); err != nil {
+			p.logger.Printf("rollout failed, keeping current version: %v", err)
+		}
+	}
+}
+
+// healthSweep polls every replica's /readyz once, synchronously. The
+// health loop calls it on a ticker; tests call it directly after flipping
+// a stub replica's readiness.
+func (p *proxyServer) healthSweep(ctx context.Context) {
+	for _, r := range p.replicas {
+		func() {
+			reqCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, r.name+"/readyz", nil)
+			if err != nil {
+				r.healthy.Store(false)
+				return
+			}
+			resp, err := p.client.Do(req)
+			if err != nil {
+				r.healthy.Store(false)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			r.healthy.Store(resp.StatusCode == http.StatusOK)
+		}()
+	}
+}
+
+// healthLoop drives healthSweep until ctx is done.
+func (p *proxyServer) healthLoop(ctx context.Context) {
+	interval := p.cfg.healthInt
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	p.healthSweep(ctx)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.healthSweep(ctx)
+		}
+	}
+}
+
+func (p *proxyServer) replicaByName(name string) *replica {
+	for _, r := range p.replicas {
+		if r.name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// healthyCount returns how many replicas the last sweep saw ready.
+func (p *proxyServer) healthyCount() int {
+	n := 0
+	for _, r := range p.replicas {
+		if r.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// pairReply is the subset of a replica's /v1/pair response the proxy
+// relays, plus the proxy's own routing fields.
+type pairReply struct {
+	S          int      `json:"s"`
+	T          int      `json:"t"`
+	Value      float64  `json:"value"`
+	Converged  bool     `json:"converged"`
+	Degraded   bool     `json:"degraded,omitempty"`
+	ErrorBound *float64 `json:"error_bound,omitempty"`
+	Landmark   int      `json:"landmark"`
+	Replica    string   `json:"replica,omitempty"`
+	Cache      string   `json:"cache,omitempty"`
+	Failovers  int      `json:"failovers,omitempty"`
+}
+
+// errAllShardsDown reports that every routed replica was down, saturated,
+// or failing.
+var errAllShardsDown = errors.New("rdproxy: no replica could answer")
+
+// forward sends one pair query to a single replica and parses the reply.
+// A 429 or 5xx (or a transport error) is a failover signal, not a final
+// answer; 4xx request errors are relayed to the client as-is.
+type replicaError struct {
+	status int
+	body   string
+}
+
+func (e *replicaError) Error() string {
+	return fmt.Sprintf("replica answered %d: %s", e.status, e.body)
+}
+
+func (p *proxyServer) forward(ctx context.Context, base string, s, t int) (pairReply, error) {
+	u := fmt.Sprintf("%s/v1/pair?s=%d&t=%d", base, s, t)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return pairReply{}, err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return pairReply{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return pairReply{}, &replicaError{status: resp.StatusCode, body: string(body)}
+	}
+	var out pairReply
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return pairReply{}, fmt.Errorf("replica %s: bad response body: %w", base, err)
+	}
+	return out, nil
+}
+
+// failoverWorthy reports whether a forward failure should be retried on
+// the next-cheapest owner (down/saturated/broken shard) rather than
+// relayed to the client (the client's own request was bad).
+func failoverWorthy(err error) bool {
+	var re *replicaError
+	if errors.As(err, &re) {
+		return re.status == http.StatusTooManyRequests || re.status >= 500
+	}
+	// Transport errors (refused, reset, timeout) are shard failures —
+	// unless the client's own context expired.
+	return !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled)
+}
+
+// routePair walks the cost-ordered owner list for (s,t), skipping unready
+// replicas and failing over past erroring ones. The first target is the
+// cheapest landmark owner; each skip or failed attempt counts one
+// ShardFailovers and moves to the next entry (the hash-ring fallback on
+// ties).
+func (p *proxyServer) routePair(ctx context.Context, st *proxyState, s, t int) (pairReply, int, error) {
+	targets := st.router.Route(st.fp, s, t)
+	failovers := 0
+	var lastErr error
+	for _, tg := range targets {
+		r := p.replicaByName(tg.Member)
+		if r == nil || !r.healthy.Load() {
+			failovers++
+			p.metrics.ShardFailovers.Inc()
+			continue
+		}
+		reply, err := p.forward(ctx, tg.Member, s, t)
+		if err != nil {
+			if failoverWorthy(err) {
+				failovers++
+				p.metrics.ShardFailovers.Inc()
+				lastErr = err
+				continue
+			}
+			return pairReply{}, failovers, err
+		}
+		p.metrics.ShardRouted.Inc()
+		reply.Replica = tg.Member
+		reply.Failovers = failovers
+		return reply, failovers, nil
+	}
+	if lastErr != nil {
+		return pairReply{}, failovers, fmt.Errorf("%w (last: %v)", errAllShardsDown, lastErr)
+	}
+	return pairReply{}, failovers, errAllShardsDown
+}
+
+// errNotShareable marks a leader's non-cacheable reply inside a cache
+// flight (degraded or unconverged): waiters recompute their own.
+var errNotShareable = errors.New("rdproxy: reply not shareable")
+
+// solvePair answers one pair through the cache (when configured) and the
+// routed fan-out. Keys carry the current state's graph fingerprint, so a
+// rollout retires stale entries wholesale.
+func (p *proxyServer) solvePair(ctx context.Context, st *proxyState, s, t int) (pairReply, error) {
+	if p.cache == nil {
+		reply, _, err := p.routePair(ctx, st, s, t)
+		return reply, err
+	}
+	key := rcache.NewKey(st.fp, s, t)
+	var full pairReply
+	var have bool
+	v, out, err := p.cache.Do(ctx, key, func() (float64, bool, error) {
+		reply, _, err := p.routePair(ctx, st, s, t)
+		if err != nil {
+			return 0, false, err
+		}
+		full, have = reply, true
+		if reply.Converged && !reply.Degraded {
+			return reply.Value, true, nil
+		}
+		return 0, false, errNotShareable
+	})
+	switch {
+	case err == nil:
+		if have {
+			full.Cache = out.String()
+			return full, nil
+		}
+		return pairReply{S: s, T: t, Value: v, Converged: true, Cache: out.String()}, nil
+	case errors.Is(err, errNotShareable):
+		if have {
+			full.Cache = out.String()
+			return full, nil
+		}
+		reply, _, rerr := p.routePair(ctx, st, s, t)
+		return reply, rerr
+	default:
+		return pairReply{}, err
+	}
+}
+
+// routes builds the coordinator mux with the same method-pattern + JSON
+// 405 taxonomy as rdserver.
+func (p *proxyServer) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", p.handleHealthz)
+	mux.HandleFunc("/healthz", p.methodNotAllowed("GET, HEAD"))
+	mux.HandleFunc("GET /readyz", p.handleReadyz)
+	mux.HandleFunc("/readyz", p.methodNotAllowed("GET, HEAD"))
+	mux.HandleFunc("GET /v1/pair", p.admit(p.handlePair))
+	mux.HandleFunc("/v1/pair", p.methodNotAllowed("GET, HEAD"))
+	mux.HandleFunc("POST /v1/batch", p.admit(p.handleBatch))
+	mux.HandleFunc("/v1/batch", p.methodNotAllowed("POST"))
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/vars", p.methodNotAllowed("GET, HEAD"))
+	return mux
+}
+
+func (p *proxyServer) methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		p.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("method %s not allowed on %s (allowed: %s)", r.Method, r.URL.Path, allow))
+	}
+}
+
+// admit is the proxy's admission gate: the same immediate-429-with-jitter
+// policy as the replicas, so saturation at either tier speaks one
+// protocol.
+func (p *proxyServer) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case p.sem <- struct{}{}:
+			defer func() { <-p.sem }()
+		default:
+			p.rngMu.Lock()
+			after := retryAfterMin + p.rng.Intn(retryAfterMax-retryAfterMin+1)
+			p.rngMu.Unlock()
+			w.Header().Set("Retry-After", strconv.Itoa(after))
+			p.writeError(w, http.StatusTooManyRequests, "saturated", "coordinator at capacity")
+			return
+		}
+		ctx := r.Context()
+		if p.cfg.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, p.cfg.timeout)
+			defer cancel()
+		}
+		h(w, r.WithContext(ctx))
+	}
+}
+
+func (p *proxyServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz answers ready only when the routing state is loaded, no
+// rollout is mid-flight, and at least one replica is healthy — a fully
+// dark fleet should be pulled from the load balancer.
+func (p *proxyServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !p.ready.Load() {
+		p.writeError(w, http.StatusServiceUnavailable, "not_ready", "rollout in progress")
+		return
+	}
+	if p.healthyCount() == 0 {
+		p.writeError(w, http.StatusServiceUnavailable, "no_replicas", "no healthy replica")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}
+
+func (p *proxyServer) handlePair(w http.ResponseWriter, r *http.Request) {
+	st := p.state.Load()
+	s, t, err := parsePairParams(r, st.g)
+	if err != nil {
+		p.writeRequestError(w, err)
+		return
+	}
+	reply, err := p.solvePair(r.Context(), st, s, t)
+	if err != nil {
+		p.writeProxyError(w, err)
+		return
+	}
+	reply.S, reply.T = s, t
+	writeJSON(w, struct {
+		pairReply
+		Epoch uint64 `json:"graph_version"`
+	}{pairReply: reply, Epoch: st.fp})
+}
+
+type batchRequest struct {
+	Pairs []struct {
+		S int `json:"s"`
+		T int `json:"t"`
+	} `json:"pairs"`
+}
+
+func (p *proxyServer) handleBatch(w http.ResponseWriter, r *http.Request) {
+	st := p.state.Load()
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		p.writeError(w, http.StatusBadRequest, "bad_request", "bad JSON body: "+err.Error())
+		return
+	}
+	if len(req.Pairs) == 0 {
+		p.writeError(w, http.StatusBadRequest, "bad_request", "empty batch")
+		return
+	}
+	for i, q := range req.Pairs {
+		if err := validVertex(st.g, q.S); err != nil {
+			p.writeRequestError(w, fmt.Errorf("pairs[%d].s: %w", i, err))
+			return
+		}
+		if err := validVertex(st.g, q.T); err != nil {
+			p.writeRequestError(w, fmt.Errorf("pairs[%d].t: %w", i, err))
+			return
+		}
+	}
+	// Fan the batch out with bounded concurrency; each pair routes (and
+	// caches) independently, so one saturated shard only slows its own
+	// pairs.
+	results := make([]pairReply, len(req.Pairs))
+	errs := make([]error, len(req.Pairs))
+	var wg sync.WaitGroup
+	lanes := make(chan struct{}, 8)
+	for i, q := range req.Pairs {
+		wg.Add(1)
+		go func(i, s, t int) {
+			defer wg.Done()
+			lanes <- struct{}{}
+			defer func() { <-lanes }()
+			reply, err := p.solvePair(r.Context(), st, s, t)
+			reply.S, reply.T = s, t
+			results[i], errs[i] = reply, err
+		}(i, q.S, q.T)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			p.writeProxyError(w, err)
+			return
+		}
+	}
+	writeJSON(w, struct {
+		GraphVersion uint64      `json:"graph_version"`
+		Results      []pairReply `json:"results"`
+	}{GraphVersion: st.fp, Results: results})
+}
+
+// errOutOfRange mirrors rdserver's 400-vs-422 split.
+var errOutOfRange = errors.New("vertex out of range")
+
+func validVertex(g *landmarkrd.Graph, v int) error {
+	if v < 0 || v >= g.N() {
+		return fmt.Errorf("%w: vertex %d not in [0, %d)", errOutOfRange, v, g.N())
+	}
+	return nil
+}
+
+func parsePairParams(r *http.Request, g *landmarkrd.Graph) (int, int, error) {
+	s, err := intParam(r, "s")
+	if err != nil {
+		return 0, 0, err
+	}
+	t, err := intParam(r, "t")
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := validVertex(g, s); err != nil {
+		return 0, 0, err
+	}
+	if err := validVertex(g, t); err != nil {
+		return 0, 0, err
+	}
+	return s, t, nil
+}
+
+func intParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("query parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+func (p *proxyServer) writeRequestError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errOutOfRange) {
+		p.writeError(w, http.StatusUnprocessableEntity, "vertex_out_of_range", err.Error())
+		return
+	}
+	p.writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+}
+
+// writeProxyError maps fan-out failures: an exhausted owner list is a 503
+// (the fleet, not the request, is the problem), deadline expiry a 504, a
+// relayed replica 4xx keeps its status, anything else a 502.
+func (p *proxyServer) writeProxyError(w http.ResponseWriter, err error) {
+	var re *replicaError
+	switch {
+	case errors.Is(err, errAllShardsDown):
+		p.writeError(w, http.StatusServiceUnavailable, "no_replicas", err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		p.writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
+	case errors.Is(err, context.Canceled):
+		p.writeError(w, 499, "canceled", err.Error())
+	case errors.As(err, &re):
+		p.writeError(w, re.status, "replica_error", err.Error())
+	default:
+		p.writeError(w, http.StatusBadGateway, "upstream", err.Error())
+	}
+}
+
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// writeError emits the structured JSON envelope, logging encode failures
+// like rdserver does.
+func (p *proxyServer) writeError(w http.ResponseWriter, status int, code, msg string) {
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = msg
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(body); err != nil && p.logger != nil {
+		p.logger.Printf("writing %d %s error envelope: %v", status, code, err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

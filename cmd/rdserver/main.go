@@ -23,9 +23,15 @@
 // are retried up to -retries times with jittered backoff. -portfolio K
 // serves a K-landmark portfolio: every pair query routes to the landmark
 // with the smallest cost-law score r(s,ℓ)+r(t,ℓ) and /v1/singlesource
-// reports which landmark answered. -snapshot loads/saves the landmark
-// index (or v3 portfolio) from a checksummed snapshot file, and
-// SIGHUP hot-reloads it without dropping in-flight queries.
+// reports which landmark answered. -landmarks pins the portfolio to an
+// explicit vertex list — the shard subset a replica serves behind an
+// rdproxy coordinator. -cache N keeps the last N pair answers in a
+// singleflight-deduplicated LRU keyed on the epoch graph's fingerprint, so
+// a re-base or reload invalidates stale entries by construction. -snapshot
+// loads/saves the landmark index (or v3 portfolio) from a checksummed
+// snapshot file, and SIGHUP hot-reloads it without dropping in-flight
+// queries. Every endpoint answers a wrong HTTP method with a structured
+// 405 and an Allow header.
 //
 // The serving state is epoch-versioned: POST /v1/update streams edge
 // insertions and deletions onto the current epoch as Sherman-Morrison
@@ -73,6 +79,8 @@ func main() {
 		maxBodyFlag  = flag.Int64("max-body", 1<<20, "max batch request body bytes")
 		patchesFlag  = flag.Int("max-patches", 0, "re-base the index after this many live updates (0 = default 64, negative disables)")
 		rebaseFlag   = flag.Duration("rebase-interval", 0, "also re-base pending live updates on this interval (0 disables)")
+		landmarkFlag = flag.String("landmarks", "", "serve exactly these portfolio landmark vertices, comma-separated (a replica's shard subset; implies -portfolio)")
+		cacheFlag    = flag.Int("cache", 0, "pair result cache entries, keyed on the epoch graph fingerprint (0 disables)")
 		drainFlag    = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 		debugFlag    = flag.String("debug-addr", "", "also serve expvar and pprof on this address")
 	)
@@ -99,6 +107,8 @@ func main() {
 			maxBody:      *maxBodyFlag,
 			maxPatches:   *patchesFlag,
 			rebaseInt:    *rebaseFlag,
+			landmarks:    *landmarkFlag,
+			cacheSize:    *cacheFlag,
 		},
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "rdserver:", err)

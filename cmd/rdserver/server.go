@@ -6,6 +6,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log"
 	"math"
 	"math/rand"
 	"net/http"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	landmarkrd "landmarkrd"
+	"landmarkrd/internal/rcache"
 )
 
 // serverConfig is everything the HTTP layer needs beyond the graph itself.
@@ -38,6 +40,8 @@ type serverConfig struct {
 	maxBody      int64         // batch body byte cap; 0 means 1 MiB
 	maxPatches   int           // re-base after this many live updates (0 = 64, <0 disables)
 	rebaseInt    time.Duration // periodic re-base interval; 0 disables the ticker
+	landmarks    string        // explicit portfolio landmark vertices ("3,17,42"); a replica's shard subset
+	cacheSize    int           // pair result cache entries; 0 disables
 }
 
 // validate rejects nonsensical configurations at startup rather than
@@ -70,6 +74,18 @@ func (c *serverConfig) validate() error {
 	if _, err := landmarkrd.ParsePrecondMode(c.precond); err != nil {
 		return fmt.Errorf("rdserver: -precond: %w", err)
 	}
+	if c.cacheSize < 0 {
+		return fmt.Errorf("rdserver: -cache must be >= 0, got %d", c.cacheSize)
+	}
+	if c.landmarks != "" {
+		lms, err := landmarkrd.ParseLandmarkList(c.landmarks)
+		if err != nil {
+			return fmt.Errorf("rdserver: -landmarks: %w", err)
+		}
+		if c.portfolioK > 0 && c.portfolioK != len(lms) {
+			return fmt.Errorf("rdserver: -landmarks names %d vertices but -portfolio is %d", len(lms), c.portfolioK)
+		}
+	}
 	if c.degradeBelow > 0 && c.timeout > 0 && c.degradeBelow >= c.timeout {
 		return fmt.Errorf("rdserver: -degrade-below (%v) must be below -timeout (%v), or every query would degrade", c.degradeBelow, c.timeout)
 	}
@@ -95,6 +111,18 @@ type queryServer struct {
 	g       *landmarkrd.Graph
 	metrics *landmarkrd.Metrics
 	cfg     serverConfig
+
+	// logger receives operational complaints (failed error-envelope writes,
+	// reload outcomes). Tests swap it to capture output.
+	logger *log.Logger
+
+	// landmarks is the parsed -landmarks shard subset (nil when unset).
+	landmarks []int
+
+	// cache is the fingerprint-keyed pair result cache (nil when -cache is
+	// 0). Keys carry the pinned epoch's graph fingerprint, so a re-base or
+	// reload invalidates every stale entry by construction.
+	cache *rcache.Cache
 
 	// live is the epoch-versioned serving state: graph + engine +
 	// index/portfolio per epoch, a Sherman-Morrison patch stack for
@@ -138,7 +166,25 @@ func newQueryServer(g *landmarkrd.Graph, cfg serverConfig) (*queryServer, error)
 		g:       g,
 		metrics: &landmarkrd.Metrics{},
 		cfg:     cfg,
+		logger:  log.New(os.Stderr, "rdserver: ", 0),
 		rng:     rand.New(rand.NewSource(int64(cfg.seed))),
+	}
+	if cfg.landmarks != "" {
+		lms, err := landmarkrd.ParseLandmarkList(cfg.landmarks)
+		if err != nil {
+			return nil, err // validate() already vetted; belt and braces
+		}
+		for _, v := range lms {
+			if v < 0 || v >= g.N() {
+				return nil, fmt.Errorf("rdserver: -landmarks vertex %d not in [0, %d)", v, g.N())
+			}
+		}
+		s.landmarks = lms
+		s.cfg.portfolioK = len(lms)
+		cfg = s.cfg
+	}
+	if cfg.cacheSize > 0 {
+		s.cache = rcache.New(cfg.cacheSize, s.metrics)
 	}
 	lo := landmarkrd.LiveOptions{
 		Method: cfg.method,
@@ -165,6 +211,7 @@ func newQueryServer(g *landmarkrd.Graph, cfg serverConfig) (*queryServer, error)
 			return nil, err
 		}
 		lo.PortfolioK = cfg.portfolioK
+		lo.Landmarks = s.landmarks
 		lo.InitialPortfolio = pf
 		if mode, ok := diagModes[cfg.indexMode]; ok {
 			lo.Mode = mode
@@ -288,6 +335,9 @@ func (s *queryServer) loadOrBuildPortfolio() (*landmarkrd.PortfolioIndex, error)
 		p, err := landmarkrd.LoadPortfolioIndex(s.cfg.snapshot, s.g)
 		switch {
 		case err == nil:
+			if err := s.checkShardLandmarks(p.Landmarks); err != nil {
+				return nil, err
+			}
 			fmt.Fprintf(os.Stderr, "rdserver: loaded portfolio snapshot %s (k=%d, landmarks %v, mode %s)\n",
 				s.cfg.snapshot, p.K(), p.Landmarks, p.Mode)
 			return p, nil
@@ -302,8 +352,8 @@ func (s *queryServer) loadOrBuildPortfolio() (*landmarkrd.PortfolioIndex, error)
 		return nil, fmt.Errorf("rdserver: -portfolio needs -index-mode exact, mc, or sketch (got %q)", s.cfg.indexMode)
 	}
 	p, err := landmarkrd.BuildPortfolioIndex(s.g, landmarkrd.PortfolioBuildOptions{
-		K: s.cfg.portfolioK, Mode: mode, Seed: s.cfg.seed, Metrics: s.metrics,
-		Precond: s.cfg.precondMode(),
+		K: s.cfg.portfolioK, Landmarks: s.landmarks, Mode: mode, Seed: s.cfg.seed,
+		Metrics: s.metrics, Precond: s.cfg.precondMode(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("rdserver: building %s portfolio: %w", s.cfg.indexMode, err)
@@ -317,6 +367,28 @@ func (s *queryServer) loadOrBuildPortfolio() (*landmarkrd.PortfolioIndex, error)
 		fmt.Fprintf(os.Stderr, "rdserver: saved portfolio snapshot to %s\n", s.cfg.snapshot)
 	}
 	return p, nil
+}
+
+// checkShardLandmarks rejects a snapshot whose landmark set does not match
+// the -landmarks shard subset this replica was told to serve — loading it
+// would silently move the replica's shard and break the fleet's routing.
+func (s *queryServer) checkShardLandmarks(got []int) error {
+	if len(s.landmarks) == 0 {
+		return nil
+	}
+	if len(got) == len(s.landmarks) {
+		same := true
+		for i := range got {
+			if got[i] != s.landmarks[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return nil
+		}
+	}
+	return fmt.Errorf("rdserver: snapshot landmarks %v do not match -landmarks %v", got, s.landmarks)
 }
 
 // loadOrBuildIndex resolves the index configuration: load the snapshot if
@@ -448,18 +520,41 @@ func (s *queryServer) rebaseLoop(ctx context.Context, interval time.Duration) {
 	}
 }
 
-// routes builds the server mux. The debug expvar page is mounted here too,
-// so the query port alone is enough to scrape engine stats.
+// routes builds the server mux with Go 1.22 method patterns: each endpoint
+// registers its method explicitly ("GET /v1/pair" also matches HEAD), and a
+// bare-path fallback turns every other method into the structured JSON 405
+// with an Allow header — the same taxonomy for probes and query endpoints
+// alike, instead of the probes silently answering 200 to any verb. The
+// debug expvar page is mounted here too, so the query port alone is enough
+// to scrape engine stats.
 func (s *queryServer) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/readyz", s.handleReadyz)
-	mux.HandleFunc("/v1/pair", s.admit(s.handlePair))
-	mux.HandleFunc("/v1/batch", s.admit(s.handleBatch))
-	mux.HandleFunc("/v1/singlesource", s.admit(s.handleSingleSource))
-	mux.HandleFunc("/v1/update", s.admit(s.handleUpdate))
-	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("/healthz", s.methodNotAllowed("GET, HEAD"))
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("/readyz", s.methodNotAllowed("GET, HEAD"))
+	mux.HandleFunc("GET /v1/pair", s.admit(s.handlePair))
+	mux.HandleFunc("/v1/pair", s.methodNotAllowed("GET, HEAD"))
+	mux.HandleFunc("POST /v1/batch", s.admit(s.handleBatch))
+	mux.HandleFunc("/v1/batch", s.methodNotAllowed("POST"))
+	mux.HandleFunc("GET /v1/singlesource", s.admit(s.handleSingleSource))
+	mux.HandleFunc("/v1/singlesource", s.methodNotAllowed("GET, HEAD"))
+	mux.HandleFunc("POST /v1/update", s.admit(s.handleUpdate))
+	mux.HandleFunc("/v1/update", s.methodNotAllowed("POST"))
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/vars", s.methodNotAllowed("GET, HEAD"))
 	return s.recoverer(mux)
+}
+
+// methodNotAllowed answers the JSON 405 envelope with an explicit Allow
+// header. It backs the bare-path patterns above, which the mux only reaches
+// when no method pattern matched.
+func (s *queryServer) methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("method %s not allowed on %s (allowed: %s)", r.Method, r.URL.Path, allow))
+	}
 }
 
 // recoverer is the outermost middleware: a panic that escapes a handler is
@@ -471,7 +566,7 @@ func (s *queryServer) recoverer(next http.Handler) http.Handler {
 		defer func() {
 			if v := recover(); v != nil {
 				s.metrics.Panics.Inc()
-				writeError(w, http.StatusInternalServerError, "internal",
+				s.writeError(w, http.StatusInternalServerError, "internal",
 					fmt.Sprintf("internal error: %v", v))
 			}
 		}()
@@ -487,14 +582,20 @@ type errorBody struct {
 	} `json:"error"`
 }
 
-// writeError emits the structured JSON error envelope.
-func writeError(w http.ResponseWriter, status int, code, msg string) {
+// writeError emits the structured JSON error envelope. An encode failure
+// after the status line is already on the wire cannot be reported to the
+// client, but it must not vanish either — the server's logger gets it (a
+// half-written envelope is a client-visible protocol violation worth an
+// operator's attention).
+func (s *queryServer) writeError(w http.ResponseWriter, status int, code, msg string) {
 	var body errorBody
 	body.Error.Code = code
 	body.Error.Message = msg
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(body)
+	if err := json.NewEncoder(w).Encode(body); err != nil && s.logger != nil {
+		s.logger.Printf("writing %d %s error envelope: %v", status, code, err)
+	}
 }
 
 // degradeKey marks a request the admission layer wants answered by the
@@ -527,7 +628,7 @@ func (s *queryServer) admit(h http.HandlerFunc) http.HandlerFunc {
 			after := retryAfterMin + s.rng.Intn(retryAfterMax-retryAfterMin+1)
 			s.rngMu.Unlock()
 			w.Header().Set("Retry-After", strconv.Itoa(after))
-			writeError(w, http.StatusTooManyRequests, "saturated", "server at capacity")
+			s.writeError(w, http.StatusTooManyRequests, "saturated", "server at capacity")
 			return
 		}
 		if s.onAdmit != nil {
@@ -561,7 +662,7 @@ func (s *queryServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // balancer to route new traffic elsewhere without killing the process.
 func (s *queryServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
-		writeError(w, http.StatusServiceUnavailable, "not_ready", "index loading or reloading")
+		s.writeError(w, http.StatusServiceUnavailable, "not_ready", "index loading or reloading")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -577,16 +678,87 @@ func batchPairs(ctx context.Context, ep *landmarkrd.LiveEpoch, queries []landmar
 	return ep.PairsContext(ctx, queries)
 }
 
+// errNotShareable marks a leader's non-cacheable answer (degraded, failed,
+// or unconverged) inside a cache flight: concurrent waiters must not adopt
+// the bare value — it would lose the degraded flag and error bound — so
+// each recomputes its own.
+var errNotShareable = errors.New("rdserver: result not shareable")
+
+// solvePair answers one pair query, through the result cache when one is
+// configured. The cache key carries the pinned epoch's graph fingerprint,
+// so an answer computed on a superseded epoch can never be served after a
+// re-base or reload — the new epoch's queries simply look up a different
+// key. Only clean answers (no error, not degraded, converged) are stored
+// or shared between concurrent identical requests. The returned string is
+// the cache outcome ("hit", "miss", "shared"), or empty when the cache was
+// disabled or bypassed.
+func (s *queryServer) solvePair(ctx context.Context, ep *landmarkrd.LiveEpoch, q landmarkrd.PairQuery) (landmarkrd.PairResult, string, error) {
+	if s.cache == nil || forceDegrade(ctx) {
+		// Load-shed degraded answers bypass the cache entirely: they must
+		// not displace exact entries, and their bounds are per-request.
+		res, err := s.solvePairDirect(ctx, ep, q)
+		return res, "", err
+	}
+	key := rcache.NewKey(ep.Fingerprint(), q.S, q.T)
+	var full landmarkrd.PairResult
+	var have bool
+	v, out, err := s.cache.Do(ctx, key, func() (float64, bool, error) {
+		res, err := s.solvePairDirect(ctx, ep, q)
+		if err != nil {
+			return 0, false, err
+		}
+		full, have = res, true
+		if res.Err == nil && !res.Degraded && res.Estimate.Converged {
+			return res.Estimate.Value, true, nil
+		}
+		return 0, false, errNotShareable
+	})
+	switch {
+	case err == nil:
+		if have {
+			return full, out.String(), nil
+		}
+		// Hit or Shared: only clean converged values are ever stored or
+		// shared, so the bare float reconstructs the full answer.
+		return landmarkrd.PairResult{
+			PairQuery: q,
+			Estimate:  landmarkrd.Estimate{Value: v, Converged: true},
+		}, out.String(), nil
+	case errors.Is(err, errNotShareable):
+		if have {
+			return full, out.String(), nil // the leader's own degraded/failed answer
+		}
+		res, derr := s.solvePairDirect(ctx, ep, q) // waiter recomputes its own
+		return res, "", derr
+	default:
+		return landmarkrd.PairResult{}, "", err
+	}
+}
+
+func (s *queryServer) solvePairDirect(ctx context.Context, ep *landmarkrd.LiveEpoch, q landmarkrd.PairQuery) (landmarkrd.PairResult, error) {
+	results, err := batchPairs(ctx, ep, []landmarkrd.PairQuery{q})
+	if err != nil {
+		return landmarkrd.PairResult{}, err
+	}
+	return results[0], nil
+}
+
 type pairResponse struct {
 	S         int     `json:"s"`
 	T         int     `json:"t"`
 	Value     float64 `json:"value"`
 	Converged bool    `json:"converged"`
 	// Degraded marks an answer from the fallback tier; ErrorBound is its
-	// conservative absolute error bound.
-	Degraded   bool    `json:"degraded,omitempty"`
-	ErrorBound float64 `json:"error_bound,omitempty"`
-	Err        string  `json:"error,omitempty"`
+	// conservative absolute error bound. A pointer, not a bare float64 with
+	// omitempty: a degraded answer whose bound rounds to exactly 0 must
+	// still carry the field — dropping it told clients the bound was
+	// unknown when it was actually the best possible one.
+	Degraded   bool     `json:"degraded,omitempty"`
+	ErrorBound *float64 `json:"error_bound,omitempty"`
+	Err        string   `json:"error,omitempty"`
+	// Cache reports how the result cache answered ("hit", "miss",
+	// "shared"); empty when caching is disabled or bypassed.
+	Cache string `json:"cache,omitempty"`
 }
 
 func (s *queryServer) handlePair(w http.ResponseWriter, r *http.Request) {
@@ -601,12 +773,11 @@ func (s *queryServer) handlePair(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	results, err := batchPairs(r.Context(), ep, []landmarkrd.PairQuery{st})
+	res, cacheOutcome, err := s.solvePair(r.Context(), ep, st)
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
 	}
-	res := results[0]
 	if res.Err != nil {
 		// A single-pair request with a failed query is an error response,
 		// not a 200 carrying an error string (that shape is for batches).
@@ -627,6 +798,7 @@ func (s *queryServer) handlePair(w http.ResponseWriter, r *http.Request) {
 		Epoch:        ep.Seq(),
 		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1e3,
 	}
+	resp.Cache = cacheOutcome
 	if pf := ep.Portfolio(); pf != nil {
 		resp.Portfolio = pf.Landmarks
 	}
@@ -641,11 +813,6 @@ type batchRequest struct {
 }
 
 func (s *queryServer) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
-			"POST a JSON body: {\"pairs\":[{\"s\":0,\"t\":1},...]}")
-		return
-	}
 	ep := s.live.Pin()
 	defer ep.Release()
 	maxBody := s.cfg.maxBody
@@ -657,15 +824,15 @@ func (s *queryServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			s.writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
 				fmt.Sprintf("batch body exceeds %d bytes", tooBig.Limit))
 			return
 		}
-		writeError(w, http.StatusBadRequest, "bad_request", "bad JSON body: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, "bad_request", "bad JSON body: "+err.Error())
 		return
 	}
 	if len(req.Pairs) == 0 {
-		writeError(w, http.StatusBadRequest, "bad_request", "empty batch")
+		s.writeError(w, http.StatusBadRequest, "bad_request", "empty batch")
 		return
 	}
 	queries := make([]landmarkrd.PairQuery, len(req.Pairs))
@@ -715,7 +882,7 @@ func (s *queryServer) handleSingleSource(w http.ResponseWriter, r *http.Request)
 	idx := ep.Index()
 	pf := ep.Portfolio()
 	if idx == nil && pf == nil {
-		writeError(w, http.StatusNotImplemented, "no_index",
+		s.writeError(w, http.StatusNotImplemented, "no_index",
 			"no landmark index configured (start with -index-mode exact|mc|sketch)")
 		return
 	}
@@ -773,13 +940,8 @@ type updateRequest struct {
 // is rejected with 422 ("disconnecting"); updates during a reload are
 // rejected with 503 so the incoming snapshot stays authoritative.
 func (s *queryServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
-			"POST a JSON body: {\"op\":\"add\",\"s\":0,\"t\":1,\"weight\":1}")
-		return
-	}
 	if !s.ready.Load() {
-		writeError(w, http.StatusServiceUnavailable, "not_ready",
+		s.writeError(w, http.StatusServiceUnavailable, "not_ready",
 			"reload in progress; retry the update once the server is ready")
 		return
 	}
@@ -790,7 +952,7 @@ func (s *queryServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 	var req updateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "bad JSON body: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, "bad_request", "bad JSON body: "+err.Error())
 		return
 	}
 	var op landmarkrd.UpdateOp
@@ -800,7 +962,7 @@ func (s *queryServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	case "remove":
 		op = landmarkrd.UpdateRemoveEdge
 	default:
-		writeError(w, http.StatusBadRequest, "bad_request",
+		s.writeError(w, http.StatusBadRequest, "bad_request",
 			fmt.Sprintf("unknown op %q (want \"add\" or \"remove\")", req.Op))
 		return
 	}
@@ -808,7 +970,7 @@ func (s *queryServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		req.Weight = 1
 	}
 	if !(req.Weight > 0) || math.IsInf(req.Weight, 0) {
-		writeError(w, http.StatusBadRequest, "bad_request",
+		s.writeError(w, http.StatusBadRequest, "bad_request",
 			fmt.Sprintf("weight must be positive and finite, got %v", req.Weight))
 		return
 	}
@@ -818,12 +980,12 @@ func (s *queryServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	n := ep.Graph().N()
 	ep.Release()
 	if req.S < 0 || req.S >= n || req.T < 0 || req.T >= n {
-		writeError(w, http.StatusUnprocessableEntity, "vertex_out_of_range",
+		s.writeError(w, http.StatusUnprocessableEntity, "vertex_out_of_range",
 			fmt.Sprintf("vertices (%d,%d) not in [0, %d)", req.S, req.T, n))
 		return
 	}
 	if req.S == req.T {
-		writeError(w, http.StatusUnprocessableEntity, "self_loop",
+		s.writeError(w, http.StatusUnprocessableEntity, "self_loop",
 			fmt.Sprintf("self loop (%d,%d)", req.S, req.T))
 		return
 	}
@@ -833,7 +995,7 @@ func (s *queryServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		if errors.Is(err, landmarkrd.ErrDisconnecting) {
-			writeError(w, http.StatusUnprocessableEntity, "disconnecting", err.Error())
+			s.writeError(w, http.StatusUnprocessableEntity, "disconnecting", err.Error())
 			return
 		}
 		s.writeQueryError(w, err)
@@ -870,10 +1032,10 @@ var errOutOfRange = errors.New("vertex out of range")
 // 422 with the same structured body.
 func (s *queryServer) writeRequestError(w http.ResponseWriter, err error) {
 	if errors.Is(err, errOutOfRange) {
-		writeError(w, http.StatusUnprocessableEntity, "vertex_out_of_range", err.Error())
+		s.writeError(w, http.StatusUnprocessableEntity, "vertex_out_of_range", err.Error())
 		return
 	}
-	writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+	s.writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 }
 
 // writeQueryError maps a failed query to an HTTP status: a deadline that
@@ -884,17 +1046,17 @@ func (s *queryServer) writeRequestError(w http.ResponseWriter, err error) {
 func (s *queryServer) writeQueryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded",
+		s.writeError(w, http.StatusGatewayTimeout, "deadline_exceeded",
 			"query exceeded the server time budget: "+err.Error())
 	case errors.Is(err, landmarkrd.ErrCanceled):
-		writeError(w, 499, "canceled", "query canceled: "+err.Error())
+		s.writeError(w, 499, "canceled", "query canceled: "+err.Error())
 	case errors.Is(err, landmarkrd.ErrDisconnected):
-		writeError(w, http.StatusUnprocessableEntity, "disconnected", err.Error())
+		s.writeError(w, http.StatusUnprocessableEntity, "disconnected", err.Error())
 	case errors.Is(err, landmarkrd.ErrInternal):
-		writeError(w, http.StatusInternalServerError, "internal",
+		s.writeError(w, http.StatusInternalServerError, "internal",
 			"internal error (worker panic recovered): "+err.Error())
 	default:
-		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		s.writeError(w, http.StatusInternalServerError, "internal", err.Error())
 	}
 }
 
@@ -939,7 +1101,8 @@ func toPairResponse(res landmarkrd.PairResult) pairResponse {
 	out := pairResponse{S: res.S, T: res.T, Value: res.Estimate.Value, Converged: res.Estimate.Converged}
 	if res.Degraded {
 		out.Degraded = true
-		out.ErrorBound = res.Estimate.ErrBound
+		bound := res.Estimate.ErrBound
+		out.ErrorBound = &bound
 	}
 	if res.Err != nil {
 		out.Err = res.Err.Error()

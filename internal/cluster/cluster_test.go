@@ -1,155 +1,228 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
+	"reflect"
 	"testing"
-
-	"landmarkrd/internal/core"
-	"landmarkrd/internal/graph"
-	"landmarkrd/internal/randx"
 )
 
-// plantedTwoCommunities builds two dense ER communities joined by a few
-// bridges, returning the graph and the ground-truth side of each vertex.
-func plantedTwoCommunities(t *testing.T, half int, seed uint64) (*graph.Graph, []int) {
-	t.Helper()
-	rng := randx.New(seed)
-	b := graph.NewBuilder(2 * half)
-	addER := func(offset int) {
-		// Dense community: ~12 random internal edges per vertex.
-		for i := 0; i < half*12; i++ {
-			u, v := rng.Intn(half), rng.Intn(half)
-			if u != v {
-				b.AddEdge(u+offset, v+offset)
+func TestRingDeterministicAcrossInsertionOrder(t *testing.T) {
+	a := NewRing([]string{"r1", "r2", "r3"}, 0)
+	b := NewRing([]string{"r3", "r1", "r2"}, 0)
+	for key := uint64(0); key < 4096; key += 17 {
+		if ga, gb := a.Lookup(key*0x9e3779b97f4a7c15), b.Lookup(key*0x9e3779b97f4a7c15); ga != gb {
+			t.Fatalf("insertion order changed Lookup(%d): %q vs %q", key, ga, gb)
+		}
+	}
+	if !reflect.DeepEqual(a.AssignPositions(16), b.AssignPositions(16)) {
+		t.Error("insertion order changed the position assignment")
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if got := empty.Lookup(42); got != "" {
+		t.Errorf("empty ring Lookup = %q, want \"\"", got)
+	}
+	if got := empty.Order(42); got != nil {
+		t.Errorf("empty ring Order = %v, want nil", got)
+	}
+	one := NewRing([]string{"solo"}, 0)
+	for key := uint64(0); key < 100; key++ {
+		if got := one.Lookup(key * 0x9e3779b97f4a7c15); got != "solo" {
+			t.Fatalf("single-member ring Lookup = %q", got)
+		}
+	}
+	owners := one.AssignPositions(4)
+	if len(owners["solo"]) != 4 {
+		t.Errorf("single member owns %v, want all 4 positions", owners["solo"])
+	}
+}
+
+// TestRingMinimalMovement removes one member and checks only keys that
+// member owned change owner — the defining consistent-hashing property.
+func TestRingMinimalMovement(t *testing.T) {
+	members := []string{"r1", "r2", "r3", "r4"}
+	before := NewRing(members, 0)
+	after := NewRing(members, 0)
+	after.Remove("r2")
+
+	moved, owned := 0, 0
+	for i := 0; i < 4096; i++ {
+		key := HashString(fmt.Sprintf("key/%d", i))
+		was, is := before.Lookup(key), after.Lookup(key)
+		if was == "r2" {
+			owned++
+			continue // must move, anywhere
+		}
+		if was != is {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed member moved", moved)
+	}
+	if owned == 0 {
+		t.Error("removed member owned no keys; test vacuous")
+	}
+}
+
+func TestRingOrderCoversAllMembersOnce(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d", "e"}, 8)
+	for key := uint64(0); key < 64; key++ {
+		ord := r.Order(key * 0x9e3779b97f4a7c15)
+		if len(ord) != 5 {
+			t.Fatalf("Order returned %d members, want 5", len(ord))
+		}
+		seen := map[string]bool{}
+		for _, m := range ord {
+			if seen[m] {
+				t.Fatalf("Order repeated member %q", m)
 			}
+			seen[m] = true
 		}
-	}
-	addER(0)
-	addER(half)
-	for i := 0; i < 4; i++ {
-		b.AddEdge(rng.Intn(half), half+rng.Intn(half))
-	}
-	g, err := b.Build()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !g.IsConnected() {
-		t.Fatal("planted graph not connected")
-	}
-	truth := make([]int, 2*half)
-	for u := half; u < 2*half; u++ {
-		truth[u] = 1
-	}
-	return g, truth
-}
-
-func TestClusterRecoversPlantedPartition(t *testing.T) {
-	g, truth := plantedTwoCommunities(t, 150, 3)
-	res, err := Cluster(g, Options{K: 2, Pivots: 4, DiagMode: core.DiagSketch, Seed: 5}, randx.New(5))
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Count agreement up to label permutation.
-	same, diff := 0, 0
-	for u, c := range res.Assign {
-		if c == truth[u] {
-			same++
-		} else {
-			diff++
-		}
-	}
-	agree := same
-	if diff > agree {
-		agree = diff
-	}
-	frac := float64(agree) / float64(g.N())
-	if frac < 0.95 {
-		t.Errorf("recovered %.1f%% of the planted partition, want >= 95%%", 100*frac)
-	}
-	// Conductance of both clusters must be tiny (4 bridges vs dense sides).
-	for c, phi := range res.Conductances {
-		if math.IsNaN(phi) || phi > 0.05 {
-			t.Errorf("cluster %d conductance %v too high", c, phi)
+		if ord[0] != r.Lookup(key*0x9e3779b97f4a7c15) {
+			t.Fatalf("Order head %q != Lookup %q", ord[0], r.Lookup(key*0x9e3779b97f4a7c15))
 		}
 	}
 }
 
-func TestClusterValidation(t *testing.T) {
-	g, _ := graph.Cycle(10)
-	if _, err := Cluster(g, Options{K: 1}, randx.New(1)); err == nil {
-		t.Error("K=1 accepted")
+func TestAssignPositionsComplete(t *testing.T) {
+	r := NewRing([]string{"r1", "r2", "r3"}, 0)
+	const k = 8
+	owners := r.AssignPositions(k)
+	covered := make([]string, k)
+	for m, positions := range owners {
+		for _, j := range positions {
+			if j < 0 || j >= k {
+				t.Fatalf("position %d out of range", j)
+			}
+			if covered[j] != "" {
+				t.Fatalf("position %d owned by both %q and %q", j, covered[j], m)
+			}
+			covered[j] = m
+		}
 	}
-	if _, err := Cluster(g, Options{K: 11}, randx.New(1)); err == nil {
-		t.Error("K > n accepted")
+	for j, m := range covered {
+		if m == "" {
+			t.Errorf("position %d unowned", j)
+		}
 	}
-}
-
-func TestClusterSizesSumToN(t *testing.T) {
-	g, err := graph.WattsStrogatz(200, 3, 0.1, randx.New(7))
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := Cluster(g, Options{K: 4, Pivots: 6, DiagMode: core.DiagSketch, Seed: 9}, randx.New(9))
-	if err != nil {
-		t.Fatal(err)
-	}
-	total := 0
-	for _, s := range res.Sizes {
-		total += s
-	}
-	if total != g.N() {
-		t.Errorf("cluster sizes sum to %d, want %d", total, g.N())
-	}
-	if len(res.Pivots) != 6 {
-		t.Errorf("pivots = %v", res.Pivots)
-	}
-	for _, a := range res.Assign {
-		if a < 0 || a >= 4 {
-			t.Fatalf("assignment out of range: %d", a)
+	// Bounded load: no member owns more than ceil(k/members), so no
+	// replica idles while another owns the whole portfolio.
+	for m, positions := range owners {
+		if len(positions) > (k+2)/3 {
+			t.Errorf("member %q owns %d positions, cap is %d", m, len(positions), (k+2)/3)
+		}
+		if len(positions) == 0 {
+			t.Errorf("member %q owns nothing with k=%d over 3 members", m, k)
 		}
 	}
 }
 
-func TestConductancesKnownCut(t *testing.T) {
-	// Two triangles joined by one edge: assigning each triangle to a
-	// cluster gives conductance 1/7 on both sides (cut 1, vol 7).
-	b := graph.NewBuilder(6)
-	b.AddEdge(0, 1)
-	b.AddEdge(1, 2)
-	b.AddEdge(2, 0)
-	b.AddEdge(3, 4)
-	b.AddEdge(4, 5)
-	b.AddEdge(5, 3)
-	b.AddEdge(0, 3)
-	g, err := b.Build()
+func TestHashPairSymmetric(t *testing.T) {
+	if HashPair(7, 3, 12) != HashPair(7, 12, 3) {
+		t.Error("HashPair not symmetric in (s,t)")
+	}
+	if HashPair(7, 3, 12) == HashPair(8, 3, 12) {
+		t.Error("HashPair ignores the fingerprint")
+	}
+}
+
+// tableCost builds a CostFunc from an explicit [position][2]cost table
+// keyed only on position (ignoring s,t) for routing tests.
+func tableCost(costs []float64) CostFunc {
+	return func(j, s, t int) float64 { return costs[j] }
+}
+
+func TestRouterPicksCheapestOwner(t *testing.T) {
+	// 4 positions, explicit costs: position 2 is globally cheapest.
+	rt, err := NewRouter([]string{"r1", "r2", "r3"}, 4, 0, tableCost([]float64{5, 3, 1, 4}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	assign := []int{0, 0, 0, 1, 1, 1}
-	phi := Conductances(g, assign, 2)
-	for c := range phi {
-		if math.Abs(phi[c]-1.0/7) > 1e-12 {
-			t.Errorf("conductance[%d] = %v, want 1/7", c, phi[c])
+	targets := rt.Route(1, 10, 20)
+	if len(targets) == 0 {
+		t.Fatal("no targets")
+	}
+	if targets[0].Position != 2 {
+		t.Errorf("head target position %d (cost %g), want 2", targets[0].Position, targets[0].Cost)
+	}
+	if targets[0].Member != rt.Owner(2) {
+		t.Errorf("head target member %q, want owner of position 2 (%q)", targets[0].Member, rt.Owner(2))
+	}
+	// Costs ascend.
+	for i := 1; i < len(targets); i++ {
+		if targets[i].Cost < targets[i-1].Cost {
+			t.Errorf("targets not cost-sorted: %v", targets)
 		}
 	}
 }
 
-func TestEmbedDimensions(t *testing.T) {
-	g, err := graph.BarabasiAlbert(120, 3, randx.New(11))
+func TestRouterTieBrokenByRingDeterministically(t *testing.T) {
+	// All positions tie: ordering must come from the ring, identically on
+	// every call and every identically-configured router.
+	costs := tableCost([]float64{1, 1, 1, 1, 1, 1})
+	a, err := NewRouter([]string{"r1", "r2", "r3"}, 6, 0, costs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	emb, pivots, err := Embed(g, 3, core.DiagSketch, randx.New(12))
-	if err != nil {
-		t.Fatal(err)
+	b, _ := NewRouter([]string{"r3", "r2", "r1"}, 6, 0, costs)
+	ta, tb := a.Route(9, 1, 2), b.Route(9, 1, 2)
+	if !reflect.DeepEqual(ta, tb) {
+		t.Errorf("tie order differs across routers: %v vs %v", ta, tb)
 	}
-	if len(pivots) != 3 || len(emb) != g.N() {
-		t.Fatalf("embed shape: %d pivots, %d rows", len(pivots), len(emb))
-	}
-	for j, p := range pivots {
-		// The pivot's own coordinate must be ~0 in its dimension.
-		if emb[p][j] > 1e-9 {
-			t.Errorf("pivot %d self-distance %v", p, emb[p][j])
+	// Different pairs shuffle the tie order (hash-ring fallback, not a
+	// fixed pecking order that would hot-spot one replica).
+	varied := false
+	for s := 0; s < 32 && !varied; s++ {
+		if a.Route(9, s, s+1)[0].Member != ta[0].Member {
+			varied = true
 		}
+	}
+	if !varied {
+		t.Error("tie-break never varies with the pair; all ties would hot-spot one replica")
+	}
+}
+
+func TestRouterFailoverOrderIsRouteSuffix(t *testing.T) {
+	rt, err := NewRouter([]string{"r1", "r2", "r3", "r4"}, 8, 0, tableCost([]float64{8, 7, 6, 5, 4, 3, 2, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := rt.Route(3, 5, 6)
+	// Every owning member appears exactly once: skipping the head on
+	// failure walks the rest of the fleet.
+	seen := map[string]bool{}
+	for _, tg := range targets {
+		if seen[tg.Member] {
+			t.Fatalf("member %q appears twice in route %v", tg.Member, targets)
+		}
+		seen[tg.Member] = true
+		if tg.Position < 0 || math.IsInf(tg.Cost, 1) {
+			t.Fatalf("unowned/infinite target %+v in route", tg)
+		}
+	}
+	owning := 0
+	for _, positions := range rt.Owners() {
+		if len(positions) > 0 {
+			owning++
+		}
+	}
+	if len(targets) != owning {
+		t.Errorf("route has %d targets, want one per owning member (%d)", len(targets), owning)
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	if _, err := NewRouter(nil, 4, 0, tableCost([]float64{1, 1, 1, 1})); err == nil {
+		t.Error("empty member list accepted")
+	}
+	if _, err := NewRouter([]string{"r1"}, 0, 0, tableCost(nil)); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewRouter([]string{"r1"}, 2, 0, nil); err == nil {
+		t.Error("nil cost accepted")
 	}
 }

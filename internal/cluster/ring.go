@@ -1,0 +1,190 @@
+// Package cluster implements the shard-by-landmark serving tier: a
+// deterministic consistent-hash ring that assigns portfolio landmark
+// positions to replicas, and a router that sends each pair query to the
+// replica whose owned landmark minimizes the paper's cost-law score
+// (Portfolio.RouteCost), falling back along the ring when costs tie or a
+// replica is down.
+//
+// The ring is plain FNV-1a over member names with virtual nodes — no
+// randomness, no process state — so every coordinator in a fleet computes
+// the identical assignment from the replica list alone, and adding or
+// removing one replica only moves the landmark positions that replica
+// owned.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-member vnode count used when NewRing gets
+// a non-positive value. 64 points per member keeps the ownership imbalance
+// of small fleets within a few percent while the ring stays tiny.
+const DefaultVirtualNodes = 64
+
+// HashString returns the 64-bit FNV-1a hash of s — the ring's only hash
+// function, chosen for determinism across processes rather than speed.
+func HashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// HashPair hashes a (fingerprint, s, t) triple to a ring key. The pair is
+// canonicalized (resistance is symmetric) so (s,t) and (t,s) always land on
+// the same point.
+func HashPair(fingerprint uint64, s, t int) uint64 {
+	if s > t {
+		s, t = t, s
+	}
+	var buf [24]byte
+	binary.LittleEndian.PutUint64(buf[0:], fingerprint)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(int64(s)))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(int64(t)))
+	h := fnv.New64a()
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// point is one virtual node on the ring.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a deterministic consistent-hash ring. The zero value is not
+// usable; construct with NewRing. Not safe for concurrent mutation — build
+// it once (or copy-on-write) and share it read-only, which is how the
+// router uses it.
+type Ring struct {
+	vnodes  int
+	points  []point
+	members map[string]bool
+}
+
+// NewRing builds a ring with the given members (duplicates ignored) and
+// vnodes virtual nodes per member (DefaultVirtualNodes when <= 0).
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{vnodes: vnodes, members: make(map[string]bool, len(members))}
+	for _, m := range members {
+		r.Add(m)
+	}
+	return r
+}
+
+// Add inserts a member (no-op if present).
+func (r *Ring) Add(member string) {
+	if r.members[member] {
+		return
+	}
+	r.members[member] = true
+	for i := 0; i < r.vnodes; i++ {
+		h := HashString(fmt.Sprintf("%s#%d", member, i))
+		r.points = append(r.points, point{hash: h, member: member})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Identical hashes (vanishingly rare): break by name so the ring
+		// stays insertion-order independent.
+		return r.points[a].member < r.points[b].member
+	})
+}
+
+// Remove deletes a member and its virtual nodes (no-op if absent).
+func (r *Ring) Remove(member string) {
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Members returns the member names in sorted order.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the member owning key: the first virtual node clockwise
+// from the key's hash. Empty ring returns "".
+func (r *Ring) Lookup(key uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Order returns every member exactly once, in clockwise traversal order
+// starting at key. The head of the list is Lookup(key); the rest is the
+// deterministic failover sequence the router uses to break cost ties and
+// walk past down replicas.
+func (r *Ring) Order(key uint64) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	out := make([]string, 0, len(r.members))
+	seen := make(map[string]bool, len(r.members))
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}
+
+// AssignPositions maps each of k portfolio landmark positions onto the
+// ring with bounded load: position j walks the ring clockwise from
+// HashString("landmark/<j>") and lands on the first member whose load is
+// still below ceil(k/members). The cap guarantees no replica idles while
+// another owns the whole portfolio (plain Lookup can do exactly that for
+// small k), while keeping the consistent-hashing properties: every
+// coordinator computes the identical map from the member list alone, and a
+// membership change only moves positions near the changed member's arcs.
+// The returned map contains every member (possibly with an empty slice),
+// with positions in ascending order.
+func (r *Ring) AssignPositions(k int) map[string][]int {
+	owners := make(map[string][]int, len(r.members))
+	for m := range r.members {
+		owners[m] = nil
+	}
+	if len(r.members) == 0 || k <= 0 {
+		return owners
+	}
+	limit := (k + len(r.members) - 1) / len(r.members)
+	for j := 0; j < k; j++ {
+		for _, m := range r.Order(HashString(fmt.Sprintf("landmark/%d", j))) {
+			if len(owners[m]) < limit {
+				owners[m] = append(owners[m], j)
+				break
+			}
+		}
+	}
+	return owners
+}

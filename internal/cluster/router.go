@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CostFunc scores portfolio landmark position j for the pair (s,t); lower
+// is cheaper. Portfolio.RouteCost has exactly this shape — the router is
+// deliberately decoupled from the core package so it can be tested with
+// synthetic cost tables.
+type CostFunc func(j, s, t int) float64
+
+// Target is one candidate replica for a pair query: the member name, the
+// owned portfolio position that won (the member's cheapest), and its
+// cost-law score.
+type Target struct {
+	Member   string
+	Position int
+	Cost     float64
+}
+
+// Router routes pair queries to the replicas of a landmark-sharded fleet.
+// Each replica owns the portfolio landmark positions the consistent-hash
+// ring assigns it; a query goes to the replica whose owned landmark has the
+// smallest cost-law score for the pair, with the ring traversal order as
+// the tiebreak and failover sequence. Immutable after construction, safe
+// for concurrent use.
+type Router struct {
+	ring   *Ring
+	cost   CostFunc
+	owners map[string][]int
+	// posOwner[j] is the member owning position j (reverse of owners).
+	posOwner []string
+}
+
+// NewRouter assigns the k portfolio positions to members over a fresh ring
+// and returns the router. cost is typically Portfolio.RouteCost. Errors on
+// an empty member list or k <= 0.
+func NewRouter(members []string, k, vnodes int, cost CostFunc) (*Router, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one member")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: router needs k >= 1 portfolio positions, got %d", k)
+	}
+	if cost == nil {
+		return nil, fmt.Errorf("cluster: router needs a cost function")
+	}
+	ring := NewRing(members, vnodes)
+	owners := ring.AssignPositions(k)
+	rt := &Router{ring: ring, cost: cost, owners: owners, posOwner: make([]string, k)}
+	for m, positions := range owners {
+		for _, j := range positions {
+			rt.posOwner[j] = m
+		}
+	}
+	return rt, nil
+}
+
+// Ring returns the underlying ring (read-only).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Owners returns the member → owned-positions map (shared, do not mutate).
+func (rt *Router) Owners() map[string][]int { return rt.owners }
+
+// Owner returns the member owning portfolio position j.
+func (rt *Router) Owner(j int) string { return rt.posOwner[j] }
+
+// Route returns the candidate replicas for the pair (s,t), cheapest first:
+// every member owning at least one position, scored by its cheapest owned
+// position, with exact cost ties broken by ring traversal order from the
+// pair's hash point (fingerprint folds the graph version into that
+// tiebreak so it reshuffles on rollout, not per restart). Callers walk the
+// list in order, skipping replicas they know to be down — the next entry
+// IS the hash-ring fallback.
+func (rt *Router) Route(fingerprint uint64, s, t int) []Target {
+	ringOrder := rt.ring.Order(HashPair(fingerprint, s, t))
+	rank := make(map[string]int, len(ringOrder))
+	for i, m := range ringOrder {
+		rank[m] = i
+	}
+	targets := make([]Target, 0, len(rt.owners))
+	for m, positions := range rt.owners {
+		if len(positions) == 0 {
+			continue
+		}
+		best := Target{Member: m, Position: -1, Cost: math.Inf(1)}
+		for _, j := range positions {
+			if c := rt.cost(j, s, t); c < best.Cost {
+				best.Position, best.Cost = j, c
+			}
+		}
+		targets = append(targets, best)
+	}
+	sort.Slice(targets, func(a, b int) bool {
+		if targets[a].Cost != targets[b].Cost {
+			return targets[a].Cost < targets[b].Cost
+		}
+		return rank[targets[a].Member] < rank[targets[b].Member]
+	})
+	return targets
+}

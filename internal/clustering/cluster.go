@@ -1,10 +1,10 @@
-// Package cluster implements resistance-distance-based graph clustering —
+// Package clustering implements resistance-distance-based graph clustering —
 // one of the motivating applications of fast RD computation. Vertices are
 // embedded by their resistance distances to a set of landmark/pivot
 // vertices (computed with the single-source landmark machinery), then
 // clustered with k-means in that embedding; quality is scored by
 // conductance.
-package cluster
+package clustering
 
 import (
 	"fmt"

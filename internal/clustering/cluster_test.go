@@ -1,0 +1,155 @@
+package clustering
+
+import (
+	"math"
+	"testing"
+
+	"landmarkrd/internal/core"
+	"landmarkrd/internal/graph"
+	"landmarkrd/internal/randx"
+)
+
+// plantedTwoCommunities builds two dense ER communities joined by a few
+// bridges, returning the graph and the ground-truth side of each vertex.
+func plantedTwoCommunities(t *testing.T, half int, seed uint64) (*graph.Graph, []int) {
+	t.Helper()
+	rng := randx.New(seed)
+	b := graph.NewBuilder(2 * half)
+	addER := func(offset int) {
+		// Dense community: ~12 random internal edges per vertex.
+		for i := 0; i < half*12; i++ {
+			u, v := rng.Intn(half), rng.Intn(half)
+			if u != v {
+				b.AddEdge(u+offset, v+offset)
+			}
+		}
+	}
+	addER(0)
+	addER(half)
+	for i := 0; i < 4; i++ {
+		b.AddEdge(rng.Intn(half), half+rng.Intn(half))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("planted graph not connected")
+	}
+	truth := make([]int, 2*half)
+	for u := half; u < 2*half; u++ {
+		truth[u] = 1
+	}
+	return g, truth
+}
+
+func TestClusterRecoversPlantedPartition(t *testing.T) {
+	g, truth := plantedTwoCommunities(t, 150, 3)
+	res, err := Cluster(g, Options{K: 2, Pivots: 4, DiagMode: core.DiagSketch, Seed: 5}, randx.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count agreement up to label permutation.
+	same, diff := 0, 0
+	for u, c := range res.Assign {
+		if c == truth[u] {
+			same++
+		} else {
+			diff++
+		}
+	}
+	agree := same
+	if diff > agree {
+		agree = diff
+	}
+	frac := float64(agree) / float64(g.N())
+	if frac < 0.95 {
+		t.Errorf("recovered %.1f%% of the planted partition, want >= 95%%", 100*frac)
+	}
+	// Conductance of both clusters must be tiny (4 bridges vs dense sides).
+	for c, phi := range res.Conductances {
+		if math.IsNaN(phi) || phi > 0.05 {
+			t.Errorf("cluster %d conductance %v too high", c, phi)
+		}
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	g, _ := graph.Cycle(10)
+	if _, err := Cluster(g, Options{K: 1}, randx.New(1)); err == nil {
+		t.Error("K=1 accepted")
+	}
+	if _, err := Cluster(g, Options{K: 11}, randx.New(1)); err == nil {
+		t.Error("K > n accepted")
+	}
+}
+
+func TestClusterSizesSumToN(t *testing.T) {
+	g, err := graph.WattsStrogatz(200, 3, 0.1, randx.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Cluster(g, Options{K: 4, Pivots: 6, DiagMode: core.DiagSketch, Seed: 9}, randx.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != g.N() {
+		t.Errorf("cluster sizes sum to %d, want %d", total, g.N())
+	}
+	if len(res.Pivots) != 6 {
+		t.Errorf("pivots = %v", res.Pivots)
+	}
+	for _, a := range res.Assign {
+		if a < 0 || a >= 4 {
+			t.Fatalf("assignment out of range: %d", a)
+		}
+	}
+}
+
+func TestConductancesKnownCut(t *testing.T) {
+	// Two triangles joined by one edge: assigning each triangle to a
+	// cluster gives conductance 1/7 on both sides (cut 1, vol 7).
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 3)
+	b.AddEdge(0, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := []int{0, 0, 0, 1, 1, 1}
+	phi := Conductances(g, assign, 2)
+	for c := range phi {
+		if math.Abs(phi[c]-1.0/7) > 1e-12 {
+			t.Errorf("conductance[%d] = %v, want 1/7", c, phi[c])
+		}
+	}
+}
+
+func TestEmbedDimensions(t *testing.T) {
+	g, err := graph.BarabasiAlbert(120, 3, randx.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, pivots, err := Embed(g, 3, core.DiagSketch, randx.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pivots) != 3 || len(emb) != g.N() {
+		t.Fatalf("embed shape: %d pivots, %d rows", len(pivots), len(emb))
+	}
+	for j, p := range pivots {
+		// The pivot's own coordinate must be ~0 in its dimension.
+		if emb[p][j] > 1e-9 {
+			t.Errorf("pivot %d self-distance %v", p, emb[p][j])
+		}
+	}
+}

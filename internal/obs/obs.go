@@ -189,6 +189,14 @@ type Metrics struct {
 	EpochPublishes Counter // serving epochs published (rebases + hot reloads)
 	EpochRetires   Counter // superseded epochs retired after their readers drained
 
+	CacheHits      Counter // result-cache lookups answered from a stored value
+	CacheMisses    Counter // result-cache lookups that ran the engine
+	CacheShared    Counter // lookups that piggybacked on a concurrent identical solve
+	CacheEvictions Counter // cached results evicted by the LRU policy
+
+	ShardRouted    Counter // proxy queries forwarded to their cheapest landmark owner
+	ShardFailovers Counter // proxy queries failed over past a down/saturated shard
+
 	CGSolves     Counter // grounded CG solves
 	CGIterations Counter // total CG iterations across solves
 
@@ -239,6 +247,14 @@ func (m *Metrics) Merge(src *Metrics) {
 	m.Rebases.Add(src.Rebases.Load())
 	m.EpochPublishes.Add(src.EpochPublishes.Load())
 	m.EpochRetires.Add(src.EpochRetires.Load())
+
+	m.CacheHits.Add(src.CacheHits.Load())
+	m.CacheMisses.Add(src.CacheMisses.Load())
+	m.CacheShared.Add(src.CacheShared.Load())
+	m.CacheEvictions.Add(src.CacheEvictions.Load())
+
+	m.ShardRouted.Add(src.ShardRouted.Load())
+	m.ShardFailovers.Add(src.ShardFailovers.Load())
 
 	m.CGSolves.Add(src.CGSolves.Load())
 	m.CGIterations.Add(src.CGIterations.Load())
@@ -359,6 +375,14 @@ type Snapshot struct {
 	EpochPublishes int64 `json:"epoch_publishes"`
 	EpochRetires   int64 `json:"epoch_retires"`
 
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheShared    int64 `json:"cache_shared"`
+	CacheEvictions int64 `json:"cache_evictions"`
+
+	ShardRouted    int64 `json:"shard_routed"`
+	ShardFailovers int64 `json:"shard_failovers"`
+
 	CGSolves     int64 `json:"cg_solves"`
 	CGIterations int64 `json:"cg_iterations"`
 
@@ -408,6 +432,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		Rebases:        m.Rebases.Load(),
 		EpochPublishes: m.EpochPublishes.Load(),
 		EpochRetires:   m.EpochRetires.Load(),
+
+		CacheHits:      m.CacheHits.Load(),
+		CacheMisses:    m.CacheMisses.Load(),
+		CacheShared:    m.CacheShared.Load(),
+		CacheEvictions: m.CacheEvictions.Load(),
+
+		ShardRouted:    m.ShardRouted.Load(),
+		ShardFailovers: m.ShardFailovers.Load(),
 
 		CGSolves:     m.CGSolves.Load(),
 		CGIterations: m.CGIterations.Load(),

@@ -65,6 +65,11 @@ type LiveOptions struct {
 	// PortfolioK, when > 0, serves each epoch from a K-landmark portfolio
 	// instead of a single-landmark index.
 	PortfolioK int
+	// Landmarks pins the portfolio landmark set explicitly (requires
+	// PortfolioK > 0; overrides K/Strategy selection). Re-bases rebuild on
+	// the same vertices, so a replica serving a shard subset keeps its shard
+	// across epoch publications.
+	Landmarks []int
 	// NoIndex skips the per-epoch diagonal index build; fresh (patch-aware)
 	// queries fall back to full Sherman-Morrison pseudo-inverse solves.
 	// Single-source queries are unavailable in this mode.
@@ -186,6 +191,9 @@ func NewLiveIndex(g *Graph, opts LiveOptions) (*LiveIndex, error) {
 	if opts.InitialPortfolio != nil && opts.PortfolioK == 0 {
 		return nil, fmt.Errorf("landmarkrd: LiveOptions.InitialPortfolio requires PortfolioK > 0")
 	}
+	if len(opts.Landmarks) > 0 && opts.PortfolioK == 0 {
+		return nil, fmt.Errorf("landmarkrd: LiveOptions.Landmarks requires PortfolioK > 0")
+	}
 	if opts.InitialIndex != nil && opts.InitialIndex.G != g {
 		return nil, fmt.Errorf("landmarkrd: LiveOptions.InitialIndex was built on a different graph")
 	}
@@ -234,13 +242,14 @@ func (li *LiveIndex) buildState(g *Graph, initIdx *LandmarkIndex, initPf *Portfo
 		if pf == nil || pf.G != g {
 			var err error
 			pf, err = BuildPortfolioIndex(g, PortfolioBuildOptions{
-				K:        li.opts.PortfolioK,
-				Strategy: li.opts.Batch.Options.Strategy,
-				Mode:     li.opts.Mode,
-				Seed:     li.seed,
-				Workers:  li.opts.IndexWorkers,
-				Precond:  li.opts.Precond,
-				Metrics:  li.metrics,
+				K:         li.opts.PortfolioK,
+				Strategy:  li.opts.Batch.Options.Strategy,
+				Landmarks: li.opts.Landmarks,
+				Mode:      li.opts.Mode,
+				Seed:      li.seed,
+				Workers:   li.opts.IndexWorkers,
+				Precond:   li.opts.Precond,
+				Metrics:   li.metrics,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("landmarkrd: live portfolio build: %w", err)
@@ -292,6 +301,13 @@ func (li *LiveIndex) Epoch() uint64 { return li.mgr.Seq() }
 
 // PendingPatches returns the current epoch's patch-stack depth.
 func (li *LiveIndex) PendingPatches() int { return li.mgr.Current().Value().patchCount() }
+
+// Fingerprint returns the current epoch's graph fingerprint — the cache/
+// routing key for answers computed against that epoch's materialized graph.
+// Every publication that changes the graph (re-base, snapshot reload)
+// changes it, so values cached under an old fingerprint can never be served
+// for the new graph.
+func (li *LiveIndex) Fingerprint() uint64 { return li.mgr.Current().Value().g.Fingerprint() }
 
 // Metrics returns the live metrics sink.
 func (li *LiveIndex) Metrics() *Metrics { return li.metrics }
@@ -503,6 +519,12 @@ func (ep *LiveEpoch) Seq() uint64 { return ep.e.Seq() }
 
 // Graph returns the epoch's materialized graph (without pending patches).
 func (ep *LiveEpoch) Graph() *Graph { return ep.e.Value().g }
+
+// Fingerprint returns the fingerprint of the epoch's materialized graph.
+// Batch and single-source answers are computed against exactly that graph
+// (patches only affect FreshPairContext), so it is the correct cache key
+// for this epoch's pair answers.
+func (ep *LiveEpoch) Fingerprint() uint64 { return ep.e.Value().g.Fingerprint() }
 
 // Engine returns the epoch's batch engine.
 func (ep *LiveEpoch) Engine() *BatchEngine { return ep.e.Value().engine }

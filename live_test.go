@@ -478,3 +478,94 @@ func TestLivePublishIndexHotReload(t *testing.T) {
 		t.Error("nil portfolio accepted")
 	}
 }
+
+// TestLiveFingerprint: the fingerprint identifies the epoch's materialized
+// graph — stable while patches accumulate (epoch answers don't see them),
+// changed by a re-base, and equal to a cold fingerprint of the same graph.
+// This is the contract the serving tier's result cache keys on.
+func TestLiveFingerprint(t *testing.T) {
+	g := liveTestGraph(t)
+	ctx := context.Background()
+	li, err := landmarkrd.NewLiveIndex(g, landmarkrd.LiveOptions{
+		Method: landmarkrd.AbWalk,
+		Batch:  landmarkrd.BatchOptions{Options: landmarkrd.Options{Seed: 5, Walks: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp0 := li.Fingerprint()
+	if fp0 != g.Fingerprint() {
+		t.Fatalf("live fingerprint %#x != graph fingerprint %#x", fp0, g.Fingerprint())
+	}
+	ep := li.Pin()
+	if ep.Fingerprint() != fp0 {
+		t.Fatalf("epoch fingerprint %#x != index fingerprint %#x", ep.Fingerprint(), fp0)
+	}
+	ep.Release()
+
+	if _, err := li.ApplyUpdate(ctx, landmarkrd.GraphUpdate{Op: landmarkrd.UpdateAddEdge, S: 0, T: 57, Weight: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	if li.Fingerprint() != fp0 {
+		t.Fatal("patch changed the epoch fingerprint; epoch answers did not change")
+	}
+	if _, err := li.Rebase(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fp1 := li.Fingerprint()
+	if fp1 == fp0 {
+		t.Fatal("re-base onto a mutated graph kept the old fingerprint; stale cache entries would be served")
+	}
+	ep = li.Pin()
+	defer ep.Release()
+	if ep.Fingerprint() != fp1 || ep.Fingerprint() != ep.Graph().Fingerprint() {
+		t.Fatalf("post-rebase epoch fingerprint %#x, want %#x (= graph's)", ep.Fingerprint(), fp1)
+	}
+}
+
+// TestLiveLandmarksPinnedAcrossRebase: a replica serving a shard subset
+// (explicit LiveOptions.Landmarks) must keep exactly those vertices through
+// a re-base, or the fleet's shard assignment would silently drift.
+func TestLiveLandmarksPinnedAcrossRebase(t *testing.T) {
+	g := liveTestGraph(t)
+	ctx := context.Background()
+	want := []int{3, 41, 77}
+	li, err := landmarkrd.NewLiveIndex(g, landmarkrd.LiveOptions{
+		Method:     landmarkrd.AbWalk,
+		Batch:      landmarkrd.BatchOptions{Options: landmarkrd.Options{Seed: 5, Walks: 100}},
+		PortfolioK: len(want),
+		Landmarks:  append([]int(nil), want...),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		ep := li.Pin()
+		defer ep.Release()
+		pf := ep.Portfolio()
+		if pf == nil {
+			t.Fatalf("%s: no portfolio", stage)
+		}
+		if len(pf.Landmarks) != len(want) {
+			t.Fatalf("%s: portfolio has %d landmarks, want %d", stage, len(pf.Landmarks), len(want))
+		}
+		for i, v := range want {
+			if pf.Landmarks[i] != v {
+				t.Fatalf("%s: landmark[%d] = %d, want %d", stage, i, pf.Landmarks[i], v)
+			}
+		}
+	}
+	check("initial")
+	if _, err := li.ApplyUpdate(ctx, landmarkrd.GraphUpdate{Op: landmarkrd.UpdateAddEdge, S: 1, T: 90, Weight: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := li.Rebase(ctx); err != nil {
+		t.Fatal(err)
+	}
+	check("post-rebase")
+
+	// Landmarks without portfolio mode is a configuration error.
+	if _, err := landmarkrd.NewLiveIndex(g, landmarkrd.LiveOptions{Landmarks: []int{1}}); err == nil {
+		t.Error("Landmarks without PortfolioK accepted")
+	}
+}

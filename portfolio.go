@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"landmarkrd/internal/core"
 	"landmarkrd/internal/randx"
@@ -76,6 +78,37 @@ func BuildPortfolioIndex(g *Graph, opts PortfolioBuildOptions) (*PortfolioIndex,
 		Precond:     opts.Precond,
 		PrecondSeed: seed,
 	}, randx.New(seed))
+}
+
+// ParseLandmarkList parses a comma-separated vertex list ("3,17,42") into
+// landmark indices for PortfolioBuildOptions.Landmarks — the flag syntax
+// rdserver replicas use to serve a shard subset of a fleet-wide portfolio.
+// Vertices must be non-negative and distinct; whitespace around entries is
+// ignored and an empty string yields nil.
+func ParseLandmarkList(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	seen := make(map[int]bool, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("landmarkrd: landmark list entry %q: %w", p, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("landmarkrd: landmark list entry %d is negative", v)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("landmarkrd: landmark %d listed twice", v)
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // SelectPortfolioLandmarks picks k landmarks by the portfolio cost-law

@@ -496,3 +496,18 @@ func TestPortfolioAccessors(t *testing.T) {
 		}
 	})
 }
+
+func TestParseLandmarkList(t *testing.T) {
+	got, err := ParseLandmarkList(" 3, 17,42 ")
+	if err != nil || len(got) != 3 || got[0] != 3 || got[1] != 17 || got[2] != 42 {
+		t.Fatalf("ParseLandmarkList = %v, %v", got, err)
+	}
+	if got, err := ParseLandmarkList(""); err != nil || got != nil {
+		t.Errorf("empty list = %v, %v, want nil, nil", got, err)
+	}
+	for _, bad := range []string{"1,x", "1,,2", "-4", "1,1"} {
+		if _, err := ParseLandmarkList(bad); err == nil {
+			t.Errorf("ParseLandmarkList(%q) accepted", bad)
+		}
+	}
+}
