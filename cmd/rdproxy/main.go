@@ -27,6 +27,15 @@
 // queries for up to -drain-timeout. Excess concurrent queries beyond
 // -max-inflight get an immediate 429 with a jittered Retry-After, the same
 // protocol the replicas speak.
+//
+// Resilience (DESIGN.md §14): each replica carries a circuit breaker over
+// a -breaker-window sliding failure window (open shards are skipped until
+// a half-open probe succeeds); -hedge-after races slow owners against the
+// next-cheapest healthy one; every failover or hedge beyond a query's
+// first attempt spends a token from the -retry-budget bucket (refilled at
+// -retry-budget-ratio per admitted query) and an empty bucket fails fast
+// with 503 + Retry-After; -health-hysteresis consecutive contrary probes
+// are required before a replica's health bit flips.
 package main
 
 import (
@@ -58,20 +67,32 @@ func main() {
 		timeoutFlag  = flag.Duration("timeout", 5*time.Second, "per-query budget including fan-out (0 = 30s transport default)")
 		inflightFlag = flag.Int("max-inflight", 64, "max concurrent queries before 429")
 		healthFlag   = flag.Duration("health-interval", 2*time.Second, "replica /readyz poll interval")
+		hystFlag     = flag.Int("health-hysteresis", 2, "consecutive contrary probes before a replica flips up/down")
+		hedgeFlag    = flag.Duration("hedge-after", 0, "hedge a pair query at the next-cheapest owner after this delay (0 disables)")
+		attemptFlag  = flag.Duration("attempt-timeout", 0, "per-replica attempt cap so slow shards fail over early (0 = none)")
+		budgetFlag   = flag.Int("retry-budget", 64, "failover/hedge token-bucket capacity (0 = unlimited)")
+		ratioFlag    = flag.Float64("retry-budget-ratio", 0.1, "budget tokens refunded per admitted query, in [0,1]")
+		breakerFlag  = flag.Duration("breaker-window", 10*time.Second, "per-replica circuit-breaker failure window and open cooldown (0 disables)")
 		drainFlag    = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 		debugFlag    = flag.String("debug-addr", "", "also serve expvar and pprof on this address")
 	)
 	flag.Parse()
 	if err := run(*graphFlag, *addrFlag, *drainFlag, *debugFlag, proxyConfig{
-		replicas:    splitReplicas(*replicasFlag),
-		portfolioK:  *portfolioKey,
-		indexMode:   *indexFlag,
-		snapshot:    *snapshotFlag,
-		seed:        *seedFlag,
-		cacheSize:   *cacheFlag,
-		timeout:     *timeoutFlag,
-		maxInflight: *inflightFlag,
-		healthInt:   *healthFlag,
+		replicas:       splitReplicas(*replicasFlag),
+		portfolioK:     *portfolioKey,
+		indexMode:      *indexFlag,
+		snapshot:       *snapshotFlag,
+		seed:           *seedFlag,
+		cacheSize:      *cacheFlag,
+		timeout:        *timeoutFlag,
+		maxInflight:    *inflightFlag,
+		healthInt:      *healthFlag,
+		healthHyst:     *hystFlag,
+		hedgeAfter:     *hedgeFlag,
+		attemptTimeout: *attemptFlag,
+		retryBudget:    *budgetFlag,
+		retryRatio:     *ratioFlag,
+		breakerWindow:  *breakerFlag,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "rdproxy:", err)
 		os.Exit(1)

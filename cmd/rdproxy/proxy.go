@@ -18,8 +18,10 @@ import (
 	"time"
 
 	landmarkrd "landmarkrd"
+	"landmarkrd/internal/breaker"
 	"landmarkrd/internal/cluster"
 	"landmarkrd/internal/rcache"
+	"landmarkrd/internal/retry"
 )
 
 // Retry-After jitter band for 429 responses, matching rdserver's.
@@ -41,6 +43,16 @@ type proxyConfig struct {
 	maxInflight int           // concurrent query cap; 0 means 64
 	healthInt   time.Duration // replica /readyz poll interval; 0 means 2s
 	vnodes      int           // ring virtual nodes per replica (0 = default)
+
+	// Resilience layer (DESIGN.md §14).
+	hedgeAfter     time.Duration // fire a hedged request at the next owner after this delay (0 disables)
+	attemptTimeout time.Duration // per-attempt downstream cap so slow/blackholed shards fail over (0 = none)
+	retryBudget    int           // failover/hedge token-bucket capacity (0 = unlimited)
+	retryRatio     float64       // budget tokens deposited per admitted query (0 = none)
+	breakerWindow  time.Duration // per-replica breaker failure-rate window (0 disables breakers)
+	healthHyst     int           // consecutive contrary probes before a replica flips up/down (0 = 1)
+	minAttempt     time.Duration // remaining deadline required to start another attempt (0 = 2ms)
+	now            func() time.Time
 }
 
 func (c *proxyConfig) validate() error {
@@ -70,6 +82,24 @@ func (c *proxyConfig) validate() error {
 	if c.healthInt < 0 {
 		return fmt.Errorf("rdproxy: -health-interval must be >= 0, got %v", c.healthInt)
 	}
+	if c.hedgeAfter < 0 {
+		return fmt.Errorf("rdproxy: -hedge-after must be >= 0, got %v", c.hedgeAfter)
+	}
+	if c.attemptTimeout < 0 {
+		return fmt.Errorf("rdproxy: -attempt-timeout must be >= 0, got %v", c.attemptTimeout)
+	}
+	if c.retryBudget < 0 {
+		return fmt.Errorf("rdproxy: -retry-budget must be >= 0, got %d", c.retryBudget)
+	}
+	if c.retryRatio < 0 || c.retryRatio > 1 {
+		return fmt.Errorf("rdproxy: -retry-budget-ratio must be in [0, 1], got %v", c.retryRatio)
+	}
+	if c.breakerWindow < 0 {
+		return fmt.Errorf("rdproxy: -breaker-window must be >= 0, got %v", c.breakerWindow)
+	}
+	if c.healthHyst < 0 {
+		return fmt.Errorf("rdproxy: -health-hysteresis must be >= 0, got %d", c.healthHyst)
+	}
 	return nil
 }
 
@@ -87,11 +117,20 @@ type proxyState struct {
 }
 
 // replica is one backend rdserver plus its health bit, flipped by the
-// /readyz poll loop. An unhealthy replica is skipped during routing (a
-// skip counts as a failover) until a poll sees it ready again.
+// /readyz poll loop, and its circuit breaker, tripped by the owner-walk's
+// own attempt outcomes. An unhealthy replica is skipped during routing (a
+// skip counts as a failover) until enough consecutive polls see it ready
+// again; a replica whose breaker is open is skipped the same way until
+// the breaker's half-open probes close it.
 type replica struct {
 	name    string
 	healthy atomic.Bool
+	breaker *breaker.Breaker // nil when -breaker-window is 0
+	// streak counts consecutive probe results contradicting the current
+	// health bit; the bit flips only at the hysteresis threshold, so one
+	// blip cannot evict a shard owner. Touched only by the (single
+	// goroutine) health sweep.
+	streak int
 }
 
 // proxyServer fans pair queries out over a fleet of rdserver replicas,
@@ -108,7 +147,8 @@ type proxyServer struct {
 	state    atomic.Pointer[proxyState]
 	replicas []*replica
 
-	cache *rcache.Cache
+	cache  *rcache.Cache
+	budget *retry.Budget // nil = unlimited failover/hedge budget
 
 	// reloadMu serializes SIGHUP rollouts; graphPath is re-read under it.
 	reloadMu  sync.Mutex
@@ -128,6 +168,9 @@ func newProxyServer(graphPath string, cfg proxyConfig) (*proxyServer, error) {
 	if cfg.seed == 0 {
 		cfg.seed = 1
 	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
 	p := &proxyServer{
 		cfg:       cfg,
 		metrics:   &landmarkrd.Metrics{},
@@ -140,9 +183,19 @@ func newProxyServer(graphPath string, cfg proxyConfig) (*proxyServer, error) {
 		timeout = 30 * time.Second
 	}
 	p.client = &http.Client{Timeout: timeout}
+	p.budget = retry.NewBudget(cfg.retryBudget, cfg.retryRatio)
 	for _, name := range cfg.replicas {
 		r := &replica{name: name}
 		r.healthy.Store(true) // optimistic until the first poll says otherwise
+		if cfg.breakerWindow > 0 {
+			r.breaker = breaker.New(breaker.Options{
+				Window:      cfg.breakerWindow,
+				OpenTimeout: cfg.breakerWindow,
+				Now:         cfg.now,
+				OnOpen:      p.metrics.BreakerOpens.Inc,
+				OnProbe:     p.metrics.BreakerHalfOpenProbes.Inc,
+			})
+		}
 		p.replicas = append(p.replicas, r)
 	}
 	inflight := cfg.maxInflight
@@ -234,26 +287,54 @@ func (p *proxyServer) watchReload(ch <-chan os.Signal) {
 
 // healthSweep polls every replica's /readyz once, synchronously. The
 // health loop calls it on a ticker; tests call it directly after flipping
-// a stub replica's readiness.
+// a stub replica's readiness. Probe results pass through the hysteresis
+// filter: a replica flips up/down only after -health-hysteresis
+// consecutive contrary probes, so one dropped poll cannot evict a shard
+// owner and one lucky poll cannot resurrect a flapping one.
 func (p *proxyServer) healthSweep(ctx context.Context) {
 	for _, r := range p.replicas {
-		func() {
+		up := func() bool {
 			reqCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
 			defer cancel()
 			req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, r.name+"/readyz", nil)
 			if err != nil {
-				r.healthy.Store(false)
-				return
+				return false
 			}
 			resp, err := p.client.Do(req)
 			if err != nil {
-				r.healthy.Store(false)
-				return
+				return false
 			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			r.healthy.Store(resp.StatusCode == http.StatusOK)
+			return resp.StatusCode == http.StatusOK
 		}()
+		p.observeHealth(r, up)
+	}
+}
+
+// observeHealth applies one probe result to r with hysteresis: the health
+// bit flips only after healthHyst consecutive observations contradicting
+// it; a probe agreeing with the current state resets the streak.
+func (p *proxyServer) observeHealth(r *replica, up bool) {
+	if up == r.healthy.Load() {
+		r.streak = 0
+		return
+	}
+	r.streak++
+	need := p.cfg.healthHyst
+	if need <= 0 {
+		need = 1
+	}
+	if r.streak >= need {
+		r.healthy.Store(up)
+		r.streak = 0
+		if p.logger != nil {
+			dir := "down"
+			if up {
+				dir = "up"
+			}
+			p.logger.Printf("replica %s marked %s after %d consecutive probes", r.name, dir, need)
+		}
 	}
 }
 
@@ -315,17 +396,48 @@ type pairReply struct {
 // or failing.
 var errAllShardsDown = errors.New("rdproxy: no replica could answer")
 
+// errRetryBudgetExhausted reports that the global retry budget denied
+// further failover/hedge attempts: the query fails fast rather than
+// multiplying offered load.
+var errRetryBudgetExhausted = errors.New("rdproxy: retry budget exhausted")
+
+// errDeadlineBudget reports that the remaining request deadline was too
+// small for another downstream attempt, so the owner-walk stopped early.
+var errDeadlineBudget = errors.New("rdproxy: remaining deadline too small for another attempt")
+
+// errHedgeLost is the cancellation cause attached to attempts abandoned
+// because another replica answered first; their breakers see Drop, never
+// a failure.
+var errHedgeLost = errors.New("rdproxy: hedged attempt lost the race")
+
+// errAttemptTimeout is the cancellation cause of the per-attempt timeout,
+// distinguishing a slow/blackholed replica (breaker failure, failover)
+// from the client's own deadline (no verdict, stop walking).
+var errAttemptTimeout = errors.New("rdproxy: per-attempt timeout")
+
 // forward sends one pair query to a single replica and parses the reply.
 // A 429 or 5xx (or a transport error) is a failover signal, not a final
 // answer; 4xx request errors are relayed to the client as-is.
 type replicaError struct {
-	status int
-	body   string
+	status     int
+	body       string
+	retryAfter int // parsed Retry-After seconds, 0 if absent
 }
 
 func (e *replicaError) Error() string {
 	return fmt.Sprintf("replica answered %d: %s", e.status, e.body)
 }
+
+// unavailableError decorates a terminal routing failure with the largest
+// Retry-After any downstream replica suggested, so the client's backoff
+// hint survives the fan-out.
+type unavailableError struct {
+	cause      error
+	retryAfter int
+}
+
+func (e *unavailableError) Error() string { return e.cause.Error() }
+func (e *unavailableError) Unwrap() error { return e.cause }
 
 func (p *proxyServer) forward(ctx context.Context, base string, s, t int) (pairReply, error) {
 	u := fmt.Sprintf("%s/v1/pair?s=%d&t=%d", base, s, t)
@@ -340,7 +452,8 @@ func (p *proxyServer) forward(ctx context.Context, base string, s, t int) (pairR
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return pairReply{}, &replicaError{status: resp.StatusCode, body: string(body)}
+		ra, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		return pairReply{}, &replicaError{status: resp.StatusCode, body: string(body), retryAfter: ra}
 	}
 	var out pairReply
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
@@ -357,46 +470,240 @@ func failoverWorthy(err error) bool {
 	if errors.As(err, &re) {
 		return re.status == http.StatusTooManyRequests || re.status >= 500
 	}
-	// Transport errors (refused, reset, timeout) are shard failures —
-	// unless the client's own context expired.
+	// Transport errors (refused, reset, timeout, torn body) are shard
+	// failures — unless the client's own context expired.
 	return !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled)
 }
 
-// routePair walks the cost-ordered owner list for (s,t), skipping unready
-// replicas and failing over past erroring ones. The first target is the
-// cheapest landmark owner; each skip or failed attempt counts one
-// ShardFailovers and moves to the next entry (the hash-ring fallback on
-// ties).
+// attemptOutcome is one downstream attempt's result, delivered to the
+// routePair select loop by the attempt goroutine.
+type attemptOutcome struct {
+	reply  pairReply
+	err    error
+	target cluster.Target
+	hedged bool // launched by the hedge timer, not a failover
+}
+
+// routePair walks the cost-ordered owner list for (s,t) with the full
+// resilience stack:
+//
+//   - unready replicas and replicas whose circuit breaker is open are
+//     skipped up front (one ShardFailovers each, no downstream load);
+//   - each launched attempt gets its own per-attempt timeout (when
+//     configured), so a blackholed shard turns into a breaker failure
+//     and a failover instead of burning the whole request deadline;
+//   - after hedgeAfter with no answer, the same query is fired at the
+//     next-cheapest healthy owner; first success wins and every loser is
+//     context-cancelled with cause errHedgeLost (breakers see Drop);
+//   - every attempt beyond the query's first withdraws one token from
+//     the global retry budget — an empty bucket stops the walk so
+//     failover and hedging can never multiply offered load beyond
+//     queries + deposited tokens;
+//   - before each launch the remaining context deadline must cover
+//     minAttempt, otherwise the walk stops (504) instead of starting a
+//     doomed attempt;
+//   - the largest downstream Retry-After rides the terminal error.
 func (p *proxyServer) routePair(ctx context.Context, st *proxyState, s, t int) (pairReply, int, error) {
 	targets := st.router.Route(st.fp, s, t)
-	failovers := 0
-	var lastErr error
-	for _, tg := range targets {
-		r := p.replicaByName(tg.Member)
-		if r == nil || !r.healthy.Load() {
-			failovers++
-			p.metrics.ShardFailovers.Inc()
-			continue
+	p.budget.Deposit()
+
+	minAttempt := p.cfg.minAttempt
+	if minAttempt <= 0 {
+		minAttempt = 2 * time.Millisecond
+	}
+
+	results := make(chan attemptOutcome, len(targets))
+	cancels := make([]context.CancelCauseFunc, 0, len(targets))
+	defer func() {
+		for _, cancel := range cancels {
+			cancel(errHedgeLost)
 		}
-		reply, err := p.forward(ctx, tg.Member, s, t)
-		if err != nil {
-			if failoverWorthy(err) {
+	}()
+
+	var (
+		failovers      int
+		launched       int
+		pending        int
+		next           int // next candidate index in targets
+		lastErr        error
+		maxRetryAfter  int
+		budgetDenied   bool
+		deadlineDenied bool
+	)
+
+	// start launches the next launchable candidate, charging the retry
+	// budget for every launch after the first. It reports whether an
+	// attempt went downstream; on false the walk is over for its reason
+	// (budgetDenied / deadlineDenied / exhausted list).
+	start := func(hedged bool) bool {
+		for next < len(targets) {
+			tg := targets[next]
+			next++
+			r := p.replicaByName(tg.Member)
+			if r == nil || !r.healthy.Load() {
 				failovers++
 				p.metrics.ShardFailovers.Inc()
-				lastErr = err
 				continue
 			}
-			return pairReply{}, failovers, err
+			if dl, ok := ctx.Deadline(); ok && time.Until(dl) < minAttempt {
+				deadlineDenied = true
+				next--
+				return false
+			}
+			if r.breaker != nil && !r.breaker.Allow() {
+				failovers++
+				p.metrics.ShardFailovers.Inc()
+				continue
+			}
+			if launched > 0 && !p.budget.Withdraw() {
+				p.metrics.RetryBudgetExhausted.Inc()
+				if r.breaker != nil {
+					r.breaker.Drop()
+				}
+				budgetDenied = true
+				next--
+				return false
+			}
+			launched++
+			pending++
+			actx, cancel := context.WithCancelCause(ctx)
+			if p.cfg.attemptTimeout > 0 {
+				var tcancel context.CancelFunc
+				actx, tcancel = context.WithDeadlineCause(actx,
+					time.Now().Add(p.cfg.attemptTimeout), errAttemptTimeout)
+				inner := cancel
+				cancel = func(cause error) { tcancel(); inner(cause) }
+			}
+			cancels = append(cancels, cancel)
+			go func(tg cluster.Target, r *replica, hedged bool, actx context.Context) {
+				reply, err := p.forward(actx, tg.Member, s, t)
+				if r.breaker != nil {
+					cause := context.Cause(actx)
+					var re *replicaError
+					switch {
+					case err == nil:
+						r.breaker.Record(true)
+					case errors.Is(cause, errHedgeLost):
+						// Abandoned race: no verdict on the replica.
+						r.breaker.Drop()
+					case errors.Is(cause, errAttemptTimeout):
+						r.breaker.Record(false)
+					case ctx.Err() != nil:
+						// The client's own deadline/cancel killed the
+						// attempt mid-flight: no verdict.
+						r.breaker.Drop()
+					case errors.As(err, &re) && re.status < 500 && re.status != http.StatusTooManyRequests:
+						// The replica answered, just not with a result
+						// we relay as success: the shard itself is fine.
+						r.breaker.Record(true)
+					default:
+						r.breaker.Record(false)
+					}
+				}
+				results <- attemptOutcome{reply: reply, err: err, target: tg, hedged: hedged}
+			}(tg, r, hedged, actx)
+			return true
 		}
-		p.metrics.ShardRouted.Inc()
-		reply.Replica = tg.Member
-		reply.Failovers = failovers
-		return reply, failovers, nil
+		return false
 	}
-	if lastErr != nil {
-		return pairReply{}, failovers, fmt.Errorf("%w (last: %v)", errAllShardsDown, lastErr)
+
+	finish := func() (pairReply, int, error) {
+		switch {
+		case ctx.Err() != nil:
+			return pairReply{}, failovers, ctx.Err()
+		case budgetDenied:
+			err := error(errRetryBudgetExhausted)
+			if lastErr != nil {
+				err = fmt.Errorf("%w (last: %v)", errRetryBudgetExhausted, lastErr)
+			}
+			return pairReply{}, failovers, &unavailableError{cause: err, retryAfter: maxRetryAfter}
+		case deadlineDenied:
+			remaining := time.Duration(0)
+			if dl, ok := ctx.Deadline(); ok {
+				remaining = time.Until(dl)
+			}
+			p.logger.Printf("pair (%d,%d): stopping failover after %d/%d attempts, %v of deadline left (last: %v)",
+				s, t, launched, len(targets), remaining.Round(time.Millisecond), lastErr)
+			return pairReply{}, failovers, errDeadlineBudget
+		case lastErr != nil:
+			return pairReply{}, failovers,
+				&unavailableError{cause: fmt.Errorf("%w (last: %v)", errAllShardsDown, lastErr), retryAfter: maxRetryAfter}
+		default:
+			return pairReply{}, failovers, errAllShardsDown
+		}
 	}
-	return pairReply{}, failovers, errAllShardsDown
+
+	if !start(false) {
+		return finish()
+	}
+
+	// The hedge timer arms whenever an attempt is outstanding and another
+	// candidate remains; each firing launches one hedged request at the
+	// next-cheapest healthy owner (budget permitting) and re-arms, so a
+	// chain of slow owners is raced pairwise down the cost order.
+	var hedgeC <-chan time.Time
+	var hedgeTimer *time.Timer
+	defer func() {
+		if hedgeTimer != nil {
+			hedgeTimer.Stop()
+		}
+	}()
+	armHedge := func() {
+		if p.cfg.hedgeAfter <= 0 || hedgeC != nil || next >= len(targets) || budgetDenied || deadlineDenied {
+			return
+		}
+		if hedgeTimer == nil {
+			hedgeTimer = time.NewTimer(p.cfg.hedgeAfter)
+		} else {
+			hedgeTimer.Reset(p.cfg.hedgeAfter)
+		}
+		hedgeC = hedgeTimer.C
+	}
+	armHedge()
+
+	for pending > 0 {
+		select {
+		case out := <-results:
+			pending--
+			if out.err == nil {
+				p.metrics.ShardRouted.Inc()
+				if out.hedged {
+					p.metrics.HedgeWins.Inc()
+				}
+				out.reply.Replica = out.target.Member
+				out.reply.Failovers = failovers
+				return out.reply, failovers, nil
+			}
+			if ctx.Err() != nil {
+				// The client is gone; drain nothing further.
+				if pending == 0 {
+					return finish()
+				}
+				continue
+			}
+			if !failoverWorthy(out.err) {
+				return pairReply{}, failovers, out.err
+			}
+			failovers++
+			p.metrics.ShardFailovers.Inc()
+			lastErr = out.err
+			var re *replicaError
+			if errors.As(out.err, &re) && re.retryAfter > maxRetryAfter {
+				maxRetryAfter = re.retryAfter
+			}
+			start(false)
+			armHedge()
+		case <-hedgeC:
+			hedgeC = nil
+			if start(true) {
+				p.metrics.HedgedRequests.Inc()
+				armHedge()
+			}
+		case <-ctx.Done():
+			return finish()
+		}
+	}
+	return finish()
 }
 
 // errNotShareable marks a leader's non-cacheable reply inside a cache
@@ -583,16 +890,45 @@ func (p *proxyServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}(i, q.S, q.T)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			p.writeProxyError(w, err)
-			return
+	// Partial failure stays partial: a pair whose owners were all down (or
+	// whose failover budget ran out) becomes its own error envelope in
+	// place, and the pairs with healthy owners still get answers. The batch
+	// as a whole fails only on request-level problems (bad JSON, bad
+	// vertices), checked above.
+	entries := make([]any, len(req.Pairs))
+	failed := 0
+	for i := range req.Pairs {
+		if errs[i] == nil {
+			entries[i] = results[i]
+			continue
 		}
+		failed++
+		_, code := proxyErrorStatus(errs[i])
+		var e batchEntryError
+		e.S, e.T = req.Pairs[i].S, req.Pairs[i].T
+		e.Error.Code = code
+		e.Error.Message = errs[i].Error()
+		entries[i] = e
+	}
+	if failed > 0 {
+		p.logger.Printf("batch: %d/%d pairs failed, returning per-pair envelopes", failed, len(req.Pairs))
 	}
 	writeJSON(w, struct {
-		GraphVersion uint64      `json:"graph_version"`
-		Results      []pairReply `json:"results"`
-	}{GraphVersion: st.fp, Results: results})
+		GraphVersion uint64 `json:"graph_version"`
+		Results      []any  `json:"results"`
+	}{GraphVersion: st.fp, Results: entries})
+}
+
+// batchEntryError is the per-pair error envelope inside a batch reply:
+// the pair's coordinates plus the same {code, message} error object the
+// top-level JSON errors use.
+type batchEntryError struct {
+	S     int `json:"s"`
+	T     int `json:"t"`
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
 }
 
 // errOutOfRange mirrors rdserver's 400-vs-422 split.
@@ -643,23 +979,55 @@ func (p *proxyServer) writeRequestError(w http.ResponseWriter, err error) {
 	p.writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 }
 
-// writeProxyError maps fan-out failures: an exhausted owner list is a 503
-// (the fleet, not the request, is the problem), deadline expiry a 504, a
-// relayed replica 4xx keeps its status, anything else a 502.
-func (p *proxyServer) writeProxyError(w http.ResponseWriter, err error) {
+// proxyErrorStatus maps a fan-out failure to its HTTP status and error
+// code: an exhausted retry budget or owner list is a 503 (the fleet, not
+// the request, is the problem), deadline expiry — the client's or the
+// failover loop's own attempt budget — a 504, a relayed replica 4xx keeps
+// its status, anything else a 502. Shared by the single-pair error path
+// and the per-pair batch envelopes.
+func proxyErrorStatus(err error) (int, string) {
 	var re *replicaError
 	switch {
+	case errors.Is(err, errRetryBudgetExhausted):
+		return http.StatusServiceUnavailable, "retry_budget_exhausted"
+	case errors.Is(err, errDeadlineBudget):
+		return http.StatusGatewayTimeout, "deadline_budget_exhausted"
 	case errors.Is(err, errAllShardsDown):
-		p.writeError(w, http.StatusServiceUnavailable, "no_replicas", err.Error())
+		return http.StatusServiceUnavailable, "no_replicas"
 	case errors.Is(err, context.DeadlineExceeded):
-		p.writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", err.Error())
+		return http.StatusGatewayTimeout, "deadline_exceeded"
 	case errors.Is(err, context.Canceled):
-		p.writeError(w, 499, "canceled", err.Error())
+		return 499, "canceled"
 	case errors.As(err, &re):
-		p.writeError(w, re.status, "replica_error", err.Error())
+		return re.status, "replica_error"
 	default:
-		p.writeError(w, http.StatusBadGateway, "upstream", err.Error())
+		return http.StatusBadGateway, "upstream"
 	}
+}
+
+// retryAfterHint picks the Retry-After seconds for a terminal routing
+// failure: the largest value any downstream replica suggested, else (for
+// the fail-fast budget 503, which must always carry a hint) the same
+// jittered band the admission gate uses.
+func (p *proxyServer) retryAfterHint(err error) int {
+	var ue *unavailableError
+	if errors.As(err, &ue) && ue.retryAfter > 0 {
+		return ue.retryAfter
+	}
+	if errors.Is(err, errRetryBudgetExhausted) {
+		p.rngMu.Lock()
+		defer p.rngMu.Unlock()
+		return retryAfterMin + p.rng.Intn(retryAfterMax-retryAfterMin+1)
+	}
+	return 0
+}
+
+func (p *proxyServer) writeProxyError(w http.ResponseWriter, err error) {
+	status, code := proxyErrorStatus(err)
+	if ra := p.retryAfterHint(err); ra > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(ra))
+	}
+	p.writeError(w, status, code, err.Error())
 }
 
 type errorBody struct {

@@ -12,13 +12,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	landmarkrd "landmarkrd"
 )
 
 const corpusGraph = "../../testdata/corpus/grid_14x14.edges"
 
-func loadTestGraph(t *testing.T) *landmarkrd.Graph {
+func loadTestGraph(t testing.TB) *landmarkrd.Graph {
 	t.Helper()
 	g, _, err := landmarkrd.LoadEdgeList(corpusGraph)
 	if err != nil {
@@ -35,15 +36,18 @@ type stubReplica struct {
 	srv   *httptest.Server
 	g     *landmarkrd.Graph
 	ready atomic.Bool
-	fail  atomic.Bool // force 503 on /v1/pair while true
-	limit atomic.Bool // force 429 on /v1/pair while true
+	fail  atomic.Bool  // force 503 on /v1/pair while true
+	limit atomic.Bool  // force 429 on /v1/pair while true
+	delay atomic.Int64 // sleep this many ns before answering /v1/pair
+	failS atomic.Int64 // force 503 only for pairs with this s (-1 = off)
 	hits  atomic.Int64
 }
 
-func newStubReplica(t *testing.T, g *landmarkrd.Graph) *stubReplica {
+func newStubReplica(t testing.TB, g *landmarkrd.Graph) *stubReplica {
 	t.Helper()
 	r := &stubReplica{g: g}
 	r.ready.Store(true)
+	r.failS.Store(-1)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, req *http.Request) {
 		if !r.ready.Load() {
@@ -54,6 +58,19 @@ func newStubReplica(t *testing.T, g *landmarkrd.Graph) *stubReplica {
 	})
 	mux.HandleFunc("GET /v1/pair", func(w http.ResponseWriter, req *http.Request) {
 		r.hits.Add(1)
+		if d := r.delay.Load(); d > 0 {
+			select {
+			case <-time.After(time.Duration(d)):
+			case <-req.Context().Done():
+				return
+			}
+		}
+		if fs := r.failS.Load(); fs >= 0 {
+			if s, _ := strconv.Atoi(req.URL.Query().Get("s")); int64(s) == fs {
+				http.Error(w, `{"error":{"code":"boom","message":"stub"}}`, http.StatusServiceUnavailable)
+				return
+			}
+		}
 		if r.limit.Load() {
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, `{"error":{"code":"saturated","message":"stub"}}`, http.StatusTooManyRequests)
@@ -82,7 +99,7 @@ func newStubReplica(t *testing.T, g *landmarkrd.Graph) *stubReplica {
 
 // newTestProxy spins up n stub replicas over the corpus graph and a proxy
 // coordinating them. Overrides tweak the config before construction.
-func newTestProxy(t *testing.T, n int, mutate func(*proxyConfig)) (*proxyServer, []*stubReplica) {
+func newTestProxy(t testing.TB, n int, mutate func(*proxyConfig)) (*proxyServer, []*stubReplica) {
 	t.Helper()
 	g := loadTestGraph(t)
 	stubs := make([]*stubReplica, n)

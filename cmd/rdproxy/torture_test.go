@@ -1,0 +1,217 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	landmarkrd "landmarkrd"
+	"landmarkrd/internal/breaker"
+	"landmarkrd/internal/faultinject"
+)
+
+// TestTortureUnderChaos is the in-process torture suite: a proxy with the
+// full resilience stack over three stub shards, with a scripted chaos
+// transport blackholing one replica and giving another scheduled 5xx
+// bursts plus resets and torn bodies. Under that weather it asserts:
+//
+//   - >= 99% of queries succeed (every pair has a healthy owner);
+//   - every success is bit-identical to the single-process exact answer;
+//   - the blackholed replica's breaker opens and, once the fault window
+//     ends, closes again and the replica resumes serving;
+//   - total downstream attempts stay <= queries + retry-budget capacity,
+//     so failover and hedging cannot multiply offered load unboundedly.
+//
+// The CI chaos job runs this with -race -count=2.
+func TestTortureUnderChaos(t *testing.T) {
+	const (
+		workers    = 8
+		perWorker  = 50
+		capacity   = 300
+		hedgeAfter = 40 * time.Millisecond
+		attemptCap = 200 * time.Millisecond
+		brWindow   = 2 * time.Second
+	)
+	p, stubs := newTestProxy(t, 3, func(c *proxyConfig) {
+		c.portfolioK = 6
+		c.hedgeAfter = hedgeAfter
+		c.attemptTimeout = attemptCap
+		c.retryBudget = capacity
+		c.retryRatio = 0
+		c.breakerWindow = brWindow
+	})
+	h := p.routes()
+	st := p.state.Load()
+
+	// The torture weather only makes sense if every replica owns shard
+	// positions (otherwise a "healthy owner" may not exist for some pair).
+	for _, r := range p.replicas {
+		if len(st.router.Owners()[r.name]) == 0 {
+			t.Fatalf("replica %s owns no positions; bump portfolioK/seed", r.name)
+		}
+	}
+
+	// Chaos script, scoped to /v1/pair so health probes stay clean:
+	// replica A is blackholed outright, replica B serves a long 5xx burst
+	// (every 2nd request after the first 4) with resets and torn bodies
+	// sprinkled in, replica C stays healthy.
+	chaos := faultinject.NewChaos(nil)
+	p.client.Transport = chaos
+	hostA := strings.TrimPrefix(stubs[0].srv.URL, "http://")
+	hostB := strings.TrimPrefix(stubs[1].srv.URL, "http://")
+	blackhole := chaos.Arm(hostA, "/v1/pair", faultinject.TransportFault{
+		Class: faultinject.ClassBlackhole,
+	})
+	burst := chaos.Arm(hostB, "/v1/pair", faultinject.TransportFault{
+		Class: faultinject.ClassStatus, Status: 503, RetryAfter: 2, After: 4, Every: 2,
+	})
+	reset := chaos.Arm(hostB, "/v1/pair", faultinject.TransportFault{
+		Class: faultinject.ClassReset, After: 9, Every: 7,
+	})
+	torn := chaos.Arm(hostB, "/v1/pair", faultinject.TransportFault{
+		Class: faultinject.ClassTruncate, After: 15, Every: 11,
+	})
+
+	// Fixed pair workload with precomputed oracle answers.
+	rng := rand.New(rand.NewSource(99))
+	type workPair struct {
+		s, t  int
+		exact float64
+	}
+	pairs := make([]workPair, 64)
+	for i := range pairs {
+		s, tt := rng.Intn(st.g.N()), rng.Intn(st.g.N())
+		for tt == s {
+			tt = rng.Intn(st.g.N())
+		}
+		v, err := landmarkrd.Exact(st.g, s, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs[i] = workPair{s: s, t: tt, exact: v}
+	}
+
+	var ok, failed, wrong atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				q := pairs[(w*perWorker+i)%len(pairs)]
+				req := httptest.NewRequest(http.MethodGet,
+					fmt.Sprintf("/v1/pair?s=%d&t=%d", q.s, q.t), nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					failed.Add(1)
+					continue
+				}
+				var body struct {
+					Value float64 `json:"value"`
+				}
+				if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Value != q.exact {
+					wrong.Add(1)
+					continue
+				}
+				ok.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const queries = workers * perWorker
+	if wrong.Load() != 0 {
+		t.Fatalf("%d successful responses were not bit-identical to the exact oracle", wrong.Load())
+	}
+	if rate := float64(ok.Load()) / queries; rate < 0.99 {
+		t.Fatalf("success rate %.4f (%d ok, %d failed of %d), want >= 0.99",
+			rate, ok.Load(), failed.Load(), queries)
+	}
+
+	// Load amplification bound: downstream attempts are stub hits plus the
+	// synthesized faults that never reached a stub (status, reset,
+	// blackhole; truncated responses did reach their stub).
+	attempts := chaos.Fired(blackhole) + chaos.Fired(burst) + chaos.Fired(reset)
+	for _, sr := range stubs {
+		attempts += sr.hits.Load()
+	}
+	if attempts > queries+capacity {
+		t.Fatalf("%d downstream attempts for %d queries, retry budget caps the total at %d",
+			attempts, queries, queries+capacity)
+	}
+	if p.metrics.HedgedRequests.Load() == 0 {
+		t.Fatal("a blackholed cheapest owner with hedging enabled produced no hedged requests")
+	}
+	if hw := p.metrics.HedgeWins.Load(); hw > p.metrics.HedgedRequests.Load() {
+		t.Fatalf("HedgeWins %d exceeds HedgedRequests %d", hw, p.metrics.HedgedRequests.Load())
+	}
+
+	// The blackholed replica's breaker must have opened (each attempt died
+	// at the per-attempt timeout and was recorded as a failure).
+	if p.metrics.BreakerOpens.Load() == 0 {
+		t.Fatal("no breaker opened under a blackholed replica")
+	}
+	brA := p.replicas[0].breaker
+	if got := brA.State(); got == breaker.Closed {
+		t.Fatal("blackholed replica's breaker is closed at the end of the fault window")
+	}
+
+	// Recovery: the fault windows end, and after the open cooldown a
+	// half-open probe must close the breaker and return traffic to A.
+	chaos.Disarm(blackhole)
+	chaos.Disarm(burst)
+	chaos.Disarm(reset)
+	chaos.Disarm(torn)
+
+	var pairA workPair
+	foundA := false
+	for _, q := range pairs {
+		if targets := st.router.Route(st.fp, q.s, q.t); len(targets) > 0 && targets[0].Member == stubs[0].srv.URL {
+			pairA, foundA = q, true
+			break
+		}
+	}
+	if !foundA {
+		t.Fatal("no workload pair has the blackholed replica as cheapest owner")
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		req := httptest.NewRequest(http.MethodGet,
+			fmt.Sprintf("/v1/pair?s=%d&t=%d", pairA.s, pairA.t), nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		var body struct {
+			Replica string  `json:"replica"`
+			Value   float64 `json:"value"`
+		}
+		if rec.Code == http.StatusOK {
+			if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+				t.Fatal(err)
+			}
+			if body.Replica == stubs[0].srv.URL && brA.State() == breaker.Closed {
+				if body.Value != pairA.exact {
+					t.Fatalf("recovered replica answered %v, want %v", body.Value, pairA.exact)
+				}
+				recovered = true
+				break
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatalf("blackholed replica did not recover after the fault window: breaker %v, probes %d",
+			brA.State(), p.metrics.BreakerHalfOpenProbes.Load())
+	}
+	if got := p.metrics.BreakerHalfOpenProbes.Load(); got == 0 {
+		t.Fatal("recovery happened without a half-open probe")
+	}
+}

@@ -1,0 +1,270 @@
+// Package breaker implements the per-replica circuit breaker the rdproxy
+// owner-walk consults before every downstream attempt. A breaker watches
+// the recent failure rate of one replica over a sliding time window and
+// trips open when the replica is clearly unhealthy, so failover stops
+// hammering a dead or gray-failing shard with doomed requests. After a
+// cooldown it admits a limited number of half-open probes; enough
+// consecutive probe successes close it again, one probe failure re-opens
+// it for another cooldown.
+//
+// The clock is injectable, so every state transition — window expiry,
+// open→half-open cooldown, probe accounting — is deterministic in tests:
+// no wall-clock sleeps anywhere in the breaker suites.
+//
+// State machine:
+//
+//	closed ──(failure rate ≥ threshold over ≥ MinRequests)──▶ open
+//	open ──(OpenTimeout elapsed)──▶ half-open
+//	half-open ──(HalfOpenProbes consecutive successes)──▶ closed
+//	half-open ──(any probe failure)──▶ open
+package breaker
+
+import (
+	"sync"
+	"time"
+)
+
+// State is the breaker's position in the closed/open/half-open machine.
+type State int
+
+// Breaker states.
+const (
+	// Closed admits every attempt; outcomes feed the sliding window.
+	Closed State = iota
+	// Open rejects every attempt until OpenTimeout has elapsed.
+	Open
+	// HalfOpen admits up to HalfOpenProbes concurrent probe attempts;
+	// their outcomes decide between Closed and Open.
+	HalfOpen
+)
+
+// String implements fmt.Stringer for test failure messages.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a Breaker. The zero value is usable: a 10s window
+// over 10 buckets, tripping at a 50% failure rate once 5 outcomes are in
+// the window, a 5s open cooldown, and 1 probe to close.
+type Options struct {
+	// Window is the sliding interval over which the failure rate is
+	// measured (default 10s).
+	Window time.Duration
+	// Buckets is the window's time resolution: outcomes land in
+	// Window/Buckets-wide buckets that expire whole (default 10).
+	Buckets int
+	// FailureRate in (0,1] trips the breaker when reached (default 0.5).
+	FailureRate float64
+	// MinRequests is the minimum number of outcomes that must be in the
+	// window before the rate can trip the breaker (default 5), so a
+	// single failed request out of one cannot open it.
+	MinRequests int
+	// OpenTimeout is the cooldown before an open breaker admits
+	// half-open probes (default: Window, or 5s if Window is zero too).
+	OpenTimeout time.Duration
+	// HalfOpenProbes is how many consecutive probe successes close a
+	// half-open breaker, and also the cap on concurrent probes
+	// (default 1).
+	HalfOpenProbes int
+	// Now is the clock (default time.Now). Tests inject a fake.
+	Now func() time.Time
+	// OnOpen fires on every transition into Open, including a half-open
+	// probe failure re-opening the breaker. Called without the lock held.
+	OnOpen func()
+	// OnProbe fires each time a half-open probe is admitted. Called
+	// without the lock held.
+	OnProbe func()
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = 10 * time.Second
+	}
+	if o.Buckets <= 0 {
+		o.Buckets = 10
+	}
+	if o.FailureRate <= 0 || o.FailureRate > 1 {
+		o.FailureRate = 0.5
+	}
+	if o.MinRequests <= 0 {
+		o.MinRequests = 5
+	}
+	if o.OpenTimeout <= 0 {
+		o.OpenTimeout = o.Window
+	}
+	if o.HalfOpenProbes <= 0 {
+		o.HalfOpenProbes = 1
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// bucket accumulates the outcomes of one Window/Buckets time slice.
+type bucket struct {
+	start     time.Time
+	successes int
+	failures  int
+}
+
+// Breaker is one replica's circuit breaker. Safe for concurrent use.
+type Breaker struct {
+	opt Options
+
+	mu       sync.Mutex
+	state    State
+	buckets  []bucket // ring, indexed by time slice
+	openedAt time.Time
+	// half-open accounting: probes admitted but not yet recorded, and
+	// consecutive probe successes so far.
+	probing   int
+	probeWins int
+}
+
+// New returns a breaker with o (zero fields defaulted), starting Closed.
+func New(o Options) *Breaker {
+	o = o.withDefaults()
+	return &Breaker{opt: o, buckets: make([]bucket, o.Buckets)}
+}
+
+// bucketAt returns the live bucket for time now, resetting slots whose
+// slice has lapped. Caller holds b.mu.
+func (b *Breaker) bucketAt(now time.Time) *bucket {
+	width := b.opt.Window / time.Duration(len(b.buckets))
+	slice := now.UnixNano() / int64(width)
+	bk := &b.buckets[int(slice%int64(len(b.buckets)))]
+	start := time.Unix(0, slice*int64(width))
+	if !bk.start.Equal(start) {
+		*bk = bucket{start: start}
+	}
+	return bk
+}
+
+// windowCounts sums the outcomes still inside the sliding window.
+// Caller holds b.mu.
+func (b *Breaker) windowCounts(now time.Time) (successes, failures int) {
+	for i := range b.buckets {
+		bk := &b.buckets[i]
+		if bk.start.IsZero() || now.Sub(bk.start) >= b.opt.Window {
+			continue
+		}
+		successes += bk.successes
+		failures += bk.failures
+	}
+	return successes, failures
+}
+
+// Allow reports whether an attempt may go downstream right now. Every
+// Allow()==true must be balanced by exactly one Record or Drop call for
+// the attempt; half-open probe admission depends on it.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	now := b.opt.Now()
+	switch b.state {
+	case Closed:
+		b.mu.Unlock()
+		return true
+	case Open:
+		if now.Sub(b.openedAt) < b.opt.OpenTimeout {
+			b.mu.Unlock()
+			return false
+		}
+		b.state = HalfOpen
+		b.probing, b.probeWins = 0, 0
+		fallthrough
+	case HalfOpen:
+		if b.probing+b.probeWins >= b.opt.HalfOpenProbes {
+			b.mu.Unlock()
+			return false
+		}
+		b.probing++
+		onProbe := b.opt.OnProbe
+		b.mu.Unlock()
+		if onProbe != nil {
+			onProbe()
+		}
+		return true
+	default:
+		b.mu.Unlock()
+		return false
+	}
+}
+
+// Record reports the outcome of an attempt previously admitted by Allow.
+func (b *Breaker) Record(success bool) {
+	b.mu.Lock()
+	now := b.opt.Now()
+	var onOpen func()
+	switch b.state {
+	case Closed:
+		bk := b.bucketAt(now)
+		if success {
+			bk.successes++
+		} else {
+			bk.failures++
+			s, f := b.windowCounts(now)
+			if s+f >= b.opt.MinRequests && float64(f) >= b.opt.FailureRate*float64(s+f) {
+				b.state = Open
+				b.openedAt = now
+				onOpen = b.opt.OnOpen
+			}
+		}
+	case HalfOpen:
+		if b.probing > 0 {
+			b.probing--
+		}
+		if success {
+			b.probeWins++
+			if b.probeWins >= b.opt.HalfOpenProbes {
+				b.state = Closed
+				for i := range b.buckets {
+					b.buckets[i] = bucket{}
+				}
+			}
+		} else {
+			b.state = Open
+			b.openedAt = now
+			onOpen = b.opt.OnOpen
+		}
+	case Open:
+		// A late result from before the trip: the window is already
+		// history, nothing to update.
+	}
+	b.mu.Unlock()
+	if onOpen != nil {
+		onOpen()
+	}
+}
+
+// Drop abandons an attempt admitted by Allow without recording an
+// outcome — the hedging path uses it for losers whose request was
+// context-cancelled once another replica won, so an abandoned race never
+// counts against (or for) a replica.
+func (b *Breaker) Drop() {
+	b.mu.Lock()
+	if b.state == HalfOpen && b.probing > 0 {
+		b.probing--
+	}
+	b.mu.Unlock()
+}
+
+// State returns the breaker's current state, resolving an elapsed open
+// cooldown to HalfOpen so observers see what the next Allow would.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.opt.Now().Sub(b.openedAt) >= b.opt.OpenTimeout {
+		return HalfOpen
+	}
+	return b.state
+}

@@ -1,0 +1,282 @@
+package breaker
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock shared by every test: no
+// wall-clock sleeps anywhere in this suite.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(clk *fakeClock, mutate func(*Options)) (*Breaker, *int, *int) {
+	opens, probes := new(int), new(int)
+	o := Options{
+		Window:      time.Second,
+		Buckets:     10,
+		FailureRate: 0.5,
+		MinRequests: 4,
+		OpenTimeout: time.Second,
+		Now:         clk.Now,
+		OnOpen:      func() { *opens++ },
+		OnProbe:     func() { *probes++ },
+	}
+	if mutate != nil {
+		mutate(&o)
+	}
+	return New(o), opens, probes
+}
+
+// attempt runs one Allow+Record round, failing the test if the breaker
+// rejects it.
+func attempt(t *testing.T, b *Breaker, success bool) {
+	t.Helper()
+	if !b.Allow() {
+		t.Fatalf("breaker rejected an attempt in state %v", b.State())
+	}
+	b.Record(success)
+}
+
+func TestClosedUntilRateTrips(t *testing.T) {
+	clk := newFakeClock()
+	b, opens, _ := newTestBreaker(clk, nil)
+
+	// Three failures out of three: under MinRequests, must stay closed.
+	for i := 0; i < 3; i++ {
+		attempt(t, b, false)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after 3 failures (MinRequests=4) = %v, want closed", got)
+	}
+	// Fourth failure reaches MinRequests at 100% failure rate: open.
+	attempt(t, b, false)
+	if got := b.State(); got != Open {
+		t.Fatalf("state after 4 failures = %v, want open", got)
+	}
+	if *opens != 1 {
+		t.Fatalf("OnOpen fired %d times, want 1", *opens)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted an attempt before the cooldown")
+	}
+}
+
+func TestSuccessesKeepRateBelowThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b, opens, _ := newTestBreaker(clk, nil)
+
+	// 40% failures over 10 outcomes: below the 50% threshold. Successes
+	// lead each block so the running rate never touches 50% at the moment
+	// a failure lands (when the trip check runs).
+	for i := 0; i < 10; i++ {
+		attempt(t, b, i%5 < 3) // 3 successes then 2 failures per 5
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state at 40%% failure rate = %v, want closed", got)
+	}
+	if *opens != 0 {
+		t.Fatalf("OnOpen fired %d times, want 0", *opens)
+	}
+}
+
+func TestWindowExpiryForgetsOldFailures(t *testing.T) {
+	clk := newFakeClock()
+	b, _, _ := newTestBreaker(clk, nil)
+
+	// Three failures, then the window slides past them entirely.
+	for i := 0; i < 3; i++ {
+		attempt(t, b, false)
+	}
+	clk.Advance(1100 * time.Millisecond)
+	// One more failure: only 1 outcome in the window, under MinRequests.
+	attempt(t, b, false)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after window expiry = %v, want closed (old failures must expire)", got)
+	}
+}
+
+func TestHalfOpenProbeClosesOnSuccess(t *testing.T) {
+	clk := newFakeClock()
+	b, opens, probes := newTestBreaker(clk, nil)
+	for i := 0; i < 4; i++ {
+		attempt(t, b, false)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted an attempt")
+	}
+
+	clk.Advance(time.Second)
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if *probes != 1 {
+		t.Fatalf("OnProbe fired %d times, want 1", *probes)
+	}
+	// Only one probe in flight with HalfOpenProbes=1.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Record(true)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+	// The window restarted clean: one failure cannot re-trip.
+	attempt(t, b, false)
+	if got := b.State(); got != Closed {
+		t.Fatalf("one failure after close re-opened the breaker (state %v)", got)
+	}
+	if *opens != 1 {
+		t.Fatalf("OnOpen fired %d times, want 1", *opens)
+	}
+}
+
+func TestHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b, opens, _ := newTestBreaker(clk, nil)
+	for i := 0; i < 4; i++ {
+		attempt(t, b, false)
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	b.Record(false)
+	if got := b.State(); got != Open {
+		t.Fatalf("state after probe failure = %v, want open", got)
+	}
+	if *opens != 2 {
+		t.Fatalf("OnOpen fired %d times, want 2 (initial trip + probe failure)", *opens)
+	}
+	// The fresh cooldown starts at the probe failure.
+	clk.Advance(900 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted an attempt before the fresh cooldown elapsed")
+	}
+	clk.Advance(200 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker rejected the probe after the fresh cooldown")
+	}
+	b.Record(true)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after second probe success = %v, want closed", got)
+	}
+}
+
+func TestMultiProbeHalfOpen(t *testing.T) {
+	clk := newFakeClock()
+	b, _, probes := newTestBreaker(clk, func(o *Options) { o.HalfOpenProbes = 3 })
+	for i := 0; i < 4; i++ {
+		attempt(t, b, false)
+	}
+	clk.Advance(time.Second)
+
+	// Three concurrent probes admitted, not a fourth.
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("probe %d rejected", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("fourth concurrent probe admitted, cap is 3")
+	}
+	if *probes != 3 {
+		t.Fatalf("OnProbe fired %d times, want 3", *probes)
+	}
+	b.Record(true)
+	b.Record(true)
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state after 2/3 probe successes = %v, want half-open", got)
+	}
+	b.Record(true)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after 3/3 probe successes = %v, want closed", got)
+	}
+}
+
+func TestDropReleasesProbeSlot(t *testing.T) {
+	clk := newFakeClock()
+	b, _, _ := newTestBreaker(clk, nil)
+	for i := 0; i < 4; i++ {
+		attempt(t, b, false)
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	// The probe's request was cancelled (hedge loser): Drop, don't Record.
+	b.Drop()
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state after dropped probe = %v, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("dropped probe did not release its slot")
+	}
+	b.Record(true)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+}
+
+func TestZeroOptionsUsable(t *testing.T) {
+	b := New(Options{})
+	for i := 0; i < 5; i++ {
+		attempt(t, b, false)
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("zero-options breaker after 5 failures = %v, want open", got)
+	}
+}
+
+// TestConcurrentAttempts exercises the locking under the race detector:
+// outcomes from many goroutines, with a trip and recovery in the middle.
+func TestConcurrentAttempts(t *testing.T) {
+	clk := newFakeClock()
+	b, _, _ := newTestBreaker(clk, func(o *Options) { o.MinRequests = 50 })
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if b.Allow() {
+					b.Record(i%3 == 0) // 2/3 failures: trips at some point
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := b.State(); got != Open {
+		t.Fatalf("state after concurrent failure storm = %v, want open", got)
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe rejected after cooldown")
+	}
+	b.Record(true)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after recovery = %v, want closed", got)
+	}
+}

@@ -1,0 +1,238 @@
+package faultinject
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func chaosClient(t *testing.T) (*httptest.Server, *Chaos, *http.Client) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"value": 42, "path": %q}`, r.URL.Path)
+	}))
+	t.Cleanup(srv.Close)
+	chaos := NewChaos(nil)
+	return srv, chaos, &http.Client{Transport: chaos}
+}
+
+func hostOf(t *testing.T, rawurl string) string {
+	t.Helper()
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+func TestChaosPassThroughWhenDisarmed(t *testing.T) {
+	srv, _, client := chaosClient(t)
+	resp, err := client.Get(srv.URL + "/v1/pair")
+	if err != nil {
+		t.Fatalf("disarmed chaos broke the request: %v", err)
+	}
+	defer resp.Body.Close()
+	var body struct{ Value int }
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Value != 42 {
+		t.Fatalf("disarmed chaos corrupted the body: %v (value %d)", err, body.Value)
+	}
+}
+
+func TestChaosReset(t *testing.T) {
+	srv, chaos, client := chaosClient(t)
+	chaos.Arm(hostOf(t, srv.URL), "", TransportFault{Class: ClassReset})
+	_, err := client.Get(srv.URL + "/v1/pair")
+	if err == nil {
+		t.Fatal("reset fault produced no error")
+	}
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("reset error %v does not match syscall.ECONNRESET", err)
+	}
+}
+
+func TestChaosStatusBurst(t *testing.T) {
+	srv, chaos, client := chaosClient(t)
+	// Skip 2, then three 503s, then clean again: a scheduled burst window.
+	rule := chaos.Arm(hostOf(t, srv.URL), "/v1/", TransportFault{
+		Class: ClassStatus, Status: 503, RetryAfter: 7, After: 2, Count: 3,
+	})
+	var codes []int
+	for i := 0; i < 7; i++ {
+		resp, err := client.Get(srv.URL + "/v1/pair")
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.StatusCode == 503 {
+			if got := resp.Header.Get("Retry-After"); got != "7" {
+				t.Fatalf("request %d: Retry-After %q, want 7", i, got)
+			}
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	want := []int{200, 200, 503, 503, 503, 200, 200}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("status sequence %v, want %v", codes, want)
+		}
+	}
+	if got := chaos.Fired(rule); got != 3 {
+		t.Fatalf("rule fired %d times, want 3", got)
+	}
+}
+
+func TestChaosPathMatchSparesOtherEndpoints(t *testing.T) {
+	srv, chaos, client := chaosClient(t)
+	chaos.Arm(hostOf(t, srv.URL), "/v1/pair", TransportFault{Class: ClassStatus})
+	resp, err := client.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/readyz got status %d, fault is scoped to /v1/pair", resp.StatusCode)
+	}
+}
+
+func TestChaosTruncate(t *testing.T) {
+	srv, chaos, client := chaosClient(t)
+	chaos.Arm(hostOf(t, srv.URL), "", TransportFault{Class: ClassTruncate})
+	resp, err := client.Get(srv.URL + "/v1/pair")
+	if err != nil {
+		t.Fatalf("truncate fault failed the round trip itself: %v", err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&body)
+	if err == nil {
+		t.Fatal("decoding a truncated body succeeded")
+	}
+}
+
+func TestChaosBlackhole(t *testing.T) {
+	srv, chaos, client := chaosClient(t)
+	chaos.Arm(hostOf(t, srv.URL), "", TransportFault{Class: ClassBlackhole})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/v1/pair", nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("blackholed request returned")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blackhole error %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("blackholed request failed after %v, before the context deadline", elapsed)
+	}
+}
+
+func TestChaosLatency(t *testing.T) {
+	srv, chaos, client := chaosClient(t)
+	chaos.Arm(hostOf(t, srv.URL), "", TransportFault{Class: ClassLatency, Latency: 40 * time.Millisecond})
+	start := time.Now()
+	resp, err := client.Get(srv.URL + "/v1/pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("latency fault delayed only %v, want >= 40ms", elapsed)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("latency fault changed the outcome: status %d", resp.StatusCode)
+	}
+}
+
+func TestChaosLatencyAbandonsOnContext(t *testing.T) {
+	srv, chaos, client := chaosClient(t)
+	chaos.Arm(hostOf(t, srv.URL), "", TransportFault{Class: ClassLatency, Latency: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/v1/pair", nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil || time.Since(start) > time.Second {
+		t.Fatalf("latency sleep ignored the context (err %v after %v)", err, time.Since(start))
+	}
+}
+
+// TestChaosDisarmEndsWindow: a disarmed rule stops firing immediately and
+// keeps its counters.
+func TestChaosDisarmEndsWindow(t *testing.T) {
+	srv, chaos, client := chaosClient(t)
+	rule := chaos.Arm(hostOf(t, srv.URL), "", TransportFault{Class: ClassStatus})
+	resp, err := client.Get(srv.URL + "/v1/pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("armed rule: status %d, want 503", resp.StatusCode)
+	}
+	chaos.Disarm(rule)
+	resp, err = client.Get(srv.URL + "/v1/pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("disarmed rule: status %d, want clean 200", resp.StatusCode)
+	}
+	if got := chaos.Fired(rule); got != 1 {
+		t.Fatalf("Fired after disarm = %d, want the pre-disarm count 1", got)
+	}
+}
+
+// TestChaosDeterministicSchedule: the fire pattern over a fixed request
+// sequence is a pure function of the schedule, per rule, even when
+// requests arrive from many goroutines (counts, not order, are pinned).
+func TestChaosDeterministicSchedule(t *testing.T) {
+	srv, chaos, client := chaosClient(t)
+	rule := chaos.Arm(hostOf(t, srv.URL), "", TransportFault{
+		Class: ClassStatus, After: 10, Every: 3, Count: 5,
+	})
+	const total = 60
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Get(srv.URL + "/v1/pair")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == 503 {
+				failures.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := chaos.Fired(rule); got != 5 {
+		t.Fatalf("rule fired %d times under concurrency, want exactly Count=5", got)
+	}
+	if got := failures.Load(); got != 5 {
+		t.Fatalf("%d requests saw the injected 503, want 5", got)
+	}
+}

@@ -197,6 +197,12 @@ type Metrics struct {
 	ShardRouted    Counter // proxy queries forwarded to their cheapest landmark owner
 	ShardFailovers Counter // proxy queries failed over past a down/saturated shard
 
+	BreakerOpens          Counter // circuit-breaker transitions into the open state
+	BreakerHalfOpenProbes Counter // half-open probe attempts admitted by a breaker
+	HedgedRequests        Counter // secondary (hedged) requests launched
+	HedgeWins             Counter // queries answered first by a hedged request
+	RetryBudgetExhausted  Counter // failover/hedge attempts denied by the retry budget
+
 	CGSolves     Counter // grounded CG solves
 	CGIterations Counter // total CG iterations across solves
 
@@ -255,6 +261,12 @@ func (m *Metrics) Merge(src *Metrics) {
 
 	m.ShardRouted.Add(src.ShardRouted.Load())
 	m.ShardFailovers.Add(src.ShardFailovers.Load())
+
+	m.BreakerOpens.Add(src.BreakerOpens.Load())
+	m.BreakerHalfOpenProbes.Add(src.BreakerHalfOpenProbes.Load())
+	m.HedgedRequests.Add(src.HedgedRequests.Load())
+	m.HedgeWins.Add(src.HedgeWins.Load())
+	m.RetryBudgetExhausted.Add(src.RetryBudgetExhausted.Load())
 
 	m.CGSolves.Add(src.CGSolves.Load())
 	m.CGIterations.Add(src.CGIterations.Load())
@@ -383,6 +395,12 @@ type Snapshot struct {
 	ShardRouted    int64 `json:"shard_routed"`
 	ShardFailovers int64 `json:"shard_failovers"`
 
+	BreakerOpens          int64 `json:"breaker_opens"`
+	BreakerHalfOpenProbes int64 `json:"breaker_half_open_probes"`
+	HedgedRequests        int64 `json:"hedged_requests"`
+	HedgeWins             int64 `json:"hedge_wins"`
+	RetryBudgetExhausted  int64 `json:"retry_budget_exhausted"`
+
 	CGSolves     int64 `json:"cg_solves"`
 	CGIterations int64 `json:"cg_iterations"`
 
@@ -440,6 +458,12 @@ func (m *Metrics) Snapshot() Snapshot {
 
 		ShardRouted:    m.ShardRouted.Load(),
 		ShardFailovers: m.ShardFailovers.Load(),
+
+		BreakerOpens:          m.BreakerOpens.Load(),
+		BreakerHalfOpenProbes: m.BreakerHalfOpenProbes.Load(),
+		HedgedRequests:        m.HedgedRequests.Load(),
+		HedgeWins:             m.HedgeWins.Load(),
+		RetryBudgetExhausted:  m.RetryBudgetExhausted.Load(),
 
 		CGSolves:     m.CGSolves.Load(),
 		CGIterations: m.CGIterations.Load(),

@@ -1,0 +1,99 @@
+package retry
+
+import "sync"
+
+// milli is the fixed-point scale Budget accounts in: integer
+// milli-tokens keep fractional per-query deposits exact, so tests can
+// assert the attempt bound queries + tokens without float drift.
+const milli = 1000
+
+// Budget is a global token bucket bounding how much extra downstream
+// load retries, failovers, and hedges may add on top of first attempts.
+// Each incoming query deposits DepositRatio tokens (capped at Capacity);
+// every downstream attempt beyond a query's first withdraws one. When
+// the bucket is empty the caller must fail fast instead of retrying —
+// so total downstream attempts never exceed
+//
+//	queries + Capacity + floor(DepositRatio · queries)
+//
+// a hard bound on load amplification under any fault pattern. The
+// classic sizing is a 10% ratio: retries may add at most 10% to offered
+// load once the initial Capacity burst is spent. The accounting is
+// purely request-driven (no clock), so chaos tests are deterministic.
+// Safe for concurrent use; a nil *Budget disables the bound (every
+// withdrawal succeeds).
+type Budget struct {
+	mu          sync.Mutex
+	capacity    int64 // milli-tokens
+	tokens      int64 // milli-tokens
+	deposit     int64 // milli-token credit per query
+	exhaustions int64 // withdrawals denied on an empty bucket
+}
+
+// NewBudget returns a bucket holding capacity tokens, refilled by
+// depositRatio tokens per Deposit call (clamped to [0,1]). A capacity
+// <= 0 returns nil: the unlimited budget.
+func NewBudget(capacity int, depositRatio float64) *Budget {
+	if capacity <= 0 {
+		return nil
+	}
+	if depositRatio < 0 {
+		depositRatio = 0
+	}
+	if depositRatio > 1 {
+		depositRatio = 1
+	}
+	b := &Budget{capacity: int64(capacity) * milli, tokens: int64(capacity) * milli}
+	b.deposit = int64(depositRatio * milli)
+	return b
+}
+
+// Deposit credits the bucket for one admitted query. Nil-safe.
+func (b *Budget) Deposit() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.deposit
+	if b.tokens > b.capacity {
+		b.tokens = b.capacity
+	}
+	b.mu.Unlock()
+}
+
+// Withdraw takes one token for a retry/failover/hedge attempt, reporting
+// whether the attempt may proceed. Nil-safe (always true).
+func (b *Budget) Withdraw() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < milli {
+		b.exhaustions++
+		return false
+	}
+	b.tokens -= milli
+	return true
+}
+
+// Tokens returns the whole tokens currently available. Nil-safe (-1 =
+// unlimited).
+func (b *Budget) Tokens() int {
+	if b == nil {
+		return -1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return int(b.tokens / milli)
+}
+
+// Exhaustions returns how many withdrawals were denied. Nil-safe.
+func (b *Budget) Exhaustions() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.exhaustions
+}

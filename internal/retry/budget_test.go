@@ -1,0 +1,156 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBudgetBound(t *testing.T) {
+	b := NewBudget(5, 0)
+	for i := 0; i < 5; i++ {
+		if !b.Withdraw() {
+			t.Fatalf("withdrawal %d denied with tokens available", i)
+		}
+	}
+	if b.Withdraw() {
+		t.Fatal("withdrawal succeeded on an empty bucket")
+	}
+	if got := b.Exhaustions(); got != 1 {
+		t.Fatalf("Exhaustions = %d, want 1", got)
+	}
+	if got := b.Tokens(); got != 0 {
+		t.Fatalf("Tokens = %d, want 0", got)
+	}
+}
+
+func TestBudgetDepositRatioExact(t *testing.T) {
+	// Ratio 0.1: exactly one extra token per 10 deposits, no float drift.
+	b := NewBudget(1, 0.1)
+	if !b.Withdraw() {
+		t.Fatal("initial token missing")
+	}
+	for i := 0; i < 9; i++ {
+		b.Deposit()
+		if b.Withdraw() {
+			t.Fatalf("withdrawal succeeded after only %d deposits at ratio 0.1", i+1)
+		}
+	}
+	b.Deposit() // 10th deposit completes one token
+	if !b.Withdraw() {
+		t.Fatal("withdrawal denied after 10 deposits at ratio 0.1")
+	}
+}
+
+func TestBudgetCapacityCap(t *testing.T) {
+	b := NewBudget(2, 1)
+	for i := 0; i < 50; i++ {
+		b.Deposit()
+	}
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("Tokens after overfilling = %d, want capacity 2", got)
+	}
+}
+
+func TestBudgetNilUnlimited(t *testing.T) {
+	var b *Budget
+	for i := 0; i < 100; i++ {
+		if !b.Withdraw() {
+			t.Fatal("nil budget denied a withdrawal")
+		}
+	}
+	b.Deposit()
+	if got := b.Tokens(); got != -1 {
+		t.Fatalf("nil Tokens = %d, want -1", got)
+	}
+	if NewBudget(0, 0.5) != nil {
+		t.Fatal("NewBudget(0, _) should return the nil unlimited budget")
+	}
+}
+
+func TestBudgetConcurrent(t *testing.T) {
+	const capacity, workers, perWorker = 64, 8, 100
+	b := NewBudget(capacity, 0)
+	var wg sync.WaitGroup
+	counts := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if b.Withdraw() {
+					counts[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != capacity {
+		t.Fatalf("concurrent withdrawals granted %d tokens, want exactly %d", total, capacity)
+	}
+}
+
+// TestDoInjectedSleeper proves retries run without wall-clock sleeps when
+// a Sleeper is injected, and that the recorded schedule matches Delay.
+func TestDoInjectedSleeper(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    40 * time.Millisecond,
+		Jitter:      0.5,
+		Sleeper: func(ctx context.Context, d time.Duration) bool {
+			slept = append(slept, d)
+			return true
+		},
+	}
+	errFail := errors.New("fail")
+	start := time.Now()
+	attempts, err := Do(context.Background(), p, func() float64 { return 0 },
+		func(error) bool { return true }, nil,
+		func(attempt int) error { return errFail })
+	if attempts != 4 || !errors.Is(err, errFail) {
+		t.Fatalf("Do = (%d, %v), want (4, fail)", attempts, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Millisecond {
+		t.Fatalf("Do with injected sleeper took %v of wall clock, want ~0", elapsed)
+	}
+	want := []time.Duration{p.Delay(1, 0), p.Delay(2, 0), p.Delay(3, 0)}
+	if len(slept) != len(want) {
+		t.Fatalf("sleeper called %d times, want %d", len(slept), len(want))
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want Delay schedule %v", i, slept[i], want[i])
+		}
+	}
+}
+
+// TestDoInjectedSleeperAborts: a sleeper reporting context expiry stops
+// the retry loop just like the wall-clock Sleep would.
+func TestDoInjectedSleeperAborts(t *testing.T) {
+	calls := 0
+	p := Policy{
+		MaxAttempts: 5,
+		Sleeper: func(ctx context.Context, d time.Duration) bool {
+			calls++
+			return false // pretend ctx fired mid-sleep
+		},
+	}
+	errFail := errors.New("fail")
+	attempts, err := Do(context.Background(), p, nil,
+		func(error) bool { return true }, nil,
+		func(attempt int) error { return errFail })
+	if attempts != 1 || !errors.Is(err, errFail) {
+		t.Fatalf("Do = (%d, %v), want (1, fail) when the sleeper aborts", attempts, err)
+	}
+	if calls != 1 {
+		t.Fatalf("sleeper called %d times, want 1", calls)
+	}
+}

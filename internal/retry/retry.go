@@ -26,7 +26,17 @@ type Policy struct {
 	// (default 0.5): the actual delay is uniform in
 	// [delay·(1−Jitter), delay].
 	Jitter float64
+	// Sleeper, when non-nil, replaces the wall-clock sleep between
+	// attempts. It must block for d (or until ctx is done, returning
+	// false). Tests inject a fake so backoff schedules are asserted
+	// without real sleeps; the breaker and proxy suites rely on this.
+	Sleeper SleepFunc
 }
+
+// SleepFunc blocks for d or until ctx is done, reporting whether the full
+// delay elapsed (false means the context fired first). Sleep is the
+// wall-clock implementation.
+type SleepFunc func(ctx context.Context, d time.Duration) bool
 
 // WithDefaults returns p with zero fields replaced by the defaults.
 func (p Policy) WithDefaults() Policy {
@@ -108,7 +118,11 @@ func Do(ctx context.Context, p Policy, rand func() float64, retriable func(error
 		if rand != nil {
 			u = rand()
 		}
-		if !Sleep(ctx, p.Delay(attempt, u)) {
+		sleep := p.Sleeper
+		if sleep == nil {
+			sleep = Sleep
+		}
+		if !sleep(ctx, p.Delay(attempt, u)) {
 			return attempts, err
 		}
 	}
