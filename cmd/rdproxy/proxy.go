@@ -464,11 +464,17 @@ func (p *proxyServer) forward(ctx context.Context, base string, s, t int) (pairR
 
 // failoverWorthy reports whether a forward failure should be retried on
 // the next-cheapest owner (down/saturated/broken shard) rather than
-// relayed to the client (the client's own request was bad).
-func failoverWorthy(err error) bool {
+// relayed to the client (the client's own request was bad). cause is the
+// attempt context's cancellation cause: a per-attempt timeout is a shard
+// failure even though Go 1.22's net/http surfaces it as a bare
+// DeadlineExceeded rather than propagating the cause.
+func failoverWorthy(err, cause error) bool {
 	var re *replicaError
 	if errors.As(err, &re) {
 		return re.status == http.StatusTooManyRequests || re.status >= 500
+	}
+	if errors.Is(cause, errAttemptTimeout) {
+		return true
 	}
 	// Transport errors (refused, reset, timeout, torn body) are shard
 	// failures — unless the client's own context expired.
@@ -480,6 +486,7 @@ func failoverWorthy(err error) bool {
 type attemptOutcome struct {
 	reply  pairReply
 	err    error
+	cause  error // attempt context's cancellation cause at completion
 	target cluster.Target
 	hedged bool // launched by the hedge timer, not a failover
 }
@@ -493,8 +500,12 @@ type attemptOutcome struct {
 //     configured), so a blackholed shard turns into a breaker failure
 //     and a failover instead of burning the whole request deadline;
 //   - after hedgeAfter with no answer, the same query is fired at the
-//     next-cheapest healthy owner; first success wins and every loser is
-//     context-cancelled with cause errHedgeLost (breakers see Drop);
+//     next-cheapest healthy owner; first success wins. Losers without a
+//     per-attempt cap are context-cancelled with cause errHedgeLost
+//     (breakers see Drop, never a failure); losers WITH a cap run on to
+//     their own deadline and record a genuine verdict, so a blackholed
+//     cheapest owner still trips its breaker instead of hiding behind
+//     every lost race;
 //   - every attempt beyond the query's first withdraws one token from
 //     the global retry budget — an empty bucket stops the walk so
 //     failover and hedging can never multiply offered load beyond
@@ -512,6 +523,9 @@ func (p *proxyServer) routePair(ctx context.Context, st *proxyState, s, t int) (
 		minAttempt = 2 * time.Millisecond
 	}
 
+	// cancels reaps only uncapped losers when the walk returns; capped
+	// attempts self-reap at their own deadline (see start) so breakers
+	// still get real verdicts on attempts abandoned by a won race.
 	results := make(chan attemptOutcome, len(targets))
 	cancels := make([]context.CancelCauseFunc, 0, len(targets))
 	defer func() {
@@ -545,7 +559,7 @@ func (p *proxyServer) routePair(ctx context.Context, st *proxyState, s, t int) (
 				p.metrics.ShardFailovers.Inc()
 				continue
 			}
-			if dl, ok := ctx.Deadline(); ok && time.Until(dl) < minAttempt {
+			if dl, ok := ctx.Deadline(); ok && dl.Sub(p.cfg.now()) < minAttempt {
 				deadlineDenied = true
 				next--
 				return false
@@ -566,19 +580,43 @@ func (p *proxyServer) routePair(ctx context.Context, st *proxyState, s, t int) (
 			}
 			launched++
 			pending++
-			actx, cancel := context.WithCancelCause(ctx)
+			// A concurrent query's Deposit may have refilled the bucket
+			// since a hedge was denied; this walk is no longer
+			// budget-limited, so don't let finish() blame the budget.
+			budgetDenied = false
+			var actx context.Context
+			var cancel context.CancelCauseFunc
 			if p.cfg.attemptTimeout > 0 {
+				// Capped attempts are detached from the walk's context and
+				// bounded solely by their own deadline: an attempt
+				// abandoned because the race was decided (or the client
+				// left) runs on for at most attemptTimeout and records a
+				// genuine breaker verdict — success if the replica was
+				// merely slower than the winner, failure if it never
+				// answered by the cap. Reaping losers instantly would
+				// leave a blackholed cheapest owner with no verdicts at
+				// all, since every race against it is over long before
+				// its timeout. The timeout is relative (WithTimeoutCause)
+				// because context deadlines live on the wall clock — an
+				// injected test clock cannot drive them.
+				actx, cancel = context.WithCancelCause(context.WithoutCancel(ctx))
 				var tcancel context.CancelFunc
-				actx, tcancel = context.WithDeadlineCause(actx,
-					time.Now().Add(p.cfg.attemptTimeout), errAttemptTimeout)
+				actx, tcancel = context.WithTimeoutCause(actx,
+					p.cfg.attemptTimeout, errAttemptTimeout)
+				// Cancel the cause-carrying parent first: if tcancel ran
+				// first the attempt context's cause would be the deadline
+				// context's own context.Canceled, not the caller's cause.
 				inner := cancel
-				cancel = func(cause error) { tcancel(); inner(cause) }
+				cancel = func(cause error) { inner(cause); tcancel() }
+			} else {
+				actx, cancel = context.WithCancelCause(ctx)
+				cancels = append(cancels, cancel)
 			}
-			cancels = append(cancels, cancel)
-			go func(tg cluster.Target, r *replica, hedged bool, actx context.Context) {
+			go func(tg cluster.Target, r *replica, hedged bool, actx context.Context, release context.CancelCauseFunc) {
+				defer release(nil)
 				reply, err := p.forward(actx, tg.Member, s, t)
+				cause := context.Cause(actx)
 				if r.breaker != nil {
-					cause := context.Cause(actx)
 					var re *replicaError
 					switch {
 					case err == nil:
@@ -600,8 +638,8 @@ func (p *proxyServer) routePair(ctx context.Context, st *proxyState, s, t int) (
 						r.breaker.Record(false)
 					}
 				}
-				results <- attemptOutcome{reply: reply, err: err, target: tg, hedged: hedged}
-			}(tg, r, hedged, actx)
+				results <- attemptOutcome{reply: reply, err: err, cause: cause, target: tg, hedged: hedged}
+			}(tg, r, hedged, actx, cancel)
 			return true
 		}
 		return false
@@ -620,7 +658,7 @@ func (p *proxyServer) routePair(ctx context.Context, st *proxyState, s, t int) (
 		case deadlineDenied:
 			remaining := time.Duration(0)
 			if dl, ok := ctx.Deadline(); ok {
-				remaining = time.Until(dl)
+				remaining = dl.Sub(p.cfg.now())
 			}
 			p.logger.Printf("pair (%d,%d): stopping failover after %d/%d attempts, %v of deadline left (last: %v)",
 				s, t, launched, len(targets), remaining.Round(time.Millisecond), lastErr)
@@ -681,7 +719,7 @@ func (p *proxyServer) routePair(ctx context.Context, st *proxyState, s, t int) (
 				}
 				continue
 			}
-			if !failoverWorthy(out.err) {
+			if !failoverWorthy(out.err, out.cause) {
 				return pairReply{}, failovers, out.err
 			}
 			failovers++
